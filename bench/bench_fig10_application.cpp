@@ -1,0 +1,44 @@
+// Figure 10 reproduction: timing of MR3-SMP-style MRRR vs the task-flow
+// D&C on application matrices. The paper used the LAPACK stetester
+// collection (not redistributable); we substitute synthetic matrices with
+// the same character (see DESIGN.md). Paper shape: D&C outperforms MRRR on
+// almost all application matrices while delivering better accuracy.
+#include "bench_support.hpp"
+#include "matgen/application.hpp"
+#include "mrrr/mrrr.hpp"
+#include "verify/metrics.hpp"
+
+int main() {
+  using namespace dnc;
+  using namespace dnc::bench;
+  const index_t cap = nmax_from_env(1400);
+
+  header("Figure 10: application matrices, time and accuracy (simulated 16 cores)", "");
+  std::printf("%-24s %6s %12s %12s %8s %12s %12s\n", "matrix", "n", "t_DC(s)", "t_MR3(s)",
+              "ratio", "orth DC", "orth MR3");
+  for (const auto& m : matgen::application_suite(cap)) {
+    const index_t n = m.matrix.n();
+    const auto dcst = run_taskflow(m.matrix, {16}, scaled_options(n));
+
+    std::vector<double> lam;
+    Matrix vmr;
+    mrrr::Options mopt;
+    mopt.threads = 1;
+    mrrr::Stats mst;
+    mrrr::mrrr_solve(n, m.matrix.d.data(), m.matrix.e.data(), lam, vmr, mopt, &mst, {16});
+
+    std::vector<double> d = m.matrix.d, e = m.matrix.e;
+    Matrix vdc;
+    dc::Options opt = scaled_options(n);
+    opt.threads = 1;
+    dc::stedc_taskflow(n, d.data(), e.data(), vdc, opt);
+
+    std::printf("%-24s %6ld %12.4f %12.4f %8.2f %12.3e %12.3e\n", m.name.c_str(), (long)n,
+                dcst.simulated[0].makespan, mst.simulated[0].makespan,
+                mst.simulated[0].makespan / dcst.simulated[0].makespan,
+                verify::orthogonality(vdc), verify::orthogonality(vmr));
+  }
+  std::printf("\nratios > 1 mean D&C is faster (the paper's Figure 10 shows D&C ahead on\n"
+              "nearly every application matrix, with better accuracy).\n");
+  return 0;
+}

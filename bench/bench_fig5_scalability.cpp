@@ -1,0 +1,35 @@
+// Figure 5 reproduction: scalability of the task-flow D&C solver from 1 to
+// 16 threads on Table III types 2 (~100 % deflation), 3 (~50 %) and 4
+// (~20 %). The paper's observations to reproduce:
+//   * type 4 (compute bound, GEMM dominated): near-linear speedup, ~12x/16
+//   * type 3: intermediate
+//   * type 2 (memory bound, Permute dominated): speedup saturates around
+//     the bandwidth of one socket (~4x) until the second socket kicks in
+// Speedups are simulated makespans of the measured DAG (see DESIGN.md).
+#include "bench_support.hpp"
+
+int main() {
+  using namespace dnc;
+  using namespace dnc::bench;
+  const index_t n = nmax_from_env(1200);
+  const std::vector<int> workers{1, 2, 4, 8, 16};
+
+  header("Figure 5: speedup vs threads (task-flow D&C)",
+         "matrix size n=" + std::to_string(n) + ", simulated on the paper's machine model");
+  std::printf("%-28s", "threads");
+  for (int w : workers) std::printf("%8d", w);
+  std::printf("\n");
+
+  for (int type : {2, 3, 4}) {
+    auto t = matgen::table3_matrix(type, n);
+    auto st = run_taskflow(t, workers, scaled_options(n));
+    std::printf("type%-2d (defl %4.0f%%) speedup ", type, 100.0 * st.deflation_ratio);
+    const double base = st.simulated[0].makespan;
+    for (std::size_t i = 0; i < workers.size(); ++i)
+      std::printf("%8.2f", base / st.simulated[i].makespan);
+    std::printf("\n");
+  }
+  std::printf("\nexpected shape (paper): type4 ~12x at 16 threads; type2 plateaus ~4x on one\n"
+              "socket then improves past 8 threads; type3 in between.\n");
+  return 0;
+}

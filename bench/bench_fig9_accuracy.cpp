@@ -1,0 +1,46 @@
+// Figure 9 reproduction: numerical stability of D&C vs MRRR on the full
+// Table III set.
+//   (a) orthogonality ||I - V V^T|| / n
+//   (b) reduction     ||T - V Lambda V^T|| / (||T|| n)
+// Paper shape: D&C is consistently 1-2 digits better than MRRR on both
+// metrics; both stay near machine precision.
+#include "bench_support.hpp"
+#include "mrrr/mrrr.hpp"
+#include "verify/metrics.hpp"
+
+int main() {
+  using namespace dnc;
+  using namespace dnc::bench;
+  const index_t n = nmax_from_env(900);
+
+  header("Figure 9: accuracy of D&C vs MRRR",
+         "n=" + std::to_string(n) + " for all 15 Table III types");
+  std::printf("%-5s %14s %14s %14s %14s\n", "type", "orth D&C", "orth MRRR", "resid D&C",
+              "resid MRRR");
+  double worst_dc_orth = 0.0, worst_mr_orth = 0.0;
+  for (int type = 1; type <= 15; ++type) {
+    auto t = matgen::table3_matrix(type, n);
+
+    std::vector<double> d = t.d, e = t.e;
+    Matrix vdc;
+    dc::Options opt = scaled_options(n);
+    opt.threads = 1;
+    dc::stedc_taskflow(n, d.data(), e.data(), vdc, opt);
+
+    std::vector<double> lam;
+    Matrix vmr;
+    mrrr::Options mopt;
+    mopt.threads = 1;
+    mrrr::mrrr_solve(n, t.d.data(), t.e.data(), lam, vmr, mopt);
+
+    const double odc = verify::orthogonality(vdc);
+    const double omr = verify::orthogonality(vmr);
+    worst_dc_orth = std::max(worst_dc_orth, odc);
+    worst_mr_orth = std::max(worst_mr_orth, omr);
+    std::printf("%-5d %14.3e %14.3e %14.3e %14.3e\n", type, odc, omr,
+                verify::reduction_residual(t, d, vdc), verify::reduction_residual(t, lam, vmr));
+  }
+  std::printf("\nworst orthogonality: D&C %.3e vs MRRR %.3e (paper: D&C better by 1-2 digits)\n",
+              worst_dc_orth, worst_mr_orth);
+  return 0;
+}

@@ -1,0 +1,140 @@
+// google-benchmark microbenchmarks of the computational kernels the solver
+// is built from: GEMM (the UpdateVect workhorse), the leaf eigensolver,
+// the secular equation solver, the deflation scan, and the runtime's task
+// submission/dispatch overhead (which bounds the useful panel granularity).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include <vector>
+
+#include "blas/aux.hpp"
+#include "blas/gemm.hpp"
+#include "common/rng.hpp"
+#include "dc/deflation.hpp"
+#include "lapack/laed4.hpp"
+#include "lapack/steqr.hpp"
+#include "matgen/tridiag.hpp"
+#include "runtime/engine.hpp"
+
+namespace {
+
+using namespace dnc;
+
+void BM_Gemm(benchmark::State& state) {
+  const index_t n = state.range(0);
+  Rng rng(1);
+  Matrix a(n, n), b(n, n), c(n, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i) {
+      a(i, j) = rng.uniform_sym();
+      b(i, j) = rng.uniform_sym();
+    }
+  for (auto _ : state) {
+    blas::gemm(blas::Trans::No, blas::Trans::No, n, n, n, 1.0, a.data(), n, b.data(), n, 0.0,
+               c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * n * n * n * state.iterations() / 1e9, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Steqr(benchmark::State& state) {
+  const index_t n = state.range(0);
+  auto t = matgen::table3_matrix(6, n, 3);
+  Matrix z(n, n);
+  for (auto _ : state) {
+    std::vector<double> d = t.d, e = t.e;
+    lapack::steqr(lapack::CompZ::Identity, n, d.data(), e.data(), z.data(), n);
+    benchmark::DoNotOptimize(d.data());
+  }
+}
+BENCHMARK(BM_Steqr)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Laed4(benchmark::State& state) {
+  const index_t k = state.range(0);
+  Rng rng(7);
+  std::vector<double> d(k), z(k), delta(k);
+  double acc = 0.0, nrm = 0.0;
+  for (index_t i = 0; i < k; ++i) {
+    acc += 0.01 + rng.uniform01();
+    d[i] = acc;
+    z[i] = 0.1 + rng.uniform01();
+    nrm += z[i] * z[i];
+  }
+  for (auto& v : z) v /= std::sqrt(nrm);
+  index_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lapack::laed4(k, i, d.data(), z.data(), 1.7, delta.data()));
+    i = (i + 1) % k;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Laed4)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_DeflationScan(benchmark::State& state) {
+  const index_t m = state.range(0);
+  const index_t n1 = m / 2;
+  Rng rng(5);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Matrix q(m, m);
+    blas::laset(m, m, 0.0, 1.0, q.data(), m);
+    std::vector<double> d(m), z(m);
+    std::vector<index_t> perm(m);
+    double acc = 0, nrm = 0;
+    for (index_t i = 0; i < m; ++i) {
+      acc += rng.uniform01() < 0.3 ? 1e-14 : 0.01;  // some rotation candidates
+      d[i] = acc;
+      z[i] = rng.uniform_sym();
+      nrm += z[i] * z[i];
+    }
+    for (auto& v : z) v /= std::sqrt(nrm);
+    std::sort(d.begin(), d.begin() + n1);
+    std::sort(d.begin() + n1, d.end());
+    for (index_t i = 0; i < n1; ++i) perm[i] = i;
+    for (index_t i = n1; i < m; ++i) perm[i] = i - n1;
+    state.ResumeTiming();
+    auto res = dc::deflate(n1, m - n1, d.data(), z.data(), 1.3, q.view(), perm.data(),
+                           perm.data() + n1);
+    benchmark::DoNotOptimize(res.k);
+  }
+}
+BENCHMARK(BM_DeflationScan)->Arg(256)->Arg(1024);
+
+void BM_RuntimeTaskOverhead(benchmark::State& state) {
+  // Cost of submit + dispatch + complete per (trivial) task: sets the floor
+  // on useful task granularity (paper Section IV's nb discussion).
+  for (auto _ : state) {
+    rt::TaskGraph g;
+    rt::Runtime r(g, 1);
+    rt::Handle h;
+    for (int i = 0; i < 1000; ++i) g.submit(0, [] {}, {{&h, rt::Access::GatherV}});
+    r.wait_all();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_RuntimeTaskOverhead);
+
+void BM_GathervDependencyTracking(benchmark::State& state) {
+  // The paper's point: GATHERV keeps the dependency count per task O(1)
+  // even with thousands of panel tasks on one handle.
+  const int ntasks = state.range(0);
+  for (auto _ : state) {
+    rt::TaskGraph g;
+    rt::Handle h;
+    g.submit(0, [] {}, {{&h, rt::Access::InOut}});
+    for (int i = 0; i < ntasks; ++i) g.submit(0, [] {}, {{&h, rt::Access::GatherV}});
+    g.submit(0, [] {}, {{&h, rt::Access::InOut}});
+    benchmark::DoNotOptimize(g.task_count());
+  }
+  state.SetItemsProcessed(state.iterations() * ntasks);
+}
+BENCHMARK(BM_GathervDependencyTracking)->Arg(100)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

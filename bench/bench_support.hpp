@@ -1,0 +1,85 @@
+// Shared support for the figure/table reproduction benches.
+//
+// Every bench prints the rows/series the corresponding paper figure plots.
+// Sizes default to laptop scale (the paper used up to n=25000 on a 16-core
+// Xeon; see DESIGN.md) and are adjustable:
+//   DNC_BENCH_NMAX   largest matrix size in sweeps       (default 1536)
+//   DNC_BENCH_FAST   set to 1 to shrink everything further (CI mode)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "dc/api.hpp"
+#include "matgen/tridiag.hpp"
+
+namespace dnc::bench {
+
+inline index_t nmax_from_env(index_t dflt = 1536) {
+  if (const char* s = std::getenv("DNC_BENCH_NMAX")) return std::atol(s);
+  if (const char* f = std::getenv("DNC_BENCH_FAST"); f && f[0] == '1') return dflt / 3;
+  return dflt;
+}
+
+inline std::vector<index_t> size_sweep(index_t nmax, int points = 4) {
+  // Geometric-ish sweep ending at nmax, mirroring the paper's 2500..25000.
+  std::vector<index_t> sizes;
+  for (int i = points; i >= 1; --i) {
+    index_t n = nmax;
+    for (int j = 1; j < i; ++j) n = n * 2 / 3;
+    sizes.push_back(std::max<index_t>(64, n));
+  }
+  return sizes;
+}
+
+/// Runs the task-flow solver with durations measured on one worker (no
+/// timesharing noise on the single-core container) and simulation at the
+/// given worker counts.
+inline dc::SolveStats run_taskflow(const matgen::Tridiag& t, const std::vector<int>& workers,
+                                   dc::Options opt = {}) {
+  std::vector<double> d = t.d, e = t.e;
+  Matrix v;
+  opt.threads = 1;
+  dc::SolveStats st;
+  dc::stedc_taskflow(t.n(), d.data(), e.data(), v, opt, &st, workers);
+  return st;
+}
+
+inline dc::SolveStats run_lapack_model(const matgen::Tridiag& t, const std::vector<int>& workers,
+                                       dc::Options opt = {}) {
+  std::vector<double> d = t.d, e = t.e;
+  Matrix v;
+  opt.threads = 1;
+  dc::SolveStats st;
+  dc::stedc_lapack_model(t.n(), d.data(), e.data(), v, opt, &st, workers);
+  return st;
+}
+
+inline dc::SolveStats run_scalapack_model(const matgen::Tridiag& t,
+                                          const std::vector<int>& workers,
+                                          dc::Options opt = {}) {
+  std::vector<double> d = t.d, e = t.e;
+  Matrix v;
+  opt.threads = 1;
+  dc::SolveStats st;
+  dc::stedc_scalapack_model(t.n(), d.data(), e.data(), v, opt, &st, workers);
+  return st;
+}
+
+/// Default tuning scaled to the problem (paper: minpart ~ n/4 at n=1000,
+/// nb chosen per architecture).
+inline dc::Options scaled_options(index_t n) {
+  dc::Options opt;
+  opt.minpart = std::max<index_t>(48, n / 16);
+  opt.nb = std::max<index_t>(48, n / 12);
+  return opt;
+}
+
+inline void header(const std::string& title, const std::string& what) {
+  std::printf("==== %s ====\n%s\n", title.c_str(), what.c_str());
+}
+
+}  // namespace dnc::bench

@@ -1,0 +1,59 @@
+// Head-to-head comparison of the two fastest tridiagonal eigensolver
+// families -- D&C (this library's task-flow implementation) and MRRR
+// (MR3-SMP-style) -- on a chosen Table III matrix type, including the
+// accuracy comparison the paper draws in Figures 8-9.
+//
+//   ./solver_comparison [n] [type]
+#include <cstdio>
+#include <cstdlib>
+
+#include "dc/api.hpp"
+#include "matgen/tridiag.hpp"
+#include "mrrr/mrrr.hpp"
+#include "verify/metrics.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dnc;
+  const index_t n = argc > 1 ? std::atol(argv[1]) : 600;
+  const int type = argc > 2 ? std::atoi(argv[2]) : 5;
+
+  auto t = matgen::table3_matrix(type, n);
+  std::printf("matrix: Table III type %d (%s), n=%ld\n", type,
+              matgen::table3_description(type).c_str(), (long)n);
+
+  // --- D&C ---
+  std::vector<double> d = t.d, e = t.e;
+  Matrix vdc;
+  dc::Options dopt;
+  dopt.threads = 1;
+  dc::SolveStats dstats;
+  dc::stedc_taskflow(n, d.data(), e.data(), vdc, dopt, &dstats, {16});
+
+  // --- MRRR ---
+  std::vector<double> lam;
+  Matrix vmr;
+  mrrr::Options mopt;
+  mopt.threads = 1;
+  mrrr::Stats mstats;
+  mrrr::mrrr_solve(n, t.d.data(), t.e.data(), lam, vmr, mopt, &mstats, {16});
+
+  std::printf("\n%-34s %14s %14s\n", "", "D&C", "MRRR");
+  std::printf("%-34s %14.3f %14.3f\n", "wall time, 1 thread (s)", dstats.seconds,
+              mstats.seconds);
+  std::printf("%-34s %14.4f %14.4f\n", "simulated 16-core makespan (s)",
+              dstats.simulated[0].makespan, mstats.simulated[0].makespan);
+  std::printf("%-34s %14.3e %14.3e\n", "orthogonality ||I-V^T V||/n",
+              verify::orthogonality(vdc), verify::orthogonality(vmr));
+  std::printf("%-34s %14.3e %14.3e\n", "reduction ||TV-VL||/(|T| n)",
+              verify::reduction_residual(t, d, vdc), verify::reduction_residual(t, lam, vmr));
+  std::printf("%-34s %13.1f%% %14s\n", "deflation (D&C merges)",
+              100.0 * dstats.deflation_ratio, "-");
+  std::printf("%-34s %14s %14ld\n", "representation-tree clusters", "-",
+              (long)mstats.clusters);
+  const double ratio = mstats.simulated[0].makespan / dstats.simulated[0].makespan;
+  std::printf("\ntime_MR3 / time_DC (simulated 16 cores) = %.2f  -> %s wins on this matrix\n",
+              ratio, ratio > 1.0 ? "D&C" : "MRRR");
+  std::printf("max |lambda_DC - lambda_MRRR| = %.3e\n",
+              verify::max_relative_difference(d, lam));
+  return 0;
+}

@@ -1,0 +1,35 @@
+// General matrix-matrix multiply, C = alpha*op(A)*op(B) + beta*C.
+//
+// The implementation is the classic three-level cache-blocked GEMM
+// (Goto/BLIS structure): panels of B are packed into a KC x NC buffer,
+// blocks of A into an MC x KC buffer, and an MR x NR register microkernel
+// (plain C, written so GCC auto-vectorizes it) does the inner product.
+// The eigensolver's dominant cost -- the UpdateVect task, V = Vtilde * X --
+// runs through this kernel, exactly as the paper's implementation runs
+// through sequential MKL GEMM inside each task.
+#pragma once
+
+#include "blas/level2.hpp"
+#include "common/matrix.hpp"
+
+namespace dnc::blas {
+
+/// Blocking parameters; exposed so benchmarks can explore them.
+struct GemmBlocking {
+  index_t mc = 128;
+  index_t kc = 256;
+  index_t nc = 1024;
+};
+
+/// C (m x n) = alpha * op(A) * op(B) + beta * C.
+/// op(A) is m x k, op(B) is k x n. All matrices column-major.
+void gemm(Trans transa, Trans transb, index_t m, index_t n, index_t k, double alpha,
+          const double* a, index_t lda, const double* b, index_t ldb, double beta, double* c,
+          index_t ldc);
+
+/// Triple-loop reference used by tests to validate the blocked kernel.
+void gemm_reference(Trans transa, Trans transb, index_t m, index_t n, index_t k, double alpha,
+                    const double* a, index_t lda, const double* b, index_t ldb, double beta,
+                    double* c, index_t ldc);
+
+}  // namespace dnc::blas

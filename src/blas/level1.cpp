@@ -1,0 +1,129 @@
+#include "blas/level1.hpp"
+
+#include <cmath>
+
+namespace dnc::blas {
+
+void axpy(index_t n, double alpha, const double* x, double* y) {
+  if (alpha == 0.0) return;
+  for (index_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void axpy(index_t n, double alpha, const double* x, index_t incx, double* y, index_t incy) {
+  if (alpha == 0.0) return;
+  if (incx == 1 && incy == 1) {
+    axpy(n, alpha, x, y);
+    return;
+  }
+  for (index_t i = 0; i < n; ++i) y[i * incy] += alpha * x[i * incx];
+}
+
+void scal(index_t n, double alpha, double* x) {
+  for (index_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+void scal(index_t n, double alpha, double* x, index_t incx) {
+  if (incx == 1) {
+    scal(n, alpha, x);
+    return;
+  }
+  for (index_t i = 0; i < n; ++i) x[i * incx] *= alpha;
+}
+
+double dot(index_t n, const double* x, const double* y) {
+  double s = 0.0;
+  for (index_t i = 0; i < n; ++i) s += x[i] * y[i];
+  return s;
+}
+
+double dot(index_t n, const double* x, index_t incx, const double* y, index_t incy) {
+  if (incx == 1 && incy == 1) return dot(n, x, y);
+  double s = 0.0;
+  for (index_t i = 0; i < n; ++i) s += x[i * incx] * y[i * incy];
+  return s;
+}
+
+double nrm2(index_t n, const double* x, index_t incx) {
+  // Scaled sum of squares as in LAPACK dlassq: avoids overflow/underflow for
+  // extreme inputs such as the type-7/8 graded matrices.
+  double scale = 0.0, ssq = 1.0;
+  for (index_t i = 0; i < n; ++i) {
+    const double a = std::fabs(x[i * incx]);
+    if (a == 0.0) continue;
+    if (scale < a) {
+      const double r = scale / a;
+      ssq = 1.0 + ssq * r * r;
+      scale = a;
+    } else {
+      const double r = a / scale;
+      ssq += r * r;
+    }
+  }
+  return scale * std::sqrt(ssq);
+}
+
+double nrm2(index_t n, const double* x) { return nrm2(n, x, 1); }
+
+void copy(index_t n, const double* x, double* y) {
+  for (index_t i = 0; i < n; ++i) y[i] = x[i];
+}
+
+void copy(index_t n, const double* x, index_t incx, double* y, index_t incy) {
+  if (incx == 1 && incy == 1) {
+    copy(n, x, y);
+    return;
+  }
+  for (index_t i = 0; i < n; ++i) y[i * incy] = x[i * incx];
+}
+
+void swap(index_t n, double* x, double* y) {
+  for (index_t i = 0; i < n; ++i) {
+    const double t = x[i];
+    x[i] = y[i];
+    y[i] = t;
+  }
+}
+
+double asum(index_t n, const double* x) {
+  double s = 0.0;
+  for (index_t i = 0; i < n; ++i) s += std::fabs(x[i]);
+  return s;
+}
+
+index_t iamax(index_t n, const double* x) {
+  if (n <= 0) return -1;
+  index_t best = 0;
+  double bv = std::fabs(x[0]);
+  for (index_t i = 1; i < n; ++i) {
+    const double a = std::fabs(x[i]);
+    if (a > bv) {
+      bv = a;
+      best = i;
+    }
+  }
+  return best;
+}
+
+void rot(index_t n, double* x, double* y, double c, double s) {
+  for (index_t i = 0; i < n; ++i) {
+    const double xi = x[i];
+    const double yi = y[i];
+    x[i] = c * xi + s * yi;
+    y[i] = c * yi - s * xi;
+  }
+}
+
+void rot(index_t n, double* x, index_t incx, double* y, index_t incy, double c, double s) {
+  if (incx == 1 && incy == 1) {
+    rot(n, x, y, c, s);
+    return;
+  }
+  for (index_t i = 0; i < n; ++i) {
+    const double xi = x[i * incx];
+    const double yi = y[i * incy];
+    x[i * incx] = c * xi + s * yi;
+    y[i * incy] = c * yi - s * xi;
+  }
+}
+
+}  // namespace dnc::blas

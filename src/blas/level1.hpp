@@ -1,0 +1,43 @@
+// BLAS level-1 vector kernels (double precision, unit behaviour of the
+// reference BLAS, contiguous and strided variants where the eigensolvers
+// need them).
+#pragma once
+
+#include "common/matrix.hpp"
+
+namespace dnc::blas {
+
+/// y += alpha * x
+void axpy(index_t n, double alpha, const double* x, double* y);
+void axpy(index_t n, double alpha, const double* x, index_t incx, double* y, index_t incy);
+
+/// x *= alpha
+void scal(index_t n, double alpha, double* x);
+void scal(index_t n, double alpha, double* x, index_t incx);
+
+/// dot product
+double dot(index_t n, const double* x, const double* y);
+double dot(index_t n, const double* x, index_t incx, const double* y, index_t incy);
+
+/// Euclidean norm, overflow-safe (dnrm2 two-pass scaling algorithm).
+double nrm2(index_t n, const double* x);
+double nrm2(index_t n, const double* x, index_t incx);
+
+/// y = x
+void copy(index_t n, const double* x, double* y);
+void copy(index_t n, const double* x, index_t incx, double* y, index_t incy);
+
+/// x <-> y
+void swap(index_t n, double* x, double* y);
+
+/// sum of absolute values
+double asum(index_t n, const double* x);
+
+/// index of max |x_i| (0-based); -1 for n <= 0.
+index_t iamax(index_t n, const double* x);
+
+/// Apply plane rotation: [x; y] <- [c s; -s c] [x; y] (drot).
+void rot(index_t n, double* x, double* y, double c, double s);
+void rot(index_t n, double* x, index_t incx, double* y, index_t incy, double c, double s);
+
+}  // namespace dnc::blas

@@ -1,0 +1,27 @@
+// BLAS level-2 kernels needed by the Householder tridiagonalization and the
+// eigensolver verification paths.
+#pragma once
+
+#include "common/matrix.hpp"
+
+namespace dnc::blas {
+
+enum class Trans { No, Yes };
+
+/// y = alpha * op(A) * x + beta * y, A is m-by-n column-major with ld lda.
+void gemv(Trans trans, index_t m, index_t n, double alpha, const double* a, index_t lda,
+          const double* x, double beta, double* y);
+
+/// A += alpha * x * y^T (dger).
+void ger(index_t m, index_t n, double alpha, const double* x, const double* y, double* a,
+         index_t lda);
+
+/// y = alpha*A*x + beta*y for symmetric A stored in the lower triangle (dsymv).
+void symv_lower(index_t n, double alpha, const double* a, index_t lda, const double* x,
+                double beta, double* y);
+
+/// A += alpha*(x*y^T + y*x^T), lower triangle only (dsyr2).
+void syr2_lower(index_t n, double alpha, const double* x, const double* y, double* a,
+                index_t lda);
+
+}  // namespace dnc::blas

@@ -1,0 +1,18 @@
+#include "blas/parallel_gemm.hpp"
+
+namespace dnc::blas {
+
+void parallel_gemm(ThreadPool& pool, Trans transa, Trans transb, index_t m, index_t n,
+                   index_t k, double alpha, const double* a, index_t lda, const double* b,
+                   index_t ldb, double beta, double* c, index_t ldc) {
+  if (m <= 0 || n <= 0) return;
+  // Column slabs of C are disjoint, so each worker runs an independent
+  // sequential GEMM on its slab; the surrounding parallel_for is the join.
+  pool.parallel_for(0, n, [&](index_t j0, index_t j1) {
+    const index_t nb = j1 - j0;
+    const double* bsub = (transb == Trans::No) ? b + j0 * ldb : b + j0;
+    gemm(transa, transb, m, nb, k, alpha, a, lda, bsub, ldb, beta, c + j0 * ldc, ldc);
+  });
+}
+
+}  // namespace dnc::blas

@@ -1,0 +1,19 @@
+// Fork/join multithreaded GEMM.
+//
+// This models the "multithreaded BLAS" execution mode of MKL that the
+// paper's LAPACK baseline relies on: one logical GEMM forks across a thread
+// pool by column slabs and joins at the end. The task-flow solver never
+// calls this; it calls the sequential gemm() from inside independent tasks.
+#pragma once
+
+#include "blas/gemm.hpp"
+#include "common/thread_pool.hpp"
+
+namespace dnc::blas {
+
+/// Same contract as gemm(), parallelised over column slabs of C.
+void parallel_gemm(ThreadPool& pool, Trans transa, Trans transb, index_t m, index_t n,
+                   index_t k, double alpha, const double* a, index_t lda, const double* b,
+                   index_t ldb, double beta, double* c, index_t ldc);
+
+}  // namespace dnc::blas

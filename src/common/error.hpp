@@ -1,0 +1,45 @@
+// Error handling utilities shared by all dnc libraries.
+//
+// Numerical routines report convergence failures through dnc::NumericalError
+// (carrying a LAPACK-style info code); precondition violations throw
+// dnc::InvalidArgument. Hot loops use DNC_ASSERT, which compiles away in
+// release builds unless DNC_ENABLE_ASSERTS is defined.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dnc {
+
+/// Thrown when a caller violates a documented precondition.
+class InvalidArgument : public std::invalid_argument {
+ public:
+  explicit InvalidArgument(const std::string& what) : std::invalid_argument(what) {}
+};
+
+/// Thrown when an iterative numerical method fails to converge.
+/// `info` follows LAPACK conventions (index of the failing element/block).
+class NumericalError : public std::runtime_error {
+ public:
+  NumericalError(const std::string& what, long info_code)
+      : std::runtime_error(what + " (info=" + std::to_string(info_code) + ")"), info(info_code) {}
+  long info;
+};
+
+#define DNC_REQUIRE(cond, msg)                  \
+  do {                                          \
+    if (!(cond)) throw ::dnc::InvalidArgument(msg); \
+  } while (0)
+
+#if defined(DNC_ENABLE_ASSERTS) || !defined(NDEBUG)
+#define DNC_ASSERT(cond)                                                     \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      throw ::dnc::InvalidArgument(std::string("assertion failed: ") + #cond + \
+                                   " at " + __FILE__ + ":" + std::to_string(__LINE__)); \
+  } while (0)
+#else
+#define DNC_ASSERT(cond) ((void)0)
+#endif
+
+}  // namespace dnc

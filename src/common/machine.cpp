@@ -1,0 +1,32 @@
+#include "common/machine.hpp"
+
+namespace dnc {
+
+double lamch_eps() noexcept {
+  // LAPACK dlamch('E'): relative machine epsilon = 2^-53 for IEEE double.
+  return std::numeric_limits<double>::epsilon() * 0.5;
+}
+
+double lamch_prec() noexcept {
+  // dlamch('P') = eps * base.
+  return std::numeric_limits<double>::epsilon();
+}
+
+double lamch_safmin() noexcept {
+  // dlamch('S'): smallest number whose reciprocal is finite. For IEEE
+  // double the smallest normal already satisfies this.
+  return std::numeric_limits<double>::min();
+}
+
+double lamch_overflow() noexcept { return std::numeric_limits<double>::max(); }
+
+ScaleBounds steqr_scale_bounds() noexcept {
+  const double eps = lamch_eps();
+  const double safmin = lamch_safmin();
+  ScaleBounds b;
+  b.ssfmax = std::sqrt(lamch_overflow()) / 3.0;
+  b.ssfmin = std::sqrt(safmin / eps) / 3.0 * 4.0;  // matches dsteqr's ssfmin
+  return b;
+}
+
+}  // namespace dnc

@@ -1,0 +1,34 @@
+// Machine floating-point constants, equivalent to LAPACK's dlamch.
+//
+// All algorithms in this repository work in IEEE double precision, matching
+// the paper's experiments. Constants are computed once at startup from
+// std::numeric_limits so the library remains correct under -ffast-math-free
+// builds on any IEEE platform.
+#pragma once
+
+#include <cmath>
+#include <limits>
+
+namespace dnc {
+
+/// Relative machine epsilon times the rounding unit: dlamch('E') = ulp/2.
+double lamch_eps() noexcept;
+
+/// Unit in the last place (relative spacing): dlamch('P') = eps * base.
+double lamch_prec() noexcept;
+
+/// Smallest safe positive number such that 1/safmin does not overflow:
+/// dlamch('S').
+double lamch_safmin() noexcept;
+
+/// Overflow threshold, dlamch('O').
+double lamch_overflow() noexcept;
+
+/// sqrt(safmin) / eps-style scaling bounds used by steqr/sterf.
+struct ScaleBounds {
+  double ssfmax;  ///< scale down above this
+  double ssfmin;  ///< scale up below this
+};
+ScaleBounds steqr_scale_bounds() noexcept;
+
+}  // namespace dnc

@@ -1,0 +1,43 @@
+// Deterministic pseudo-random number generation (xoshiro256++).
+//
+// Matrix generators and tests need reproducible streams that are cheap to
+// split; xoshiro256++ with SplitMix64 seeding provides both without the
+// header weight of <random> engines in hot paths. Distribution helpers
+// mirror LAPACK's dlarnv options.
+#pragma once
+
+#include <cstdint>
+
+namespace dnc {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in (-1, 1), matching dlarnv(idist=2).
+  double uniform_sym();
+
+  /// Standard normal via Box-Muller, matching dlarnv(idist=3).
+  double normal();
+
+  /// Uniform integer in [0, n).
+  std::uint64_t uniform_below(std::uint64_t n);
+
+  /// Derive an independent stream (for per-task generators).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace dnc

@@ -1,0 +1,80 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dnc {
+
+ThreadPool::ThreadPool(int threads) {
+  DNC_REQUIRE(threads >= 1, "ThreadPool needs at least one thread");
+  // The calling thread participates in every parallel region, so only
+  // threads-1 workers are spawned.
+  workers_.reserve(threads - 1);
+  for (int i = 1; i < threads; ++i) workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop(int id) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::function<void(int)> work;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_start_.wait(lk, [&] { return stop_ || epoch_.id != seen; });
+      if (stop_) return;
+      seen = epoch_.id;
+      work = epoch_.work;
+    }
+    work(id);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--epoch_.remaining == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(index_t begin, index_t end,
+                              const std::function<void(index_t, index_t)>& fn) {
+  const index_t n = end - begin;
+  if (n <= 0) return;
+  const int p = size();
+  if (p == 1 || n == 1) {
+    fn(begin, end);
+    return;
+  }
+  const index_t chunk = (n + p - 1) / p;
+  auto body = [&, begin, end, chunk](int worker_id) {
+    const index_t lo = begin + worker_id * chunk;
+    const index_t hi = std::min(end, lo + chunk);
+    if (lo < hi) fn(lo, hi);
+  };
+  std::uint64_t my_epoch;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    epoch_.work = body;
+    epoch_.remaining = static_cast<index_t>(workers_.size());
+    epoch_.id = next_epoch_id_++;
+    my_epoch = epoch_.id;
+  }
+  cv_start_.notify_all();
+  body(0);  // the caller is worker 0
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_done_.wait(lk, [&] { return epoch_.id == my_epoch && epoch_.remaining == 0; });
+}
+
+void ThreadPool::run_jobs(index_t njobs, const std::function<void(index_t)>& job) {
+  parallel_for(0, njobs, [&](index_t lo, index_t hi) {
+    for (index_t j = lo; j < hi; ++j) job(j);
+  });
+}
+
+}  // namespace dnc

@@ -1,0 +1,60 @@
+// Minimal fork/join thread pool.
+//
+// This pool models the execution backend of a *multithreaded BLAS* library:
+// a parallel region (parallel_for) forks work across the pool and joins at
+// the end. The QUARK-like task runtime in src/runtime/ deliberately does NOT
+// use this pool -- the whole point of the paper is to contrast out-of-order
+// task scheduling with this fork/join model -- but the LAPACK-model and
+// ScaLAPACK-model baselines do.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace dnc {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` persistent workers. `threads == 1` degenerates to
+  /// inline execution with zero synchronisation overhead.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs fn(chunk_begin, chunk_end) over [begin, end) split into roughly
+  /// equal contiguous chunks, one per pool thread; blocks until all chunks
+  /// are complete (fork/join semantics).
+  void parallel_for(index_t begin, index_t end,
+                    const std::function<void(index_t, index_t)>& fn);
+
+  /// Runs `njobs` independent thunks, joining at the end.
+  void run_jobs(index_t njobs, const std::function<void(index_t)>& job);
+
+ private:
+  struct Epoch {
+    std::function<void(int worker_id)> work;  // per-worker body for this epoch
+    index_t remaining = 0;
+    std::uint64_t id = 0;
+  };
+
+  void worker_loop(int id);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  Epoch epoch_;
+  std::uint64_t next_epoch_id_ = 1;
+  bool stop_ = false;
+};
+
+}  // namespace dnc

@@ -1,0 +1,25 @@
+// Monotonic wall-clock timing used by the runtime tracer and benchmarks.
+#pragma once
+
+#include <chrono>
+
+namespace dnc {
+
+/// Seconds since an arbitrary (but fixed per process) epoch.
+inline double now_seconds() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return std::chrono::duration<double>(clock::now() - epoch).count();
+}
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(now_seconds()) {}
+  void restart() { start_ = now_seconds(); }
+  double elapsed() const { return now_seconds() - start_; }
+
+ private:
+  double start_;
+};
+
+}  // namespace dnc

@@ -1,0 +1,67 @@
+// Public entry points of the divide & conquer symmetric tridiagonal
+// eigensolver library.
+//
+// All drivers share the same numerics (deflation, secular equation,
+// Gu-Eisenstat stabilization, compressed update GEMMs) and differ only in
+// the execution model:
+//
+//   stedc_sequential      reference serial Cuppen (LAPACK dstedc numerics)
+//   stedc_taskflow        the paper's contribution: sequential task flow
+//                         over a QUARK-like runtime with GATHERV panel
+//                         tasks, merges of independent branches overlap
+//   stedc_lapack_model    the MKL-LAPACK baseline model: one sequential
+//                         flow whose only parallelism is fork/join
+//                         multithreaded GEMM
+//   stedc_scalapack_model the ScaLAPACK baseline model: subproblems solved
+//                         in parallel, fork/join merge parallelism,
+//                         barriers between tree levels
+//
+// On entry d[0..n) / e[0..n-1) describe the tridiagonal matrix; on return
+// d holds the eigenvalues in ascending order and v the corresponding
+// orthonormal eigenvectors (v is resized to n x n). e is destroyed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "dc/options.hpp"
+#include "runtime/simulator.hpp"
+#include "runtime/trace.hpp"
+
+namespace dnc::dc {
+
+/// Execution statistics reported by every driver.
+struct SolveStats {
+  index_t n = 0;
+  index_t merges = 0;
+  index_t leaves = 0;
+  double deflation_ratio = 0.0;  ///< sum(m - k) / sum(m) over all merges
+  index_t root_k = 0;            ///< non-deflated count of the final merge
+  double seconds = 0.0;          ///< wall-clock of the solve
+
+  // Filled by the runtime-backed drivers only:
+  rt::Trace trace;                             ///< per-task execution trace
+  std::vector<rt::SimulationResult> simulated;  ///< per requested worker count
+  std::string dag_dot;                          ///< DOT DAG if opt.export_dag
+};
+
+void stedc_sequential(index_t n, double* d, double* e, Matrix& v, const Options& opt = {},
+                      SolveStats* stats = nullptr);
+
+/// `simulate_workers`: optional list of virtual core counts to replay the
+/// recorded DAG on (see runtime/simulator.hpp); results land in
+/// stats->simulated in the same order.
+void stedc_taskflow(index_t n, double* d, double* e, Matrix& v, const Options& opt = {},
+                    SolveStats* stats = nullptr,
+                    const std::vector<int>& simulate_workers = {});
+
+void stedc_lapack_model(index_t n, double* d, double* e, Matrix& v, const Options& opt = {},
+                        SolveStats* stats = nullptr,
+                        const std::vector<int>& simulate_workers = {});
+
+void stedc_scalapack_model(index_t n, double* d, double* e, Matrix& v, const Options& opt = {},
+                           SolveStats* stats = nullptr,
+                           const std::vector<int>& simulate_workers = {});
+
+}  // namespace dnc::dc

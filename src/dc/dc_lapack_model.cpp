@@ -1,0 +1,121 @@
+// Baseline: the MKL LAPACK dstedc execution model.
+//
+// Numerically identical to the task-flow solver, but the only concurrency
+// is fork/join multithreaded BLAS: the whole algorithm is one sequential
+// chain of tasks (a single INOUT handle), and only the UpdateVect GEMM
+// fans out into column-chunk tasks that join immediately afterwards. This
+// is exactly how the paper characterises the LAPACK+multithreaded-MKL
+// baseline it compares against in Figure 6, and expressing it as a task
+// graph lets the same DAG-replay simulator predict its 16-core makespan.
+#include <memory>
+
+#include "blas/aux.hpp"
+#include "blas/level1.hpp"
+#include "common/timer.hpp"
+#include "dc/api.hpp"
+#include "dc/driver_common.hpp"
+#include "dc/task_kinds.hpp"
+#include "runtime/dot.hpp"
+#include "runtime/engine.hpp"
+
+namespace dnc::dc {
+
+void stedc_lapack_model(index_t n, double* d, double* e, Matrix& v, const Options& opt,
+                        SolveStats* stats, const std::vector<int>& simulate_workers) {
+  Stopwatch sw;
+  if (stats) *stats = SolveStats{};
+  if (detail::solve_trivial(n, d, e, v)) {
+    if (stats) {
+      stats->n = n;
+      stats->seconds = sw.elapsed();
+    }
+    return;
+  }
+  v.resize(n, n);
+
+  const Plan plan = build_plan(n, opt.minpart);
+  Workspace ws(n);
+  auto ctxs = detail::make_contexts(plan, e, opt.nb);
+  std::vector<index_t> perm(n);
+  const index_t nb = opt.nb;
+
+  rt::TaskGraph graph;
+  const Kinds K(graph);
+  rt::Handle hseq("sequential-flow");  // everything chains through this
+
+  double orgnrm = 0.0;
+  rt::Runtime runtime(graph, opt.threads);
+  const auto chain = [&](rt::KindId kind, std::function<void()> fn) {
+    graph.submit(kind, std::move(fn), {{&hseq, rt::Access::InOut}});
+  };
+
+  chain(K.scale, [&, n] { orgnrm = detail::scale_problem(n, d, e); });
+  chain(K.partition, [&] { detail::adjust_boundaries(plan, d, e); });
+  chain(K.laset, [&, n] { blas::laset(n, n, 0.0, 0.0, v.data(), v.ld()); });
+
+  for (std::size_t i = 0; i < plan.nodes.size(); ++i) {
+    const TreeNode& node = plan.nodes[i];
+    if (node.leaf()) {
+      // dlaed0 solves the leaves one after another; dsteqr itself is
+      // level-1/2 bound and does not benefit from threaded BLAS.
+      chain(K.stedc, [&, node] { detail::solve_leaf(node, d, e, v, perm.data()); });
+      continue;
+    }
+    MergeContext* ctx = ctxs[i].get();
+    const index_t i0 = node.i0;
+    chain(K.deflate, [&, ctx, i0] {
+      run_deflation(*ctx, ctx->qblock(v), d + i0, perm.data() + i0);
+    });
+    // dlaed2's permutation copy and dlaed3's secular loop are sequential.
+    chain(K.permute, [&, ctx] {
+      permute_panel(ctx->defl, ctx->qblock(v), ctx->w1(ws), ctx->w2(ws), ctx->wdefl(ws), 0,
+                    ctx->node.m);
+    });
+    chain(K.laed4, [&, ctx, i0] {
+      secular_solve_panel(ctx->defl, 0, ctx->node.m, d + i0, ctx->deltam(ws));
+    });
+    chain(K.localw, [&, ctx] {
+      zhat_local_panel(ctx->defl, ctx->deltam(ws), 0, ctx->node.m, ctx->wparts.data());
+    });
+    chain(K.reducew, [&, ctx, i0] {
+      zhat_reduce(ctx->defl, ctx->wparts.view(), 1, ctx->zhat.data());
+      finalize_order(*ctx, d + i0, perm.data() + i0);
+    });
+    chain(K.copyback,
+          [&, ctx] { copyback_panel(ctx->defl, ctx->wdefl(ws), 0, ctx->node.m, ctx->qblock(v)); });
+    chain(K.computevect, [&, ctx] {
+      secular_vectors_panel(ctx->defl, ctx->deltam(ws), ctx->zhat.data(), 0, ctx->node.m,
+                            ctx->smat(ws));
+    });
+    // The one parallel region: the GEMM fans out over column chunks (this
+    // is the multithreaded-BLAS fork) and joins right after.
+    for (index_t p = 0; p < ctx->npanels; ++p) {
+      const index_t j0 = p * nb;
+      const index_t j1 = std::min(j0 + nb, node.m);
+      graph.submit(K.updatevect,
+                   [&, ctx, j0, j1] {
+                     update_vectors_panel(ctx->defl, ctx->w1(ws), ctx->w2(ws), ctx->smat(ws),
+                                          j0, j1, ctx->qblock(v));
+                   },
+                   {{&hseq, rt::Access::GatherV}});
+    }
+  }
+
+  chain(K.sort, [&, n] {
+    detail::sort_eigenpairs(n, d, v, perm.data() + plan.nodes[plan.root].i0, ws);
+  });
+  chain(K.scale, [&, n] { detail::unscale_eigenvalues(n, d, orgnrm); });
+
+  runtime.wait_all();
+
+  if (stats) {
+    detail::fill_stats(plan, ctxs, stats);
+    stats->n = n;
+    stats->trace = runtime.trace();
+    stats->seconds = sw.elapsed();
+    for (int w : simulate_workers) stats->simulated.push_back(rt::simulate_schedule(graph, w));
+    if (opt.export_dag) stats->dag_dot = rt::export_dot(graph);
+  }
+}
+
+}  // namespace dnc::dc

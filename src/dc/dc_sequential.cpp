@@ -1,0 +1,145 @@
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "blas/aux.hpp"
+#include "blas/level1.hpp"
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "dc/api.hpp"
+#include "dc/driver_common.hpp"
+#include "lapack/steqr.hpp"
+
+namespace dnc::dc {
+namespace detail {
+
+bool solve_trivial(index_t n, double* d, double* e, Matrix& v) {
+  DNC_REQUIRE(n >= 0, "stedc: n must be >= 0");
+  if (n > 2) return false;
+  v.resize(n, n);
+  if (n == 0) return true;
+  // steqr handles n = 1, 2 directly (and sorts).
+  lapack::steqr(lapack::CompZ::Identity, n, d, e, v.data(), std::max<index_t>(1, n));
+  return true;
+}
+
+double scale_problem(index_t n, double* d, double* e) {
+  const double orgnrm = blas::lanst_max(n, d, e);
+  if (orgnrm == 0.0) return 0.0;
+  blas::lascl(n, 1, orgnrm, 1.0, d, n);
+  if (n > 1) blas::lascl(n - 1, 1, orgnrm, 1.0, e, n);
+  return orgnrm;
+}
+
+void unscale_eigenvalues(index_t n, double* d, double orgnrm) {
+  if (orgnrm != 0.0 && orgnrm != 1.0) blas::lascl(n, 1, 1.0, orgnrm, d, n);
+}
+
+void adjust_boundaries(const Plan& plan, double* d, const double* e) {
+  for (const TreeNode& node : plan.nodes) {
+    if (node.leaf()) continue;
+    const index_t split = node.i0 + node.n1 - 1;  // coupling e[split]
+    const double b = std::fabs(e[split]);
+    d[split] -= b;
+    d[split + 1] -= b;
+  }
+}
+
+void solve_leaf(const TreeNode& node, double* d, double* e, Matrix& v, index_t* perm) {
+  lapack::steqr(lapack::CompZ::Identity, node.m, d + node.i0,
+                node.m > 1 ? e + node.i0 : nullptr,
+                v.data() + node.i0 + node.i0 * v.ld(), v.ld());
+  for (index_t r = 0; r < node.m; ++r) perm[node.i0 + r] = r;
+}
+
+void sort_eigenpairs(index_t n, double* d, Matrix& v, const index_t* perm, Workspace& ws) {
+  std::vector<double> dsorted(n);
+  for (index_t r = 0; r < n; ++r) {
+    dsorted[r] = d[perm[r]];
+    blas::copy(n, v.data() + perm[r] * v.ld(), ws.qwork.data() + r * ws.qwork.ld());
+  }
+  blas::copy(n, dsorted.data(), d);
+  blas::lacpy(n, n, ws.qwork.data(), ws.qwork.ld(), v.data(), v.ld());
+}
+
+std::vector<std::unique_ptr<MergeContext>> make_contexts(const Plan& plan, const double* e,
+                                                         index_t nb) {
+  std::vector<std::unique_ptr<MergeContext>> ctxs(plan.nodes.size());
+  for (std::size_t i = 0; i < plan.nodes.size(); ++i) {
+    const TreeNode& node = plan.nodes[i];
+    if (node.leaf()) continue;
+    ctxs[i] = std::make_unique<MergeContext>(node, e, nb);
+  }
+  return ctxs;
+}
+
+void fill_stats(const Plan& plan, const std::vector<std::unique_ptr<MergeContext>>& ctxs,
+                SolveStats* stats) {
+  if (stats == nullptr) return;
+  stats->merges = 0;
+  stats->leaves = plan.leaf_count;
+  index_t total_m = 0, total_defl = 0;
+  for (std::size_t i = 0; i < plan.nodes.size(); ++i) {
+    if (!ctxs[i]) continue;
+    ++stats->merges;
+    total_m += ctxs[i]->node.m;
+    total_defl += ctxs[i]->node.m - ctxs[i]->defl.k;
+    if (static_cast<index_t>(i) == plan.root) stats->root_k = ctxs[i]->defl.k;
+  }
+  stats->deflation_ratio = total_m > 0 ? static_cast<double>(total_defl) / total_m : 0.0;
+}
+
+}  // namespace detail
+
+void stedc_sequential(index_t n, double* d, double* e, Matrix& v, const Options& opt,
+                      SolveStats* stats) {
+  Stopwatch sw;
+  if (stats) *stats = SolveStats{};
+  if (detail::solve_trivial(n, d, e, v)) {
+    if (stats) {
+      stats->n = n;
+      stats->seconds = sw.elapsed();
+    }
+    return;
+  }
+  v.resize(n, n);
+  v.fill(0.0);
+
+  const double orgnrm = detail::scale_problem(n, d, e);
+  if (orgnrm == 0.0) {
+    // Zero matrix: eigenvalues are the (zero) diagonal, vectors identity.
+    blas::laset(n, n, 0.0, 1.0, v.data(), v.ld());
+    std::sort(d, d + n);
+    if (stats) {
+      stats->n = n;
+      stats->seconds = sw.elapsed();
+    }
+    return;
+  }
+
+  const Plan plan = build_plan(n, opt.minpart);
+  Workspace ws(n);
+  auto ctxs = detail::make_contexts(plan, e, opt.nb);
+  std::vector<index_t> perm(n);
+
+  detail::adjust_boundaries(plan, d, e);
+  // plan.nodes is post-order: every node appears after its sons.
+  for (std::size_t i = 0; i < plan.nodes.size(); ++i) {
+    const TreeNode& node = plan.nodes[i];
+    if (node.leaf()) {
+      detail::solve_leaf(node, d, e, v, perm.data());
+    } else {
+      merge_sequential(*ctxs[i], v, ws, d + node.i0, perm.data() + node.i0, opt.nb);
+    }
+  }
+  detail::sort_eigenpairs(n, d, v, perm.data() + plan.nodes[plan.root].i0, ws);
+  detail::unscale_eigenvalues(n, d, orgnrm);
+
+  detail::fill_stats(plan, ctxs, stats);
+  if (stats) {
+    stats->n = n;
+    stats->seconds = sw.elapsed();
+  }
+}
+
+}  // namespace dnc::dc

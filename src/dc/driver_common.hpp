@@ -1,0 +1,44 @@
+// Shared scaffolding for the D&C drivers: problem scaling, boundary
+// adjustment of the partition, leaf solves, final sorting. Internal header.
+#pragma once
+
+#include <vector>
+
+#include "dc/api.hpp"
+#include "dc/merge.hpp"
+
+namespace dnc::dc::detail {
+
+/// Trivial sizes handled without the machinery. Returns true if done.
+bool solve_trivial(index_t n, double* d, double* e, Matrix& v);
+
+/// Scales d/e so the norm is 1 (dstedc's orgnrm scaling); returns the
+/// original norm (0 means the matrix was zero and nothing was scaled).
+double scale_problem(index_t n, double* d, double* e);
+
+/// Undo scale_problem on the eigenvalues.
+void unscale_eigenvalues(index_t n, double* d, double orgnrm);
+
+/// Applies Cuppen's boundary modification: for every internal node, the
+/// two diagonal entries adjacent to the split lose |e_split| (see
+/// DESIGN.md for why the absolute value is correct for both signs).
+void adjust_boundaries(const Plan& plan, double* d, const double* e);
+
+/// Solves one leaf with steqr into the node's block of v; perm gets the
+/// identity (steqr sorts ascending).
+void solve_leaf(const TreeNode& node, double* d, double* e, Matrix& v, index_t* perm);
+
+/// Applies the root permutation: d and the columns of v are reordered
+/// ascending using ws.qwork as scratch.
+void sort_eigenpairs(index_t n, double* d, Matrix& v, const index_t* perm, Workspace& ws);
+
+/// Builds the merge contexts for every internal node of the plan, indexed
+/// like plan.nodes (leaves get nullptr).
+std::vector<std::unique_ptr<MergeContext>> make_contexts(const Plan& plan, const double* e,
+                                                         index_t nb);
+
+/// Accumulates deflation statistics over the contexts.
+void fill_stats(const Plan& plan, const std::vector<std::unique_ptr<MergeContext>>& ctxs,
+                SolveStats* stats);
+
+}  // namespace dnc::dc::detail

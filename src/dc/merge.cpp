@@ -1,0 +1,70 @@
+#include "dc/merge.hpp"
+
+#include <cmath>
+
+#include "blas/level1.hpp"
+#include "common/error.hpp"
+#include "lapack/lamrg.hpp"
+
+namespace dnc::dc {
+
+void run_deflation(MergeContext& ctx, MatrixView qblock, double* d, const index_t* perm) {
+  const index_t n1 = ctx.node.n1;
+  const index_t m = ctx.node.m;
+  const index_t n2 = m - n1;
+  // z = (last row of V1, first row of V2) / sqrt(2); the second part's sign
+  // flips when the coupling is negative so that the rank-one weight can be
+  // taken positive (see dlaed2 and DESIGN.md).
+  const double beta = *ctx.beta_ptr;
+  const double scale = std::sqrt(0.5);
+  for (index_t j = 0; j < n1; ++j) ctx.z[j] = scale * qblock(n1 - 1, j);
+  const double sgn = beta < 0.0 ? -scale : scale;
+  for (index_t j = n1; j < m; ++j) ctx.z[j] = sgn * qblock(n1, j);
+  const double rho = std::fabs(2.0 * beta);
+
+  ctx.defl = deflate(n1, n2, d, ctx.z.data(), rho, qblock, perm, perm + n1);
+
+  // Deflated eigenvalues take their final physical slots right away; the
+  // secular roots fill d[0..k) as the LAED4 panels complete.
+  for (index_t t = 0; t < m - ctx.defl.k; ++t) d[ctx.defl.k + t] = ctx.defl.d_defl[t];
+
+  // Partial-product workspace: panels multiply into their own column.
+  ctx.wparts.fill(1.0);
+}
+
+void finalize_order(const MergeContext& ctx, const double* d, index_t* perm) {
+  // d[0..k) ascending (secular roots interlace the poles) and d[k..m)
+  // ascending (deflation kept them sorted): a single lamrg pass yields the
+  // father's ascending order.
+  lapack::lamrg(ctx.defl.k, ctx.node.m - ctx.defl.k, d, 1, 1, perm);
+}
+
+void merge_sequential(MergeContext& ctx, Matrix& q, Workspace& ws, double* d, index_t* perm,
+                      index_t nb) {
+  MatrixView qb = ctx.qblock(q);
+  run_deflation(ctx, qb, d, perm);
+  const index_t m = ctx.node.m;
+  MatrixView w1 = ctx.w1(ws);
+  MatrixView w2 = ctx.w2(ws);
+  MatrixView wd = ctx.wdefl(ws);
+  MatrixView dm = ctx.deltam(ws);
+  MatrixView sm = ctx.smat(ws);
+  for (index_t p = 0; p < ctx.npanels; ++p) {
+    const index_t j0 = p * nb;
+    const index_t j1 = std::min(j0 + nb, m);
+    permute_panel(ctx.defl, qb, w1, w2, wd, j0, j1);
+    secular_solve_panel(ctx.defl, j0, j1, d, dm);
+    zhat_local_panel(ctx.defl, dm, j0, j1, ctx.wparts.data() + p * ctx.wparts.ld());
+  }
+  zhat_reduce(ctx.defl, ctx.wparts.view(), ctx.npanels, ctx.zhat.data());
+  for (index_t p = 0; p < ctx.npanels; ++p) {
+    const index_t j0 = p * nb;
+    const index_t j1 = std::min(j0 + nb, m);
+    copyback_panel(ctx.defl, wd, j0, j1, qb);
+    secular_vectors_panel(ctx.defl, dm, ctx.zhat.data(), j0, j1, sm);
+    update_vectors_panel(ctx.defl, w1, w2, sm, j0, j1, qb);
+  }
+  finalize_order(ctx, d, perm);
+}
+
+}  // namespace dnc::dc

@@ -1,0 +1,34 @@
+#include "dc/partition.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dnc::dc {
+namespace {
+
+index_t build_rec(Plan& plan, index_t i0, index_t m, index_t minpart, int level) {
+  if (m <= minpart || m <= 2) {
+    plan.nodes.push_back(TreeNode{i0, m, -1, -1, 0, level});
+    ++plan.leaf_count;
+    plan.height = std::max(plan.height, level);
+    return static_cast<index_t>(plan.nodes.size() - 1);
+  }
+  const index_t n1 = m / 2;
+  const index_t s1 = build_rec(plan, i0, n1, minpart, level + 1);
+  const index_t s2 = build_rec(plan, i0 + n1, m - n1, minpart, level + 1);
+  plan.nodes.push_back(TreeNode{i0, m, s1, s2, n1, level});
+  return static_cast<index_t>(plan.nodes.size() - 1);
+}
+
+}  // namespace
+
+Plan build_plan(index_t n, index_t minpart) {
+  DNC_REQUIRE(n >= 1, "build_plan: n >= 1");
+  DNC_REQUIRE(minpart >= 1, "build_plan: minpart >= 1");
+  Plan plan;
+  plan.root = build_rec(plan, 0, n, minpart, 0);
+  return plan;
+}
+
+}  // namespace dnc::dc

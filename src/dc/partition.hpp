@@ -1,0 +1,35 @@
+// Recursive partitioning of the tridiagonal problem into the D&C tree
+// (paper Figure 1).
+#pragma once
+
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace dnc::dc {
+
+struct TreeNode {
+  index_t i0 = 0;      ///< global row/column offset of this subproblem
+  index_t m = 0;       ///< subproblem size
+  index_t son1 = -1;   ///< index of the first son (-1 for leaves)
+  index_t son2 = -1;
+  index_t n1 = 0;      ///< first son's size (split point)
+  int level = 0;       ///< depth from the root (root = 0)
+  bool leaf() const { return son1 < 0; }
+};
+
+/// The subproblem tree in a flat vector; children precede their parent
+/// (post-order), so iterating the vector front-to-back is a valid
+/// bottom-up merge schedule.
+struct Plan {
+  std::vector<TreeNode> nodes;
+  index_t root = -1;
+  index_t leaf_count = 0;
+  int height = 0;
+};
+
+/// Splits [0, n) recursively until blocks are <= minpart. Splits are at
+/// m/2 as in dlaed0.
+Plan build_plan(index_t n, index_t minpart);
+
+}  // namespace dnc::dc

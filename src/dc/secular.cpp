@@ -1,0 +1,129 @@
+#include "dc/secular.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "blas/aux.hpp"
+#include "blas/gemm.hpp"
+#include "blas/level1.hpp"
+#include "common/error.hpp"
+#include "lapack/laed4.hpp"
+
+namespace dnc::dc {
+
+void permute_panel(const DeflationResult& defl, const MatrixView& qblock, MatrixView w1,
+                   MatrixView w2, MatrixView wdefl, index_t g0, index_t g1) {
+  const index_t m = defl.m;
+  const index_t n1 = defl.n1;
+  const index_t n2 = m - n1;
+  const index_t k12 = defl.k12();
+  const index_t c1 = defl.ctot[0];
+  g1 = std::min(g1, m);
+  for (index_t g = g0; g < g1; ++g) {
+    const index_t j = defl.indx[g];
+    if (g < k12) {
+      // Types 1 and 2 contribute their top n1 rows.
+      blas::copy(n1, qblock.col(j), w1.col(g));
+    }
+    if (g >= c1 && g < defl.k) {
+      // Types 2 and 3 contribute their bottom n2 rows.
+      blas::copy(n2, qblock.col(j) + n1, w2.col(g - c1));
+    }
+    if (g >= defl.k) {
+      // Deflated columns are stashed whole (rotations may have given them
+      // support in both halves).
+      blas::copy(m, qblock.col(j), wdefl.col(g - defl.k));
+    }
+  }
+}
+
+void secular_solve_panel(const DeflationResult& defl, index_t j0, index_t j1, double* lambda,
+                         MatrixView deltam) {
+  j1 = std::min(j1, defl.k);
+  for (index_t j = j0; j < j1; ++j) {
+    const auto r = lapack::laed4(defl.k, j, defl.dlamda.data(), defl.w.data(), defl.rho,
+                                 deltam.col(j));
+    lambda[j] = r.lambda;
+  }
+}
+
+void zhat_local_panel(const DeflationResult& defl, const MatrixView& deltam, index_t j0,
+                      index_t j1, double* wpart) {
+  const index_t k = defl.k;
+  j1 = std::min(j1, k);
+  for (index_t j = j0; j < j1; ++j) {
+    const double* dcol = deltam.col(j);
+    const double dj = defl.dlamda[j];
+    for (index_t i = 0; i < k; ++i) {
+      if (i == j)
+        wpart[i] *= dcol[i];
+      else
+        wpart[i] *= dcol[i] / (defl.dlamda[i] - dj);
+    }
+  }
+}
+
+void zhat_reduce(const DeflationResult& defl, const MatrixView& wparts, index_t nparts,
+                 double* zhat) {
+  const index_t k = defl.k;
+  for (index_t i = 0; i < k; ++i) {
+    double prod = 1.0;
+    for (index_t p = 0; p < nparts; ++p) prod *= wparts(i, p);
+    // prod = (d_i - lambda_i) * prod_{j != i} (d_i - lambda_j)/(d_i - d_j)
+    // which equals -zhat_i^2 (Gu-Eisenstat); rounding can flip a tiny
+    // value's sign, so clamp through |.|.
+    zhat[i] = std::copysign(std::sqrt(std::fabs(prod)), defl.w[i]);
+  }
+}
+
+void secular_vectors_panel(const DeflationResult& defl, const MatrixView& deltam,
+                           const double* zhat, index_t j0, index_t j1, MatrixView smat) {
+  const index_t k = defl.k;
+  j1 = std::min(j1, k);
+  std::vector<double> s(k);
+  for (index_t j = j0; j < j1; ++j) {
+    const double* dcol = deltam.col(j);
+    for (index_t i = 0; i < k; ++i) s[i] = zhat[i] / dcol[i];
+    const double nrm = blas::nrm2(k, s.data());
+    double* out = smat.col(j);
+    // Rows of the secular eigenvector matrix are stored in grouped order so
+    // the update GEMMs can run on the compressed column blocks directly.
+    for (index_t g = 0; g < k; ++g) out[g] = s[defl.rank_of[g]] / nrm;
+  }
+}
+
+void update_vectors_panel(const DeflationResult& defl, const MatrixView& w1,
+                          const MatrixView& w2, const MatrixView& smat, index_t j0, index_t j1,
+                          MatrixView qblock) {
+  const index_t m = defl.m;
+  const index_t n1 = defl.n1;
+  const index_t n2 = m - n1;
+  const index_t k12 = defl.k12();
+  const index_t k23 = defl.k23();
+  const index_t c1 = defl.ctot[0];
+  j1 = std::min(j1, defl.k);
+  const index_t nj = j1 - j0;
+  if (nj <= 0) return;
+  if (k12 > 0) {
+    blas::gemm(blas::Trans::No, blas::Trans::No, n1, nj, k12, 1.0, w1.data, w1.ld,
+               smat.data + j0 * smat.ld, smat.ld, 0.0, qblock.col(j0), qblock.ld);
+  } else {
+    blas::laset(n1, nj, 0.0, 0.0, qblock.col(j0), qblock.ld);
+  }
+  if (k23 > 0) {
+    blas::gemm(blas::Trans::No, blas::Trans::No, n2, nj, k23, 1.0, w2.data, w2.ld,
+               smat.data + c1 + j0 * smat.ld, smat.ld, 0.0, qblock.col(j0) + n1, qblock.ld);
+  } else {
+    blas::laset(n2, nj, 0.0, 0.0, qblock.col(j0) + n1, qblock.ld);
+  }
+}
+
+void copyback_panel(const DeflationResult& defl, const MatrixView& wdefl, index_t g0,
+                    index_t g1, MatrixView qblock) {
+  const index_t m = defl.m;
+  g0 = std::max(g0, defl.k);
+  g1 = std::min(g1, m);
+  for (index_t g = g0; g < g1; ++g) blas::copy(m, wdefl.col(g - defl.k), qblock.col(g));
+}
+
+}  // namespace dnc::dc

@@ -1,0 +1,31 @@
+// Task kinds shared by the runtime-backed D&C drivers, with the kernel
+// colouring of the paper's Table II and the memory-bound classification
+// used by the DAG replay simulator.
+#pragma once
+
+#include "runtime/graph.hpp"
+
+namespace dnc::dc {
+
+struct Kinds {
+  rt::KindId scale, partition, laset, stedc, deflate, permute, laed4, localw, reducew,
+      copyback, computevect, updatevect, sort;
+
+  explicit Kinds(rt::TaskGraph& g) {
+    scale = g.register_kind("ScaleT", false, "#aaaaaa");
+    partition = g.register_kind("Partitioning", false, "#aaaaaa");
+    laset = g.register_kind("LASET", true, "#7f7f7f");
+    stedc = g.register_kind("STEDC", false, "#e377c2");
+    deflate = g.register_kind("ComputeDeflation", false, "#17becf");
+    permute = g.register_kind("PermuteV", true, "#ff7f0e");
+    laed4 = g.register_kind("LAED4", false, "#1f77b4");
+    localw = g.register_kind("ComputeLocalW", false, "#2ca02c");
+    reducew = g.register_kind("ReduceW", false, "#98df8a");
+    copyback = g.register_kind("CopyBackDeflated", true, "#bcbd22");
+    computevect = g.register_kind("ComputeVect", false, "#9467bd");
+    updatevect = g.register_kind("UpdateVect", false, "#d62728");
+    sort = g.register_kind("SortEigenvectors", true, "#8c564b");
+  }
+};
+
+}  // namespace dnc::dc

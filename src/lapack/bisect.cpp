@@ -1,0 +1,109 @@
+#include "lapack/bisect.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/machine.hpp"
+
+namespace dnc::lapack {
+
+index_t sturm_count(index_t n, const double* d, const double* e, double x) {
+  // LDL^T pivot recurrence with the dstebz pivmin safeguard so a zero pivot
+  // cannot poison the count.
+  double pivmin = lamch_safmin();
+  for (index_t i = 0; i + 1 < n; ++i) pivmin = std::max(pivmin, e[i] * e[i] * lamch_safmin());
+
+  index_t count = 0;
+  double q = d[0] - x;
+  if (q < 0.0) ++count;
+  for (index_t i = 1; i < n; ++i) {
+    if (std::fabs(q) < pivmin) q = q < 0.0 ? -pivmin : pivmin;
+    q = d[i] - x - e[i - 1] * e[i - 1] / q;
+    if (q < 0.0) ++count;
+  }
+  return count;
+}
+
+void gershgorin_bounds(index_t n, const double* d, const double* e, double& lo, double& hi) {
+  DNC_REQUIRE(n >= 1, "gershgorin_bounds: empty matrix");
+  lo = d[0];
+  hi = d[0];
+  for (index_t i = 0; i < n; ++i) {
+    const double off = (i > 0 ? std::fabs(e[i - 1]) : 0.0) + (i + 1 < n ? std::fabs(e[i]) : 0.0);
+    lo = std::min(lo, d[i] - off);
+    hi = std::max(hi, d[i] + off);
+  }
+  // Widen slightly so the strict Sturm count brackets the extremes.
+  const double bnorm = std::max(std::fabs(lo), std::fabs(hi));
+  const double fudge = 2.0 * lamch_eps() * bnorm + 2.0 * lamch_safmin();
+  lo -= fudge;
+  hi += fudge;
+}
+
+namespace {
+
+double default_tol(double lo, double hi, double tol_abs) {
+  if (tol_abs >= 0.0) return tol_abs;
+  const double bnorm = std::max(std::fabs(lo), std::fabs(hi));
+  return 2.0 * lamch_eps() * bnorm + 2.0 * lamch_safmin();
+}
+
+}  // namespace
+
+double bisect_eigenvalue(index_t n, const double* d, const double* e, index_t k,
+                         double tol_rel, double tol_abs) {
+  DNC_REQUIRE(k >= 0 && k < n, "bisect_eigenvalue: k out of range");
+  double lo, hi;
+  gershgorin_bounds(n, d, e, lo, hi);
+  const double tol = default_tol(lo, hi, tol_abs);
+  while (hi - lo > tol + tol_rel * std::max(std::fabs(lo), std::fabs(hi))) {
+    const double mid = 0.5 * (lo + hi);
+    if (mid == lo || mid == hi) break;  // ran out of precision
+    if (sturm_count(n, d, e, mid) > k)
+      hi = mid;
+    else
+      lo = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+std::vector<double> bisect_all(index_t n, const double* d, const double* e, double tol_rel,
+                               double tol_abs) {
+  std::vector<double> w(n);
+  if (n == 0) return w;
+  double glo, ghi;
+  gershgorin_bounds(n, d, e, glo, ghi);
+  const double tol = default_tol(glo, ghi, tol_abs);
+
+  // Recursive interval refinement: keeps the total count of Sturm
+  // evaluations near n log(range/tol) instead of n per eigenvalue.
+  struct Interval {
+    double lo, hi;
+    index_t klo, khi;  // eigenvalue indices in (lo, hi]: klo..khi-1
+  };
+  std::vector<Interval> stack;
+  stack.push_back({glo, ghi, 0, n});
+  while (!stack.empty()) {
+    Interval iv = stack.back();
+    stack.pop_back();
+    if (iv.khi <= iv.klo) continue;
+    if (iv.hi - iv.lo <= tol + tol_rel * std::max(std::fabs(iv.lo), std::fabs(iv.hi))) {
+      const double mid = 0.5 * (iv.lo + iv.hi);
+      for (index_t kk = iv.klo; kk < iv.khi; ++kk) w[kk] = mid;
+      continue;
+    }
+    const double mid = 0.5 * (iv.lo + iv.hi);
+    if (mid == iv.lo || mid == iv.hi) {
+      for (index_t kk = iv.klo; kk < iv.khi; ++kk) w[kk] = mid;
+      continue;
+    }
+    const index_t cmid =
+        std::clamp<index_t>(sturm_count(n, d, e, mid), iv.klo, iv.khi);
+    stack.push_back({iv.lo, mid, iv.klo, cmid});
+    stack.push_back({mid, iv.hi, cmid, iv.khi});
+  }
+  return w;
+}
+
+}  // namespace dnc::lapack

@@ -1,0 +1,208 @@
+#include "lapack/laed4.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/machine.hpp"
+
+namespace dnc::lapack {
+namespace {
+
+struct SecularEval {
+  double w;     ///< f value: 1 + rho*(psi + phi)
+  double dpsi;  ///< derivative of the left part (j <= split)
+  double dphi;  ///< derivative of the right part (j > split)
+  double asum;  ///< sum of |terms|, for the convergence tolerance
+  double dw() const { return dpsi + dphi; }
+};
+
+// Evaluates f and the side-split derivatives at lambda = origin + tau given
+// precomputed delta0[j] = d[j] - origin. The split index separates the psi
+// sum (poles left of the root, j <= split) from the phi sum -- the
+// fixed-weight rational model needs the full per-side derivative sums, not
+// just the adjacent poles' contributions.
+SecularEval evaluate(index_t k, const double* delta0, const double* z, double rho, double tau,
+                     index_t split) {
+  SecularEval ev{1.0, 0.0, 0.0, 1.0};
+  for (index_t j = 0; j < k; ++j) {
+    const double dj = delta0[j] - tau;  // d_j - lambda
+    const double t = z[j] / dj;
+    const double term = rho * z[j] * t;  // rho z_j^2/(d_j - lambda)
+    ev.w += term;
+    if (j <= split)
+      ev.dpsi += rho * t * t;
+    else
+      ev.dphi += rho * t * t;
+    ev.asum += std::fabs(term);
+  }
+  return ev;
+}
+
+// Solves the quadratic c*eta^2 - a*eta + b = 0 arising from the three-pole
+// model, returning the root on the correct side (the one LAPACK picks via
+// the numerically stable formula).
+double solve_model_quadratic(double a, double b, double c) {
+  if (c == 0.0) {
+    if (a == 0.0) return 0.0;
+    return b / a;
+  }
+  const double disc = std::max(0.0, a * a - 4.0 * b * c);
+  const double sq = std::sqrt(disc);
+  if (a <= 0.0) return (a - sq) / (2.0 * c);
+  return (2.0 * b) / (a + sq);
+}
+
+}  // namespace
+
+double laed5(index_t i, const double* d, const double* z, double rho, double* delta) {
+  DNC_REQUIRE(i == 0 || i == 1, "laed5: i out of range");
+  const double del = d[1] - d[0];
+  double lambda;
+  if (i == 0) {
+    const double b = del + rho * (z[0] * z[0] + z[1] * z[1]);
+    const double c = rho * z[0] * z[0] * del;
+    // tau relative to d[0]; the root of tau^2 - b tau + c = 0 in (0, del).
+    const double tau = 2.0 * c / (b + std::sqrt(std::fabs(b * b - 4.0 * c)));
+    lambda = d[0] + tau;
+    if (delta != nullptr) {
+      delta[0] = -tau;
+      delta[1] = del - tau;
+    }
+  } else {
+    const double b = -del + rho * (z[0] * z[0] + z[1] * z[1]);
+    const double c = rho * z[1] * z[1] * del;
+    double tau;  // relative to d[1]
+    if (b > 0.0)
+      tau = (b + std::sqrt(b * b + 4.0 * c)) / 2.0;
+    else
+      tau = 2.0 * c / (-b + std::sqrt(b * b + 4.0 * c));
+    lambda = d[1] + tau;
+    if (delta != nullptr) {
+      delta[0] = -del - tau;
+      delta[1] = -tau;
+    }
+  }
+  return lambda;
+}
+
+SecularResult laed4(index_t k, index_t i, const double* d, const double* z, double rho,
+                    double* delta) {
+  DNC_REQUIRE(k >= 1 && i >= 0 && i < k, "laed4: bad dimensions");
+  DNC_REQUIRE(rho > 0.0, "laed4: rho must be positive");
+  SecularResult res;
+
+  if (k == 1) {
+    res.lambda = d[0] + rho * z[0] * z[0];
+    res.origin = d[0];
+    res.tau = rho * z[0] * z[0];
+    if (delta != nullptr) delta[0] = -res.tau;
+    return res;
+  }
+  if (k == 2) {
+    res.lambda = laed5(i, d, z, rho, delta);
+    res.origin = d[i];
+    res.tau = res.lambda - d[i];
+    return res;
+  }
+
+  const double eps = lamch_eps();
+  const bool last = (i == k - 1);
+
+  // Sum of z_j^2 bounds the last interval: lambda_{k-1} < d_{k-1} + rho*|z|^2.
+  double znorm2 = 0.0;
+  for (index_t j = 0; j < k; ++j) znorm2 += z[j] * z[j];
+
+  // ---- Choose the origin pole and the initial bracket in tau space. ----
+  index_t origin_idx;
+  double lo, hi;  // bracket for tau, origin-relative
+  if (last) {
+    // Decide between origin d_{k-1} always; bracket (0, rho*znorm2].
+    origin_idx = k - 1;
+    lo = 0.0;
+    hi = rho * znorm2;
+  } else {
+    // Evaluate f at the interval midpoint to decide which pole is closer.
+    const double del = d[i + 1] - d[i];
+    double fmid = 1.0;
+    for (index_t j = 0; j < k; ++j) {
+      const double dj = (d[j] - d[i]) - del / 2.0;
+      fmid += rho * z[j] * z[j] / dj;
+    }
+    if (fmid > 0.0) {
+      // Root in the left half: origin at d_i, tau in (0, del/2].
+      origin_idx = i;
+      lo = 0.0;
+      hi = del / 2.0;
+    } else {
+      // Root in the right half: origin at d_{i+1}, tau in [-del/2, 0).
+      origin_idx = i + 1;
+      lo = -del / 2.0;
+      hi = 0.0;
+    }
+  }
+  res.origin = d[origin_idx];
+
+  // delta0[j] = d_j - origin, exact differences of representable numbers.
+  // We reuse the caller's delta buffer for it and subtract tau at the end.
+  DNC_REQUIRE(delta != nullptr, "laed4: delta buffer required");
+  for (index_t j = 0; j < k; ++j) delta[j] = d[j] - res.origin;
+
+  // The two poles adjacent to the root drive the rational model.
+  const index_t ii = last ? k - 2 : i;
+  const index_t jj = last ? k - 1 : i + 1;
+
+  // ---- Initial guess: solve the two-pole model anchored at the bracket
+  // midpoint. ----
+  double tau = 0.5 * (lo + hi);
+
+  // ---- Safeguarded rational iteration (fixed-weight scheme). ----
+  // Generous cap: near-pole roots may need tens of bisection halvings
+  // before the rational model takes over.
+  const int kMaxIter = 200;
+  for (int it = 0; it < kMaxIter; ++it) {
+    res.iterations = it + 1;
+    const SecularEval ev = evaluate(k, delta, z, rho, tau, ii);
+    // Error bound in the spirit of dlaed4's ERRETM: the computed w is exact
+    // up to ~8 eps times the sum of term magnitudes; iterating below that
+    // floor cannot improve the root.
+    const double erretm = 8.0 * eps * ev.asum;
+    if (std::fabs(ev.w) <= erretm) break;
+    if (ev.w > 0.0)
+      hi = std::min(hi, tau);
+    else
+      lo = std::max(lo, tau);
+
+    const double d1 = delta[ii] - tau;
+    const double d2 = delta[jj] - tau;
+    // Two-pole rational model f(tau+eta) ~ c + s1/(d1-eta) + s2/(d2-eta)
+    // with the weights absorbing the FULL per-side derivative sums (Li's
+    // fixed-weight method, as in dlaed4): matches f and f' at eta = 0 and
+    // keeps the model poles where the nearest true poles are.
+    const double s1 = d1 * d1 * ev.dpsi;
+    const double s2 = d2 * d2 * ev.dphi;
+    const double c = ev.w - d1 * ev.dpsi - d2 * ev.dphi;
+    const double a = c * (d1 + d2) + s1 + s2;
+    const double b = c * d1 * d2 + s1 * d2 + s2 * d1;
+    double eta = solve_model_quadratic(a, b, c);
+    // f is increasing, so the step must oppose the sign of w.
+    if (eta * ev.w > 0.0) eta = -ev.w / ev.dw();
+    double cand = tau + eta;
+    if (!std::isfinite(cand) || cand <= lo || cand >= hi) cand = 0.5 * (lo + hi);
+    // Roots can sit at distance ~rho*z_i^2 from their pole -- many orders of
+    // magnitude below eps*|origin| -- and the z-hat stabilisation needs tau
+    // to full RELATIVE accuracy. The only legitimate stops are the
+    // |w| <= erretm test above (which scales with the near-pole term and
+    // therefore enforces relative accuracy) and lack of representable
+    // progress.
+    if (cand == tau) break;
+    tau = cand;
+  }
+
+  res.tau = tau;
+  res.lambda = res.origin + tau;
+  for (index_t j = 0; j < k; ++j) delta[j] -= tau;
+  return res;
+}
+
+}  // namespace dnc::lapack

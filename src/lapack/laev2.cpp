@@ -1,0 +1,114 @@
+#include "lapack/laev2.hpp"
+
+#include <cmath>
+
+namespace dnc::lapack {
+
+void lae2(double a, double b, double c, double& rt1, double& rt2) {
+  const double sm = a + c;
+  const double df = a - c;
+  const double adf = std::fabs(df);
+  const double tb = b + b;
+  const double ab = std::fabs(tb);
+  double acmx, acmn;
+  if (std::fabs(a) > std::fabs(c)) {
+    acmx = a;
+    acmn = c;
+  } else {
+    acmx = c;
+    acmn = a;
+  }
+  double rt;
+  if (adf > ab) {
+    const double r = ab / adf;
+    rt = adf * std::sqrt(1.0 + r * r);
+  } else if (adf < ab) {
+    const double r = adf / ab;
+    rt = ab * std::sqrt(1.0 + r * r);
+  } else {
+    rt = ab * std::sqrt(2.0);
+  }
+  if (sm < 0.0) {
+    rt1 = 0.5 * (sm - rt);
+    // Order of operations important for accuracy of the smaller eigenvalue.
+    rt2 = (acmx / rt1) * acmn - (b / rt1) * b;
+  } else if (sm > 0.0) {
+    rt1 = 0.5 * (sm + rt);
+    rt2 = (acmx / rt1) * acmn - (b / rt1) * b;
+  } else {
+    rt1 = 0.5 * rt;
+    rt2 = -0.5 * rt;
+  }
+}
+
+void laev2(double a, double b, double c, double& rt1, double& rt2, double& cs1, double& sn1) {
+  const double sm = a + c;
+  const double df = a - c;
+  const double adf = std::fabs(df);
+  const double tb = b + b;
+  const double ab = std::fabs(tb);
+  double acmx, acmn;
+  if (std::fabs(a) > std::fabs(c)) {
+    acmx = a;
+    acmn = c;
+  } else {
+    acmx = c;
+    acmn = a;
+  }
+  double rt;
+  if (adf > ab) {
+    const double r = ab / adf;
+    rt = adf * std::sqrt(1.0 + r * r);
+  } else if (adf < ab) {
+    const double r = adf / ab;
+    rt = ab * std::sqrt(1.0 + r * r);
+  } else {
+    rt = ab * std::sqrt(2.0);
+  }
+  int sgn1;
+  if (sm < 0.0) {
+    rt1 = 0.5 * (sm - rt);
+    sgn1 = -1;
+    rt2 = (acmx / rt1) * acmn - (b / rt1) * b;
+  } else if (sm > 0.0) {
+    rt1 = 0.5 * (sm + rt);
+    sgn1 = 1;
+    rt2 = (acmx / rt1) * acmn - (b / rt1) * b;
+  } else {
+    rt1 = 0.5 * rt;
+    rt2 = -0.5 * rt;
+    sgn1 = 1;
+  }
+  // Compute the eigenvector for rt1.
+  double cs;
+  int sgn2;
+  if (df >= 0.0) {
+    cs = df + rt;
+    sgn2 = 1;
+  } else {
+    cs = df - rt;
+    sgn2 = -1;
+  }
+  const double acs = std::fabs(cs);
+  if (acs > ab) {
+    const double ct = -tb / cs;
+    sn1 = 1.0 / std::sqrt(1.0 + ct * ct);
+    cs1 = ct * sn1;
+  } else {
+    if (ab == 0.0) {
+      cs1 = 1.0;
+      sn1 = 0.0;
+    } else {
+      const double tn = -cs / tb;
+      cs1 = 1.0 / std::sqrt(1.0 + tn * tn);
+      sn1 = tn * cs1;
+    }
+  }
+  if (sgn1 == sgn2) {
+    const double tn = cs1;
+    cs1 = -sn1;
+    sn1 = tn;
+  }
+}
+
+}  // namespace dnc::lapack

@@ -1,0 +1,31 @@
+#include "lapack/lamrg.hpp"
+
+namespace dnc::lapack {
+
+void lamrg(index_t n1, index_t n2, const double* a, int dtrd1, int dtrd2, index_t* perm) {
+  index_t ind1 = dtrd1 > 0 ? 0 : n1 - 1;
+  index_t ind2 = dtrd2 > 0 ? n1 : n1 + n2 - 1;
+  index_t i = 0;
+  index_t r1 = n1, r2 = n2;
+  while (r1 > 0 && r2 > 0) {
+    if (a[ind1] <= a[ind2]) {
+      perm[i++] = ind1;
+      ind1 += dtrd1;
+      --r1;
+    } else {
+      perm[i++] = ind2;
+      ind2 += dtrd2;
+      --r2;
+    }
+  }
+  while (r1-- > 0) {
+    perm[i++] = ind1;
+    ind1 += dtrd1;
+  }
+  while (r2-- > 0) {
+    perm[i++] = ind2;
+    ind2 += dtrd2;
+  }
+}
+
+}  // namespace dnc::lapack

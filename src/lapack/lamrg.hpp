@@ -1,0 +1,16 @@
+// dlamrg: permutation that merges two sorted sublists into one ascending
+// list. Used to combine the sons' sorted spectra before deflation and to
+// interleave secular roots with deflated eigenvalues afterwards.
+#pragma once
+
+#include "common/matrix.hpp"
+
+namespace dnc::lapack {
+
+/// a holds two sorted sublists: a[0..n1) with stride/direction dtrd1
+/// (+1 ascending, -1 descending) and a[n1..n1+n2) with direction dtrd2.
+/// On return perm[i] (0-based) is the index into a of the i-th smallest
+/// element.
+void lamrg(index_t n1, index_t n2, const double* a, int dtrd1, int dtrd2, index_t* perm);
+
+}  // namespace dnc::lapack

@@ -1,0 +1,77 @@
+#include "lapack/rotations.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/machine.hpp"
+
+namespace dnc::lapack {
+
+double lapy2(double x, double y) {
+  const double ax = std::fabs(x);
+  const double ay = std::fabs(y);
+  const double w = std::max(ax, ay);
+  const double z = std::min(ax, ay);
+  if (z == 0.0) return w;
+  const double r = z / w;
+  return w * std::sqrt(1.0 + r * r);
+}
+
+void lartg(double f, double g, double& c, double& s, double& r) {
+  // Scaled dlartg: repeatedly rescale f, g into a safe range before forming
+  // the hypotenuse, then undo the scaling on r.
+  if (g == 0.0) {
+    c = 1.0;
+    s = 0.0;
+    r = f;
+    return;
+  }
+  if (f == 0.0) {
+    c = 0.0;
+    s = 1.0;
+    r = g;
+    return;
+  }
+  const double eps = dnc::lamch_eps();
+  const double safmin = dnc::lamch_safmin();
+  const double safmn2 = std::pow(2.0, std::trunc(std::log(safmin / eps) / std::log(2.0) / 2.0));
+  const double safmx2 = 1.0 / safmn2;
+
+  double f1 = f, g1 = g;
+  double scale = std::max(std::fabs(f1), std::fabs(g1));
+  int count = 0;
+  if (scale >= safmx2) {
+    while (scale >= safmx2) {
+      ++count;
+      f1 *= safmn2;
+      g1 *= safmn2;
+      scale = std::max(std::fabs(f1), std::fabs(g1));
+    }
+    r = std::sqrt(f1 * f1 + g1 * g1);
+    c = f1 / r;
+    s = g1 / r;
+    for (int i = 0; i < count; ++i) r *= safmx2;
+  } else if (scale <= safmn2) {
+    while (scale <= safmn2) {
+      ++count;
+      f1 *= safmx2;
+      g1 *= safmx2;
+      scale = std::max(std::fabs(f1), std::fabs(g1));
+    }
+    r = std::sqrt(f1 * f1 + g1 * g1);
+    c = f1 / r;
+    s = g1 / r;
+    for (int i = 0; i < count; ++i) r *= safmn2;
+  } else {
+    r = std::sqrt(f1 * f1 + g1 * g1);
+    c = f1 / r;
+    s = g1 / r;
+  }
+  if (std::fabs(f) > std::fabs(g) && c < 0.0) {
+    c = -c;
+    s = -s;
+    r = -r;
+  }
+}
+
+}  // namespace dnc::lapack

@@ -1,0 +1,15 @@
+// Givens rotation generation and overflow-safe 2-norm helpers
+// (dlartg / dlapy2 equivalents).
+#pragma once
+
+namespace dnc::lapack {
+
+/// sqrt(x^2 + y^2) without unnecessary overflow (dlapy2).
+double lapy2(double x, double y);
+
+/// Generates c, s, r such that [c s; -s c] * [f; g] = [r; 0] (dlartg).
+/// c >= 0 is NOT guaranteed (matches LAPACK's convention where r carries
+/// the sign of the dominant input).
+void lartg(double f, double g, double& c, double& s, double& r);
+
+}  // namespace dnc::lapack

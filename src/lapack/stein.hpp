@@ -1,0 +1,28 @@
+// Inverse iteration for tridiagonal eigenvectors (dstein equivalent) and
+// the classical Bisection + Inverse Iteration (BI) eigensolver built on it
+// -- one of the four tridiagonal algorithms in LAPACK (with QR, D&C and
+// MRRR) and the paper's introduction.
+#pragma once
+
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+
+namespace dnc::lapack {
+
+/// Eigenvector of the tridiagonal (d, e) for the given eigenvalue by
+/// inverse iteration (LU with partial pivoting, a few iterations),
+/// reorthogonalised against `nprev` previously computed vectors (columns of
+/// `prev`, leading dimension ldprev). z (length n) receives a unit vector.
+void stein_vector(index_t n, const double* d, const double* e, double lambda,
+                  const double* prev, index_t ldprev, index_t nprev, double* z, Rng& rng);
+
+/// Full BI eigensolver: eigenvalues by Sturm bisection, eigenvectors by
+/// inverse iteration with reorthogonalisation inside clusters (entries
+/// closer than reorth_tol * ||T|| are treated as one cluster, as dstein
+/// does). lam ascending, v resized to n x n.
+void bi_solve(index_t n, const double* d, const double* e, std::vector<double>& lam,
+              Matrix& v, double reorth_tol = 1.0e-5);
+
+}  // namespace dnc::lapack

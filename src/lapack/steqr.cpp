@@ -1,0 +1,306 @@
+#include "lapack/steqr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "blas/aux.hpp"
+#include "blas/level1.hpp"
+#include "common/error.hpp"
+#include "common/machine.hpp"
+#include "lapack/laev2.hpp"
+#include "lapack/rotations.hpp"
+
+namespace dnc::lapack {
+namespace {
+
+double sign_of(double a, double b) { return b >= 0.0 ? std::fabs(a) : -std::fabs(a); }
+
+// Applies the stored rotation sequence to columns [jl, jm] of Z, matching
+// dlasr('R','V',direct). For direct='B' rotations are applied from the last
+// plane to the first; for 'F' the other way around. cwork/swork are indexed
+// by the left column of each plane.
+void apply_plane_rotations(double* z, index_t ldz, index_t nrows, index_t jl, index_t jm,
+                           const double* cwork, const double* swork, bool backward) {
+  if (z == nullptr || jm <= jl) return;
+  if (backward) {
+    for (index_t j = jm - 1; j >= jl; --j) {
+      const double c = cwork[j];
+      const double s = swork[j];
+      double* colj = z + j * ldz;
+      double* colj1 = z + (j + 1) * ldz;
+      for (index_t i = 0; i < nrows; ++i) {
+        const double temp = colj1[i];
+        colj1[i] = c * temp - s * colj[i];
+        colj[i] = s * temp + c * colj[i];
+      }
+    }
+  } else {
+    for (index_t j = jl; j < jm; ++j) {
+      const double c = cwork[j];
+      const double s = swork[j];
+      double* colj = z + j * ldz;
+      double* colj1 = z + (j + 1) * ldz;
+      for (index_t i = 0; i < nrows; ++i) {
+        const double temp = colj1[i];
+        colj1[i] = c * temp - s * colj[i];
+        colj[i] = s * temp + c * colj[i];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void steqr(CompZ compz, index_t n, double* d, double* e, double* z, index_t ldz) {
+  DNC_REQUIRE(n >= 0, "steqr: n must be >= 0");
+  const bool wantz = compz != CompZ::None;
+  if (wantz) DNC_REQUIRE(z != nullptr && ldz >= std::max<index_t>(1, n), "steqr: bad Z");
+  if (n == 0) return;
+  if (compz == CompZ::Identity) blas::laset(n, n, 0.0, 1.0, z, ldz);
+  if (n == 1) return;
+
+  const double eps = lamch_eps();
+  const double eps2 = eps * eps;
+  const double safmin = lamch_safmin();
+  const auto bounds = steqr_scale_bounds();
+  const index_t nmaxit = n * 30;
+  index_t jtot = 0;
+
+  std::vector<double> cwork(n), swork(n);
+
+  // l1 marks the start of the next unreduced block to process.
+  index_t l1 = 0;
+
+  for (;;) {
+    if (l1 > n - 1) break;
+    if (l1 > 0) e[l1 - 1] = 0.0;
+    // Find the end of the unreduced block starting at l1: the first m with a
+    // negligible off-diagonal splits the problem.
+    index_t m = n - 1;
+    for (index_t mm = l1; mm < n - 1; ++mm) {
+      const double tst = std::fabs(e[mm]);
+      if (tst == 0.0) {
+        m = mm;
+        break;
+      }
+      if (tst <= (std::sqrt(std::fabs(d[mm])) * std::sqrt(std::fabs(d[mm + 1]))) * eps) {
+        e[mm] = 0.0;
+        m = mm;
+        break;
+      }
+    }
+
+    index_t l = l1;
+    index_t lend = m;
+    const index_t lsv = l, lendsv = lend;
+    l1 = m + 1;
+    if (lend == l) continue;  // 1x1 block: already an eigenvalue
+
+    // Scale the submatrix to a safe range.
+    const double anorm = blas::lanst_max(lend - l + 1, d + l, e + l);
+    double scale_applied = 0.0;  // 0 = none, else the cfrom used
+    if (anorm == 0.0) continue;
+    if (anorm > bounds.ssfmax) {
+      scale_applied = anorm;
+      blas::lascl(lend - l + 1, 1, anorm, bounds.ssfmax, d + l, n);
+      blas::lascl(lend - l, 1, anorm, bounds.ssfmax, e + l, n);
+    } else if (anorm < bounds.ssfmin) {
+      scale_applied = anorm;
+      blas::lascl(lend - l + 1, 1, anorm, bounds.ssfmin, d + l, n);
+      blas::lascl(lend - l, 1, anorm, bounds.ssfmin, e + l, n);
+    }
+
+    // Choose between QL and QR: iterate from the end with the smaller
+    // diagonal entry for graded matrices.
+    if (std::fabs(d[lend]) < std::fabs(d[l])) {
+      std::swap(lend, l);
+    }
+
+    bool failed = false;
+    if (lend > l) {
+      // QL iteration: look for small subdiagonal elements going up.
+      for (;;) {
+        index_t msub = lend;
+        if (l != lend) {
+          msub = lend;
+          for (index_t mm = l; mm < lend; ++mm) {
+            const double tst = std::fabs(e[mm]) * std::fabs(e[mm]);
+            if (tst <= (eps2 * std::fabs(d[mm])) * std::fabs(d[mm + 1]) + safmin) {
+              msub = mm;
+              break;
+            }
+          }
+        }
+        if (msub < lend) e[msub] = 0.0;
+        double p = d[l];
+        if (msub == l) {
+          // Eigenvalue found.
+          d[l] = p;
+          ++l;
+          if (l > lend) break;
+          continue;
+        }
+        if (msub == l + 1) {
+          // 2x2 block: solve directly.
+          double rt1, rt2;
+          if (wantz) {
+            double c, s;
+            laev2(d[l], e[l], d[l + 1], rt1, rt2, c, s);
+            cwork[l] = c;
+            swork[l] = s;
+            apply_plane_rotations(z, ldz, n, l, l + 1, cwork.data(), swork.data(), true);
+          } else {
+            lae2(d[l], e[l], d[l + 1], rt1, rt2);
+          }
+          d[l] = rt1;
+          d[l + 1] = rt2;
+          e[l] = 0.0;
+          l += 2;
+          if (l > lend) break;
+          continue;
+        }
+        if (jtot == nmaxit) {
+          failed = true;
+          break;
+        }
+        ++jtot;
+        // Form Wilkinson shift.
+        double g = (d[l + 1] - p) / (2.0 * e[l]);
+        double r = lapy2(g, 1.0);
+        g = d[msub] - p + (e[l] / (g + sign_of(r, g)));
+        double s = 1.0, c = 1.0;
+        p = 0.0;
+        // Inner QL sweep.
+        for (index_t i = msub - 1; i >= l; --i) {
+          double f = s * e[i];
+          const double b = c * e[i];
+          lartg(g, f, c, s, r);
+          if (i != msub - 1) e[i + 1] = r;
+          g = d[i + 1] - p;
+          r = (d[i] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[i + 1] = g + p;
+          g = c * r - b;
+          if (wantz) {
+            cwork[i] = c;
+            swork[i] = -s;
+          }
+        }
+        if (wantz) apply_plane_rotations(z, ldz, n, l, msub, cwork.data(), swork.data(), true);
+        d[l] -= p;
+        e[l] = g;
+      }
+    } else {
+      // QR iteration: look for small superdiagonal elements going down.
+      for (;;) {
+        index_t msub = lend;
+        if (l != lend) {
+          msub = lend;
+          for (index_t mm = l; mm > lend; --mm) {
+            const double tst = std::fabs(e[mm - 1]) * std::fabs(e[mm - 1]);
+            if (tst <= (eps2 * std::fabs(d[mm])) * std::fabs(d[mm - 1]) + safmin) {
+              msub = mm;
+              break;
+            }
+          }
+        }
+        if (msub > lend) e[msub - 1] = 0.0;
+        double p = d[l];
+        if (msub == l) {
+          d[l] = p;
+          --l;
+          if (l < lend) break;
+          continue;
+        }
+        if (msub == l - 1) {
+          double rt1, rt2;
+          if (wantz) {
+            double c, s;
+            laev2(d[l - 1], e[l - 1], d[l], rt1, rt2, c, s);
+            // dsteqr stores (c, s) then applies a single forward rotation on
+            // columns (l-1, l).
+            cwork[l - 1] = c;
+            swork[l - 1] = s;
+            apply_plane_rotations(z, ldz, n, l - 1, l, cwork.data(), swork.data(), false);
+          } else {
+            lae2(d[l - 1], e[l - 1], d[l], rt1, rt2);
+          }
+          d[l - 1] = rt1;
+          d[l] = rt2;
+          e[l - 1] = 0.0;
+          l -= 2;
+          if (l < lend) break;
+          continue;
+        }
+        if (jtot == nmaxit) {
+          failed = true;
+          break;
+        }
+        ++jtot;
+        double g = (d[l - 1] - p) / (2.0 * e[l - 1]);
+        double r = lapy2(g, 1.0);
+        g = d[msub] - p + (e[l - 1] / (g + sign_of(r, g)));
+        double s = 1.0, c = 1.0;
+        p = 0.0;
+        for (index_t i = msub; i <= l - 1; ++i) {
+          double f = s * e[i];
+          const double b = c * e[i];
+          lartg(g, f, c, s, r);
+          if (i != msub) e[i - 1] = r;
+          g = d[i] - p;
+          r = (d[i + 1] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[i] = g + p;
+          g = c * r - b;
+          if (wantz) {
+            cwork[i] = c;
+            swork[i] = s;
+          }
+        }
+        if (wantz) apply_plane_rotations(z, ldz, n, msub, l, cwork.data(), swork.data(), false);
+        d[l] -= p;
+        e[l - 1] = g;
+      }
+    }
+
+    // Undo scaling.
+    if (scale_applied != 0.0) {
+      const double target = (scale_applied > bounds.ssfmax) ? bounds.ssfmax : bounds.ssfmin;
+      blas::lascl(lendsv - lsv + 1, 1, target, scale_applied, d + lsv, n);
+      blas::lascl(lendsv - lsv, 1, target, scale_applied, e + lsv, n);
+    }
+    if (failed) {
+      // Count the number of non-converged off-diagonals for the info code.
+      index_t bad = 0;
+      for (index_t i = 0; i < n - 1; ++i)
+        if (e[i] != 0.0) ++bad;
+      throw NumericalError("steqr failed to converge", bad);
+    }
+  }
+
+  // Sort eigenvalues (and eigenvectors) in ascending order.
+  if (!wantz) {
+    std::sort(d, d + n);
+    return;
+  }
+  // Selection sort to minimise eigenvector column swaps, as in dsteqr.
+  for (index_t ii = 1; ii < n; ++ii) {
+    const index_t i = ii - 1;
+    index_t k = i;
+    double p = d[i];
+    for (index_t j = ii; j < n; ++j) {
+      if (d[j] < p) {
+        k = j;
+        p = d[j];
+      }
+    }
+    if (k != i) {
+      d[k] = d[i];
+      d[i] = p;
+      blas::swap(n, z + i * ldz, z + k * ldz);
+    }
+  }
+}
+
+}  // namespace dnc::lapack

@@ -1,0 +1,15 @@
+#include "lapack/sterf.hpp"
+
+#include "lapack/steqr.hpp"
+
+namespace dnc::lapack {
+
+void sterf(index_t n, double* d, double* e) {
+  // The implicit QL/QR kernel already specialises the no-vectors path
+  // (dlae2 2x2 solves, no rotation storage), which is the dominant cost
+  // difference between dsterf and dsteqr('N'); the square-root-free PWK
+  // recurrence would only change constants, not behaviour.
+  steqr(CompZ::None, n, d, e, nullptr, 1);
+}
+
+}  // namespace dnc::lapack

@@ -1,0 +1,12 @@
+// Eigenvalues of a symmetric tridiagonal matrix, no vectors (dsterf
+// contract). Used by benchmarks and as an independent check for tests.
+#pragma once
+
+#include "common/matrix.hpp"
+
+namespace dnc::lapack {
+
+/// d[0..n) / e[0..n-1) in, ascending eigenvalues in d out. e is destroyed.
+void sterf(index_t n, double* d, double* e);
+
+}  // namespace dnc::lapack

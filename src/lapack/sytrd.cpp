@@ -1,0 +1,85 @@
+#include "lapack/sytrd.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "blas/level1.hpp"
+#include "blas/level2.hpp"
+#include "common/error.hpp"
+#include "common/machine.hpp"
+#include "lapack/rotations.hpp"
+
+namespace dnc::lapack {
+
+double larfg(index_t n, double& alpha, double* x, index_t incx) {
+  if (n <= 1) return 0.0;
+  double xnorm = blas::nrm2(n - 1, x, incx);
+  if (xnorm == 0.0) return 0.0;
+
+  const double safmin = lamch_safmin() / lamch_eps();
+  double beta = -std::copysign(lapy2(alpha, xnorm), alpha);
+  int scaled = 0;
+  while (std::fabs(beta) < safmin && scaled < 20) {
+    // Rescale to avoid harmful underflow, as dlarfg does.
+    const double rsafmn = 1.0 / safmin;
+    blas::scal(n - 1, rsafmn, x, incx);
+    beta *= rsafmn;
+    alpha *= rsafmn;
+    ++scaled;
+    xnorm = blas::nrm2(n - 1, x, incx);
+    beta = -std::copysign(lapy2(alpha, xnorm), alpha);
+  }
+  const double tau = (beta - alpha) / beta;
+  blas::scal(n - 1, 1.0 / (alpha - beta), x, incx);
+  for (int s = 0; s < scaled; ++s) beta *= safmin;
+  alpha = beta;
+  return tau;
+}
+
+void sytrd_lower(index_t n, double* a, index_t lda, double* d, double* e, double* tau) {
+  DNC_REQUIRE(n >= 0 && lda >= n, "sytrd_lower: bad dimensions");
+  if (n == 0) return;
+  std::vector<double> w(n);
+  for (index_t j = 0; j + 1 < n; ++j) {
+    const index_t m = n - j - 1;  // length of the column below the diagonal
+    double* col = a + (j + 1) + j * lda;
+    // Reflector annihilating A(j+2:n, j).
+    double alpha = col[0];
+    const double tj = larfg(m, alpha, col + 1, 1);
+    e[j] = alpha;
+    tau[j] = tj;
+    if (tj != 0.0) {
+      col[0] = 1.0;
+      // w = tau * A22 * v
+      blas::symv_lower(m, tj, a + (j + 1) + (j + 1) * lda, lda, col, 0.0, w.data());
+      // w -= (tau/2) * (w^T v) * v
+      const double coef = -0.5 * tj * blas::dot(m, w.data(), col);
+      blas::axpy(m, coef, col, w.data());
+      // A22 -= v w^T + w v^T
+      blas::syr2_lower(m, -1.0, col, w.data(), a + (j + 1) + (j + 1) * lda, lda);
+      col[0] = alpha;  // restore the subdiagonal value (v[0]=1 is implicit)
+    }
+    d[j] = a[j + j * lda];
+  }
+  d[n - 1] = a[(n - 1) + (n - 1) * lda];
+}
+
+void ormtr_left_lower(index_t n, index_t m, const double* a, index_t lda, const double* tau,
+                      double* c, index_t ldc) {
+  if (n <= 1 || m == 0) return;
+  std::vector<double> v(n), work(m);
+  // Q = H_0 H_1 ... H_{n-3}; applying Q from the left means applying the
+  // reflectors in reverse order of their generation.
+  for (index_t j = n - 2; j >= 0; --j) {
+    const double tj = tau[j];
+    if (tj == 0.0) continue;
+    const index_t len = n - j - 1;  // reflector acts on rows j+1..n-1
+    v[0] = 1.0;
+    for (index_t i = 1; i < len; ++i) v[i] = a[(j + 1 + i) + j * lda];
+    // work = C(j+1:n, :)^T v ; C(j+1:n,:) -= tau * v * work^T
+    blas::gemv(blas::Trans::Yes, len, m, 1.0, c + (j + 1), ldc, v.data(), 0.0, work.data());
+    blas::ger(len, m, -tj, v.data(), work.data(), c + (j + 1), ldc);
+  }
+}
+
+}  // namespace dnc::lapack

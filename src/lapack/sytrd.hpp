@@ -1,0 +1,30 @@
+// Householder reduction of a dense symmetric matrix to tridiagonal form and
+// application of the accumulated orthogonal factor (dsytrd / dormtr
+// equivalents, unblocked, lower-triangular storage).
+//
+// This is the reduction stage of the full symmetric eigensolver pipeline
+// (Equation 1 of the paper, A = Q T Q^T); the tridiagonal eigensolver under
+// study runs between this and the back-transformation (Equation 3).
+#pragma once
+
+#include "common/matrix.hpp"
+
+namespace dnc::lapack {
+
+/// Generates an elementary reflector H = I - tau*v*v^T with v[0] = 1 such
+/// that H*x = beta*e1. x has n elements: alpha = x[0] on entry and the
+/// vector tail x[1..n) is overwritten with v[1..n) (dlarfg).
+double larfg(index_t n, double& alpha, double* x, index_t incx);
+
+/// Reduces symmetric A (n x n, lower triangle referenced, column-major,
+/// leading dimension lda) to tridiagonal T: on exit d[0..n) and e[0..n-1)
+/// hold T, the Householder vectors are stored below the first subdiagonal
+/// of A and tau[0..n-2] holds the reflector scales.
+void sytrd_lower(index_t n, double* a, index_t lda, double* d, double* e, double* tau);
+
+/// Multiplies C (n x m) in place by the orthogonal Q assembled from
+/// sytrd_lower's reflectors: C := Q * C (dormtr 'L','L','N').
+void ormtr_left_lower(index_t n, index_t m, const double* a, index_t lda, const double* tau,
+                      double* c, index_t ldc);
+
+}  // namespace dnc::lapack

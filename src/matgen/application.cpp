@@ -1,0 +1,94 @@
+#include "matgen/application.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "matgen/lanczos.hpp"
+
+namespace dnc::matgen {
+
+Tridiag fem_laplacian_jump(index_t n, int njumps, Rng& rng) {
+  DNC_REQUIRE(n >= 2, "fem_laplacian_jump: n >= 2");
+  // Piecewise-constant coefficient c(x) over njumps+1 regions; the
+  // assembled stiffness matrix row i is (-c_i, c_i + c_{i+1}, -c_{i+1}).
+  std::vector<double> c(n + 1);
+  const index_t region = std::max<index_t>(1, n / (njumps + 1));
+  double level = std::pow(10.0, 3.0 * rng.uniform_sym());
+  for (index_t i = 0; i <= n; ++i) {
+    if (i % region == 0) level = std::pow(10.0, 3.0 * rng.uniform_sym());
+    c[i] = level * (1.0 + 0.01 * rng.uniform_sym());
+  }
+  Tridiag t;
+  t.d.resize(n);
+  t.e.resize(n - 1);
+  for (index_t i = 0; i < n; ++i) t.d[i] = c[i] + c[i + 1];
+  for (index_t i = 0; i + 1 < n; ++i) t.e[i] = -c[i + 1];
+  return t;
+}
+
+Tridiag glued_wilkinson(index_t block_size, index_t blocks, double glue) {
+  DNC_REQUIRE(block_size >= 3 && blocks >= 1, "glued_wilkinson: bad shape");
+  const index_t n = block_size * blocks;
+  Tridiag w = wilkinson(block_size);
+  Tridiag t;
+  t.d.resize(n);
+  t.e.assign(n - 1, 0.0);
+  for (index_t b = 0; b < blocks; ++b) {
+    const index_t off = b * block_size;
+    for (index_t i = 0; i < block_size; ++i) t.d[off + i] = w.d[i];
+    for (index_t i = 0; i + 1 < block_size; ++i) t.e[off + i] = w.e[i];
+    if (b + 1 < blocks) t.e[off + block_size - 1] = glue;
+  }
+  return t;
+}
+
+Tridiag schroedinger_double_well(index_t n, double depth) {
+  DNC_REQUIRE(n >= 2, "schroedinger_double_well: n >= 2");
+  const double L = 8.0;
+  const double h = 2.0 * L / static_cast<double>(n + 1);
+  Tridiag t;
+  t.d.resize(n);
+  t.e.assign(n - 1, -1.0 / (h * h));
+  for (index_t i = 0; i < n; ++i) {
+    const double x = -L + h * static_cast<double>(i + 1);
+    const double v = depth * (x * x - 4.0) * (x * x - 4.0) / 16.0;  // wells at +-2
+    t.d[i] = 2.0 / (h * h) + v;
+  }
+  return t;
+}
+
+Tridiag grid2d_spectrum(index_t nx, index_t ny, Rng& rng) {
+  // Eigenvalues of the 2-D 5-point Laplacian on an nx x ny grid:
+  // 4 - 2cos(i pi/(nx+1)) - 2cos(j pi/(ny+1)); rich in multiplicities for
+  // nx == ny. Realised as a tridiagonal via the inverse-eigenvalue
+  // construction (this mirrors what a Lanczos run on the 2-D operator would
+  // hand to a tridiagonal eigensolver).
+  std::vector<double> lam;
+  lam.reserve(nx * ny);
+  const double pi = 3.14159265358979323846;
+  for (index_t i = 1; i <= nx; ++i)
+    for (index_t j = 1; j <= ny; ++j)
+      lam.push_back(4.0 - 2.0 * std::cos(i * pi / (nx + 1)) - 2.0 * std::cos(j * pi / (ny + 1)));
+  return tridiag_from_spectrum(lam, rng);
+}
+
+std::vector<NamedTridiag> application_suite(index_t max_n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<NamedTridiag> suite;
+  const auto cap = [max_n](index_t want) { return std::min(want, max_n); };
+
+  suite.push_back({"fem_jump_small", fem_laplacian_jump(cap(450), 8, rng)});
+  suite.push_back({"fem_jump_large", fem_laplacian_jump(cap(1800), 16, rng)});
+  suite.push_back(
+      {"glued_wilkinson_21x20", glued_wilkinson(21, std::max<index_t>(1, cap(420) / 21), 1e-4)});
+  suite.push_back({"schroedinger_well", schroedinger_double_well(cap(1200), 40.0)});
+  {
+    const index_t g = std::max<index_t>(8, static_cast<index_t>(std::sqrt(double(cap(1600)))));
+    suite.push_back({"grid2d_laplacian", grid2d_spectrum(g, g, rng)});
+  }
+  suite.push_back({"laguerre_app", laguerre(cap(900))});
+  return suite;
+}
+
+}  // namespace dnc::matgen

@@ -1,0 +1,45 @@
+// Application-like tridiagonal matrices.
+//
+// The paper's Figure 10 uses matrices from LAPACK's stetester collection
+// (harvested from real applications; not redistributable here). These
+// generators produce synthetic matrices with the same character -- spectra
+// from discretised PDE operators, glued Wilkinson blocks (the classic hard
+// case for MRRR), and quantum Hamiltonians -- exercising the identical code
+// paths (partial clustering, moderate deflation). See DESIGN.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "matgen/tridiag.hpp"
+
+namespace dnc::matgen {
+
+struct NamedTridiag {
+  std::string name;
+  Tridiag matrix;
+};
+
+/// 1-D FEM/FD Laplacian with piecewise-constant random coefficient jumps
+/// (njumps material interfaces): clustered spectrum per material region.
+Tridiag fem_laplacian_jump(index_t n, int njumps, Rng& rng);
+
+/// `blocks` Wilkinson W_21^+ matrices glued with coupling `glue`:
+/// eigenvalues in tight clusters of size `blocks`.
+Tridiag glued_wilkinson(index_t block_size, index_t blocks, double glue);
+
+/// Discretised 1-D Schroedinger operator -u'' + V(x)u on [-L, L] with a
+/// double-well potential: mixes near-degenerate pairs (tunnelling splitting)
+/// with a regular tail.
+Tridiag schroedinger_double_well(index_t n, double depth);
+
+/// Tridiagonal from Lanczos applied to a sparse 2-D grid Laplacian spectrum
+/// (cluster-rich spectrum with multiplicities, typical of the stetester
+/// "application" matrices).
+Tridiag grid2d_spectrum(index_t nx, index_t ny, Rng& rng);
+
+/// The benchmark suite used for the Figure 10 reproduction.
+std::vector<NamedTridiag> application_suite(index_t max_n, std::uint64_t seed = 7);
+
+}  // namespace dnc::matgen

@@ -1,0 +1,66 @@
+#include "matgen/spectrum.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/machine.hpp"
+
+namespace dnc::matgen {
+
+std::vector<double> table3_spectrum(int type, index_t n, double cond, Rng& rng) {
+  DNC_REQUIRE(n >= 1, "table3_spectrum: n >= 1");
+  DNC_REQUIRE(type >= 1 && type <= 9, "table3_spectrum: type must be 1..9");
+  const double ulp = lamch_prec();
+  std::vector<double> w(n);
+  switch (type) {
+    case 1:
+      // lambda_1 = 1, lambda_i = 1/k.
+      w[0] = 1.0;
+      for (index_t i = 1; i < n; ++i) w[i] = 1.0 / cond;
+      break;
+    case 2:
+      // lambda_i = 1 except lambda_n = 1/k.
+      for (index_t i = 0; i + 1 < n; ++i) w[i] = 1.0;
+      w[n - 1] = 1.0 / cond;
+      break;
+    case 3:
+      // Geometric grading k^{-(i-1)/(n-1)}.
+      for (index_t i = 0; i < n; ++i)
+        w[i] = n == 1 ? 1.0 : std::pow(cond, -static_cast<double>(i) / (n - 1));
+      break;
+    case 4:
+      // Arithmetic grading 1 - (i-1)/(n-1) (1 - 1/k).
+      for (index_t i = 0; i < n; ++i)
+        w[i] = n == 1 ? 1.0 : 1.0 - (static_cast<double>(i) / (n - 1)) * (1.0 - 1.0 / cond);
+      break;
+    case 5:
+      // Random with logarithm uniformly distributed in [log(1/k), 0].
+      for (index_t i = 0; i < n; ++i) w[i] = std::exp(-rng.uniform01() * std::log(cond));
+      break;
+    case 6:
+      // Plain random numbers in (1/k, 1).
+      for (index_t i = 0; i < n; ++i) w[i] = 1.0 / cond + (1.0 - 1.0 / cond) * rng.uniform01();
+      break;
+    case 7:
+      // lambda_i = ulp * i, last one 1.
+      for (index_t i = 0; i + 1 < n; ++i) w[i] = ulp * static_cast<double>(i + 1);
+      w[n - 1] = 1.0;
+      break;
+    case 8:
+      // lambda_1 = ulp, interior 1 + i*sqrt(ulp), last 2.
+      w[0] = ulp;
+      for (index_t i = 1; i + 1 < n; ++i) w[i] = 1.0 + static_cast<double>(i + 1) * std::sqrt(ulp);
+      if (n > 1) w[n - 1] = 2.0;
+      break;
+    case 9:
+      // lambda_1 = 1, lambda_i = lambda_{i-1} + 100 ulp.
+      w[0] = 1.0;
+      for (index_t i = 1; i < n; ++i) w[i] = w[i - 1] + 100.0 * ulp;
+      break;
+  }
+  std::sort(w.begin(), w.end());
+  return w;
+}
+
+}  // namespace dnc::matgen

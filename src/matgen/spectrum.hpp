@@ -1,0 +1,15 @@
+// Prescribed spectra for Table III types 1-9.
+#pragma once
+
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+
+namespace dnc::matgen {
+
+/// Returns the eigenvalue multiset of Table III type 1..9 (ascending).
+/// `cond` is the paper's k parameter; random types use `rng`.
+std::vector<double> table3_spectrum(int type, index_t n, double cond, Rng& rng);
+
+}  // namespace dnc::matgen

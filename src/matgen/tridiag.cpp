@@ -1,0 +1,108 @@
+#include "matgen/tridiag.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "matgen/lanczos.hpp"
+#include "matgen/spectrum.hpp"
+
+namespace dnc::matgen {
+
+Tridiag onetwoone(index_t n) {
+  Tridiag t;
+  t.d.assign(n, 2.0);
+  t.e.assign(n > 0 ? n - 1 : 0, 1.0);
+  return t;
+}
+
+Tridiag wilkinson(index_t n) {
+  // W_n^+: for odd n = 2m+1 the diagonal is m, m-1, ..., 1, 0, 1, ..., m.
+  // Even n uses the same |i - (n-1)/2| profile.
+  Tridiag t;
+  t.d.resize(n);
+  t.e.assign(n > 0 ? n - 1 : 0, 1.0);
+  const double c = (static_cast<double>(n) - 1.0) / 2.0;
+  for (index_t i = 0; i < n; ++i) t.d[i] = std::fabs(static_cast<double>(i) - c);
+  return t;
+}
+
+Tridiag clement(index_t n) {
+  Tridiag t;
+  t.d.assign(n, 0.0);
+  t.e.resize(n > 0 ? n - 1 : 0);
+  for (index_t i = 0; i + 1 < n; ++i)
+    t.e[i] = std::sqrt(static_cast<double>(i + 1) * static_cast<double>(n - 1 - i));
+  return t;
+}
+
+Tridiag legendre(index_t n) {
+  // Jacobi matrix of the Legendre orthogonal polynomials on [-1, 1]:
+  // zero diagonal, e_i = i / sqrt(4i^2 - 1).
+  Tridiag t;
+  t.d.assign(n, 0.0);
+  t.e.resize(n > 0 ? n - 1 : 0);
+  for (index_t i = 0; i + 1 < n; ++i) {
+    const double k = static_cast<double>(i + 1);
+    t.e[i] = k / std::sqrt(4.0 * k * k - 1.0);
+  }
+  return t;
+}
+
+Tridiag laguerre(index_t n) {
+  // Jacobi matrix of the Laguerre polynomials: d_i = 2i - 1, e_i = i.
+  Tridiag t;
+  t.d.resize(n);
+  t.e.resize(n > 0 ? n - 1 : 0);
+  for (index_t i = 0; i < n; ++i) t.d[i] = 2.0 * static_cast<double>(i + 1) - 1.0;
+  for (index_t i = 0; i + 1 < n; ++i) t.e[i] = static_cast<double>(i + 1);
+  return t;
+}
+
+Tridiag hermite(index_t n) {
+  // Jacobi matrix of the Hermite polynomials: zero diagonal, e_i = sqrt(i/2).
+  Tridiag t;
+  t.d.assign(n, 0.0);
+  t.e.resize(n > 0 ? n - 1 : 0);
+  for (index_t i = 0; i + 1 < n; ++i) t.e[i] = std::sqrt(static_cast<double>(i + 1) / 2.0);
+  return t;
+}
+
+Tridiag table3_matrix(int type, index_t n, std::uint64_t seed, double cond) {
+  DNC_REQUIRE(type >= 1 && type <= 15, "table3_matrix: type must be 1..15");
+  if (type <= 9) {
+    Rng rng(seed ^ (static_cast<std::uint64_t>(type) << 32));
+    const auto spectrum = table3_spectrum(type, n, cond, rng);
+    return tridiag_from_spectrum(spectrum, rng);
+  }
+  switch (type) {
+    case 10: return onetwoone(n);
+    case 11: return wilkinson(n);
+    case 12: return clement(n);
+    case 13: return legendre(n);
+    case 14: return laguerre(n);
+    default: return hermite(n);  // 15
+  }
+}
+
+std::string table3_description(int type) {
+  switch (type) {
+    case 1: return "lambda_1=1, lambda_i=1/k";
+    case 2: return "lambda_i=1 (i<n), lambda_n=1/k";
+    case 3: return "geometric grading k^{-(i-1)/(n-1)}";
+    case 4: return "arithmetic grading 1-((i-1)/(n-1))(1-1/k)";
+    case 5: return "random, log-uniform";
+    case 6: return "random, uniform";
+    case 7: return "lambda_i=ulp*i, lambda_n=1";
+    case 8: return "lambda_1=ulp, lambda_i=1+i*sqrt(ulp), lambda_n=2";
+    case 9: return "lambda_1=1, lambda_i=lambda_{i-1}+100ulp";
+    case 10: return "(1,2,1) tridiagonal";
+    case 11: return "Wilkinson";
+    case 12: return "Clement";
+    case 13: return "Legendre";
+    case 14: return "Laguerre";
+    case 15: return "Hermite";
+    default: return "unknown";
+  }
+}
+
+}  // namespace dnc::matgen

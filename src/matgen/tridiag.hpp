@@ -1,0 +1,56 @@
+// Symmetric tridiagonal test matrices.
+//
+// Implements the full test set of the paper's Table III: types 1-9 are
+// defined by a prescribed spectrum (realised as an actual tridiagonal
+// matrix by the inverse-eigenvalue construction in lanczos.hpp), types
+// 10-15 are classical matrices with known three-term recurrences.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+
+namespace dnc::matgen {
+
+/// A symmetric tridiagonal matrix: diagonal d (n), off-diagonal e (n-1).
+struct Tridiag {
+  std::vector<double> d;
+  std::vector<double> e;
+  index_t n() const { return static_cast<index_t>(d.size()); }
+};
+
+// ---- Table III types 10-15 (analytic recurrences) ----
+
+/// Type 10: the (1,2,1) matrix; eigenvalues 2 - 2cos(k pi/(n+1)).
+Tridiag onetwoone(index_t n);
+
+/// Type 11: Wilkinson W_n^+ (diagonal |m-i|-like, unit off-diagonals).
+Tridiag wilkinson(index_t n);
+
+/// Type 12: Clement matrix (zero diagonal, e_i = sqrt(i(n-i))),
+/// eigenvalues +-(n-1), +-(n-3), ...
+Tridiag clement(index_t n);
+
+/// Type 13: Jacobi matrix of Legendre polynomials.
+Tridiag legendre(index_t n);
+
+/// Type 14: Jacobi matrix of Laguerre polynomials (d_i = 2i-1, e_i = i).
+Tridiag laguerre(index_t n);
+
+/// Type 15: Jacobi matrix of Hermite polynomials (zero diagonal,
+/// e_i = sqrt(i/2)).
+Tridiag hermite(index_t n);
+
+// ---- Table III master entry point ----
+
+/// Generates Table III type `type` (1..15) of dimension n. Types 1-9 go
+/// through the prescribed-spectrum construction with the given seed;
+/// `cond` is the paper's k parameter (1e6).
+Tridiag table3_matrix(int type, index_t n, std::uint64_t seed = 42, double cond = 1.0e6);
+
+/// Human-readable description of a Table III type.
+std::string table3_description(int type);
+
+}  // namespace dnc::matgen

@@ -1,0 +1,32 @@
+// Eigenvector of an LDL^T representation by twisted factorization (dlar1v
+// equivalent): run the differential stationary transform top-down and the
+// differential progressive transform bottom-up, twist at the index with the
+// smallest |gamma|, and solve for the vector in O(n).
+#pragma once
+
+#include "common/rng.hpp"
+#include "mrrr/ldl.hpp"
+
+namespace dnc::mrrr {
+
+struct GetvecResult {
+  index_t twist = 0;      ///< chosen twist index
+  double gamma = 0.0;     ///< pivot at the twist (residual scale)
+  double znorm2 = 0.0;    ///< squared norm of the unnormalised vector
+  double resid = 0.0;     ///< |gamma| / ||z||: backward error estimate
+};
+
+/// Computes the eigenvector of rep for the eigenvalue lambda (relative to
+/// the representation's shift, i.e. T v = (rep.sigma + lambda) v). z must
+/// have length rep.n(); on return it is normalised.
+GetvecResult twisted_eigenvector(const Representation& rep, double lambda, double* z);
+
+/// One step of eigenvalue refinement from the twisted factorization: the
+/// Rayleigh-quotient correction gamma / ||z||^2 (dlar1v's RQCORR).
+double rayleigh_correction(const GetvecResult& r);
+
+/// The dstein-style inverse-iteration fallback now lives in
+/// lapack/stein.hpp (it is pure tridiagonal machinery); mrrr uses it for
+/// numerically degenerate clusters.
+
+}  // namespace dnc::mrrr

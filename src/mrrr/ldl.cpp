@@ -1,0 +1,84 @@
+#include "mrrr/ldl.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/machine.hpp"
+
+namespace dnc::mrrr {
+
+Representation ldl_factor(index_t n, const double* d, const double* e, double sigma) {
+  DNC_REQUIRE(n >= 1, "ldl_factor: n >= 1");
+  Representation rep;
+  rep.sigma = sigma;
+  rep.d.resize(n);
+  rep.l.resize(n > 0 ? n - 1 : 0);
+  const double tiny = lamch_safmin();
+  double di = d[0] - sigma;
+  for (index_t i = 0; i < n - 1; ++i) {
+    if (di == 0.0) di = tiny;  // pivot perturbation (dlarrf-style eps bump)
+    rep.d[i] = di;
+    rep.l[i] = e[i] / di;
+    di = (d[i + 1] - sigma) - rep.l[i] * e[i];
+  }
+  rep.d[n - 1] = di;
+  return rep;
+}
+
+bool dstqds(const Representation& in, double tau, Representation& out) {
+  const index_t n = in.n();
+  out.sigma = in.sigma + tau;
+  out.d.resize(n);
+  out.l.resize(n > 0 ? n - 1 : 0);
+  bool ok = true;
+  double s = -tau;
+  for (index_t i = 0; i < n - 1; ++i) {
+    const double dplus = in.d[i] + s;
+    if (dplus == 0.0 || !std::isfinite(dplus)) ok = false;
+    out.d[i] = dplus;
+    const double ld = in.l[i] * in.d[i];
+    out.l[i] = ld / dplus;
+    s = out.l[i] * in.l[i] * s - tau;
+    if (!std::isfinite(s)) ok = false;
+  }
+  out.d[n - 1] = in.d[n - 1] + s;
+  return ok && std::isfinite(out.d[n - 1]);
+}
+
+index_t sturm_count_ldl(const Representation& rep, double x) {
+  // Differential stationary transform of L D L^T - x I, counting negative
+  // pivots. The recurrence is the dstqds body; NaN-safe handling follows
+  // dlaneg: a zero pivot is nudged rather than propagated.
+  const index_t n = rep.n();
+  index_t count = 0;
+  double s = -x;
+  const double tiny = lamch_safmin();
+  for (index_t i = 0; i < n - 1; ++i) {
+    double dplus = rep.d[i] + s;
+    if (dplus < 0.0) ++count;
+    if (dplus == 0.0) dplus = -tiny;
+    const double t = rep.l[i] * rep.d[i] / dplus;
+    s = t * rep.l[i] * s - x;
+    if (!std::isfinite(s)) {
+      // Breakdown: restart the recurrence conservatively (dlaneg's
+      // "blueprint" fallback uses the plain tridiagonal recurrence).
+      s = -x;
+    }
+  }
+  if (rep.d[n - 1] + s < 0.0) ++count;
+  return count;
+}
+
+double bisect_ldl(const Representation& rep, index_t k, double lo, double hi, double tol) {
+  while (hi - lo > tol + lamch_eps() * (std::fabs(lo) + std::fabs(hi))) {
+    const double mid = 0.5 * (lo + hi);
+    if (mid == lo || mid == hi) break;
+    if (sturm_count_ldl(rep, mid) > k)
+      hi = mid;
+    else
+      lo = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace dnc::mrrr

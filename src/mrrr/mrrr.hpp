@@ -1,0 +1,51 @@
+// MRRR (Multiple Relatively Robust Representations) symmetric tridiagonal
+// eigensolver, in the task-parallel style of MR3-SMP (Petschow &
+// Bientinesi) -- the comparator of the paper's Figures 8-10.
+//
+// Pipeline: split into unreduced blocks -> per block, a root LDL^T
+// representation just outside the spectrum -> eigenvalues by Sturm
+// bisection refined against the representation -> representation tree:
+// singletons get a twisted-factorization eigenvector, clusters get a
+// shifted child representation and recurse. Independent (sub)tasks are
+// executed by the same task runtime as the D&C solver, so traces and
+// simulated parallel makespans are directly comparable.
+#pragma once
+
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "matgen/tridiag.hpp"
+#include "runtime/simulator.hpp"
+#include "runtime/trace.hpp"
+
+namespace dnc::mrrr {
+
+struct Options {
+  int threads = 4;
+  /// Relative gap below which neighbouring eigenvalues form a cluster.
+  double gaptol = 1.0e-3;
+  /// Maximum representation-tree depth; clusters still unresolved at this
+  /// depth are treated as singletons (the usual MRRR accuracy trade-off).
+  int max_depth = 8;
+  /// Eigenvalue indices per bisection/getvec task (granularity knob,
+  /// MR3-SMP's task size).
+  index_t grain = 32;
+};
+
+struct Stats {
+  index_t n = 0;
+  index_t blocks = 0;          ///< unreduced blocks
+  index_t clusters = 0;        ///< cluster nodes in the representation tree
+  int depth_used = 0;          ///< deepest representation level reached
+  double seconds = 0.0;
+  rt::Trace trace;
+  std::vector<rt::SimulationResult> simulated;
+};
+
+/// Computes all eigenpairs of the tridiagonal (d, e): lam ascending, v
+/// (n x n) the eigenvectors. Inputs are not modified.
+void mrrr_solve(index_t n, const double* d, const double* e, std::vector<double>& lam,
+                Matrix& v, const Options& opt = {}, Stats* stats = nullptr,
+                const std::vector<int>& simulate_workers = {});
+
+}  // namespace dnc::mrrr

@@ -1,0 +1,21 @@
+// Data access qualifiers for the sequential task-flow model.
+//
+// Tasks are submitted in program order by a single master thread; the
+// runtime derives dependencies from how consecutive tasks access the same
+// logical data (QUARK semantics):
+//   In      read-only: ordered after the previous writer(s)
+//   Out     write: ordered after previous writer(s) and all readers since
+//   InOut   read-write: same ordering as Out
+//   GatherV the paper's contribution: a *commuting* write. Consecutive
+//           GatherV accesses to the same handle run concurrently (the
+//           developer guarantees they touch disjoint parts); any non-GatherV
+//           access closes the group and waits for all of it.
+#pragma once
+
+namespace dnc::rt {
+
+enum class Access { In, Out, InOut, GatherV };
+
+const char* access_name(Access a);
+
+}  // namespace dnc::rt

@@ -1,0 +1,29 @@
+#include "runtime/dot.hpp"
+
+#include <cstdio>
+
+namespace dnc::rt {
+
+std::string export_dot(const TaskGraph& graph, const std::string& title) {
+  std::string out = "digraph \"" + title + "\" {\n";
+  out += "  rankdir=TB;\n  node [style=filled, fontname=\"Helvetica\", shape=box];\n";
+  char buf[256];
+  for (const auto& node : graph.nodes()) {
+    const TaskKind& k = graph.kind_of(*node);
+    std::snprintf(buf, sizeof buf, "  t%llu [label=\"%s\", fillcolor=\"%s\"];\n",
+                  static_cast<unsigned long long>(node->id), k.name.c_str(), k.color.c_str());
+    out += buf;
+  }
+  for (const auto& node : graph.nodes()) {
+    for (std::uint64_t pid : node->pred_ids) {
+      std::snprintf(buf, sizeof buf, "  t%llu -> t%llu;\n",
+                    static_cast<unsigned long long>(pid),
+                    static_cast<unsigned long long>(node->id));
+      out += buf;
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace dnc::rt

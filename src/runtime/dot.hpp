@@ -1,0 +1,16 @@
+// Graphviz DOT export of a task graph, reproducing the paper's Figure 2
+// (the DAG of the D&C tridiagonal eigensolver with kernels coloured as in
+// Table II).
+#pragma once
+
+#include <string>
+
+#include "runtime/graph.hpp"
+
+namespace dnc::rt {
+
+/// Returns the graph in DOT syntax; node colour/fill follow the registered
+/// task kinds.
+std::string export_dot(const TaskGraph& graph, const std::string& title = "taskflow");
+
+}  // namespace dnc::rt

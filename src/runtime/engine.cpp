@@ -1,0 +1,90 @@
+#include "runtime/engine.hpp"
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace dnc::rt {
+
+Runtime::Runtime(TaskGraph& graph, int threads) : graph_(graph) {
+  DNC_REQUIRE(threads >= 1, "Runtime needs at least one worker");
+  graph_.on_ready = [this](TaskNode* n) { enqueue(n); };
+  workers_.reserve(threads);
+  for (int i = 0; i < threads; ++i) workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+Runtime::~Runtime() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+  graph_.on_ready = nullptr;
+}
+
+void Runtime::enqueue(TaskNode* node) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ready_.push_back(node);
+    ++inflight_;
+  }
+  cv_work_.notify_one();
+}
+
+void Runtime::worker_loop(int worker_id) {
+  for (;;) {
+    TaskNode* node = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_work_.wait(lk, [&] { return stop_ || !ready_.empty(); });
+      if (ready_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      node = ready_.front();
+      ready_.pop_front();
+    }
+    node->worker = worker_id;
+    node->t_start = now_seconds();
+    if (node->fn) node->fn();
+    node->t_end = now_seconds();
+    const std::vector<TaskNode*> newly_ready = graph_.complete(node);
+    bool became_idle;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      for (TaskNode* r : newly_ready) {
+        ready_.push_back(r);
+        ++inflight_;
+      }
+      became_idle = (--inflight_ == 0);
+    }
+    if (!newly_ready.empty()) cv_work_.notify_all();
+    if (became_idle) cv_idle_.notify_all();
+  }
+}
+
+void Runtime::wait_all() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_idle_.wait(lk, [&] { return inflight_ == 0; });
+}
+
+Trace run_taskflow(TaskGraph& graph, int threads,
+                   const std::function<void(TaskGraph&)>& submitter) {
+  Runtime rt(graph, threads);
+  submitter(graph);
+  rt.wait_all();
+  return rt.trace();
+}
+
+Trace Runtime::trace() const {
+  Trace t;
+  t.workers = threads();
+  for (const auto& node : graph_.nodes()) {
+    t.events.push_back(TraceEvent{node->id, node->kind, node->worker, node->t_start,
+                                  node->t_end});
+  }
+  for (const TaskKind& k : graph_.kinds()) t.kind_names.push_back(k.name);
+  return t;
+}
+
+}  // namespace dnc::rt

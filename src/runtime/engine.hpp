@@ -1,0 +1,59 @@
+// Out-of-order task execution engine over a TaskGraph.
+//
+// Workers pull ready tasks from a shared queue; completion releases
+// successors. The master thread keeps submitting while workers execute, so
+// the "sequential" portion of the algorithm (task submission, the join
+// kernels) overlaps with useful work -- the core claim of the paper's
+// parallelisation strategy.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/graph.hpp"
+#include "runtime/trace.hpp"
+
+namespace dnc::rt {
+
+class Runtime {
+ public:
+  /// Spawns `threads` workers bound to `graph`. The graph must outlive the
+  /// runtime. Tracing is always on; it costs two clock reads per task.
+  Runtime(TaskGraph& graph, int threads);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Blocks until every submitted task has executed. May be called multiple
+  /// times (submission can resume afterwards).
+  void wait_all();
+
+  int threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Builds the execution trace (valid after wait_all).
+  Trace trace() const;
+
+ private:
+  void worker_loop(int worker_id);
+  void enqueue(TaskNode* node);
+
+  TaskGraph& graph_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_idle_;
+  std::deque<TaskNode*> ready_;
+  long inflight_ = 0;  // ready + running tasks
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Convenience: run a submission function to completion on `threads`
+/// workers and return the trace.
+Trace run_taskflow(TaskGraph& graph, int threads,
+                   const std::function<void(TaskGraph&)>& submitter);
+
+}  // namespace dnc::rt

@@ -1,0 +1,109 @@
+// Task graph construction: sequential task-flow submission with automatic
+// dependency inference from data-access qualifiers (the QUARK model the
+// paper's solver is written against).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/access.hpp"
+
+namespace dnc::rt {
+
+/// Identity of a logical piece of data. The runtime never dereferences the
+/// data itself -- a handle is pure identity, which is how the solver maps
+/// "the eigenvector block of tree node v" or "panel p of the merge at node
+/// v" onto dependency tracking without address-range analysis.
+class Handle {
+ public:
+  explicit Handle(std::string label = {}) : label_(std::move(label)) {}
+  const std::string& label() const { return label_; }
+
+ private:
+  std::string label_;
+};
+
+/// Task kinds drive trace colours and the simulator's memory-bound model.
+struct TaskKind {
+  std::string name;
+  bool memory_bound = false;  ///< bandwidth-limited (Permute/CopyBack/Sort)
+  std::string color = "#808080";
+};
+
+using KindId = int;
+
+struct TaskNode {
+  std::uint64_t id = 0;
+  KindId kind = 0;
+  std::function<void()> fn;
+  // --- scheduling state ---
+  std::atomic<long> unsatisfied{0};
+  std::mutex mu;
+  bool done = false;
+  std::vector<TaskNode*> successors;
+  // --- structure retained for DOT export and the simulator ---
+  std::vector<std::uint64_t> pred_ids;
+  // --- trace ---
+  double t_start = 0.0;
+  double t_end = 0.0;
+  int worker = -1;
+};
+
+struct TaskDep {
+  const Handle* handle;
+  Access mode;
+};
+
+/// Builds the DAG. Submission must happen from a single thread; execution
+/// (by Runtime) may overlap with submission, exactly as in QUARK where the
+/// master thread keeps submitting while workers drain ready tasks.
+class TaskGraph {
+ public:
+  TaskGraph();
+  ~TaskGraph();
+  TaskGraph(const TaskGraph&) = delete;
+  TaskGraph& operator=(const TaskGraph&) = delete;
+
+  /// Registers a task kind (colour + memory-bound classification).
+  KindId register_kind(const std::string& name, bool memory_bound = false,
+                       const std::string& color = "#808080");
+
+  /// Submits a task accessing the given handles. Returns the node, already
+  /// wired to its predecessors; the caller (Runtime) is notified through
+  /// the ready callback when the task may run.
+  TaskNode* submit(KindId kind, std::function<void()> fn, const std::vector<TaskDep>& deps);
+
+  /// Called by the engine when a task finishes: marks it done and returns
+  /// the successors that became ready.
+  std::vector<TaskNode*> complete(TaskNode* node);
+
+  /// Ready-callback invoked (from the submitting thread) whenever a task
+  /// has no unsatisfied dependencies at submission time.
+  std::function<void(TaskNode*)> on_ready;
+
+  std::size_t task_count() const { return nodes_.size(); }
+  const std::vector<std::unique_ptr<TaskNode>>& nodes() const { return nodes_; }
+  const std::vector<TaskKind>& kinds() const { return kinds_; }
+  const TaskKind& kind_of(const TaskNode& n) const { return kinds_[n.kind]; }
+
+ private:
+  struct HandleState {
+    std::vector<TaskNode*> writers;      // last writer, or the open GatherV group
+    bool writers_are_gatherv = false;
+    std::vector<TaskNode*> readers;      // readers since the last writer group
+    std::vector<TaskNode*> gather_base;  // common predecessors of the open group
+  };
+
+  std::vector<std::unique_ptr<TaskNode>> nodes_;
+  std::vector<TaskKind> kinds_;
+  std::unordered_map<const Handle*, HandleState> handles_;
+  std::uint64_t next_id_ = 0;
+};
+
+}  // namespace dnc::rt

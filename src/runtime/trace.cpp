@@ -1,0 +1,138 @@
+#include "runtime/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dnc::rt {
+
+double Trace::makespan() const {
+  double t0 = 0.0, t1 = 0.0;
+  bool first = true;
+  for (const auto& e : events) {
+    if (e.worker < 0) continue;  // never executed (shouldn't happen)
+    if (first) {
+      t0 = e.t_start;
+      t1 = e.t_end;
+      first = false;
+    } else {
+      t0 = std::min(t0, e.t_start);
+      t1 = std::max(t1, e.t_end);
+    }
+  }
+  return first ? 0.0 : t1 - t0;
+}
+
+double Trace::total_busy() const {
+  double s = 0.0;
+  for (const auto& e : events) s += e.t_end - e.t_start;
+  return s;
+}
+
+double Trace::efficiency() const {
+  const double span = makespan();
+  if (span <= 0.0 || workers <= 0) return 1.0;
+  return total_busy() / (span * workers);
+}
+
+std::vector<double> Trace::busy_by_kind() const {
+  std::vector<double> acc(kind_names.size(), 0.0);
+  for (const auto& e : events) {
+    if (e.kind >= 0 && e.kind < static_cast<int>(acc.size())) acc[e.kind] += e.t_end - e.t_start;
+  }
+  return acc;
+}
+
+std::string Trace::ascii_gantt(int width) const {
+  if (events.empty() || workers <= 0) return "(empty trace)\n";
+  double t0 = events.front().t_start, t1 = events.front().t_end;
+  for (const auto& e : events) {
+    t0 = std::min(t0, e.t_start);
+    t1 = std::max(t1, e.t_end);
+  }
+  const double span = std::max(t1 - t0, 1e-12);
+  // For each worker row, pick for every column the kind occupying the most
+  // of that time slice.
+  std::string out;
+  std::vector<double> slice(width);
+  for (int w = 0; w < workers; ++w) {
+    std::vector<std::vector<double>> per_kind(kind_names.size(),
+                                              std::vector<double>(width, 0.0));
+    for (const auto& e : events) {
+      if (e.worker != w) continue;
+      const double a = (e.t_start - t0) / span * width;
+      const double b = (e.t_end - t0) / span * width;
+      const int ca = std::clamp(static_cast<int>(a), 0, width - 1);
+      const int cb = std::clamp(static_cast<int>(b), 0, width - 1);
+      for (int ccol = ca; ccol <= cb; ++ccol) {
+        const double lo = std::max(a, static_cast<double>(ccol));
+        const double hi = std::min(b, static_cast<double>(ccol + 1));
+        if (hi > lo && e.kind >= 0) per_kind[e.kind][ccol] += hi - lo;
+      }
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "w%02d |", w);
+    out += buf;
+    for (int ccol = 0; ccol < width; ++ccol) {
+      int best = -1;
+      double bv = 0.0;
+      for (std::size_t k = 0; k < per_kind.size(); ++k) {
+        if (per_kind[k][ccol] > bv) {
+          bv = per_kind[k][ccol];
+          best = static_cast<int>(k);
+        }
+      }
+      if (best < 0 || bv < 0.05) {
+        out += '.';
+      } else {
+        const std::string& nm = kind_names[best];
+        out += nm.empty() ? '?' : nm[0];
+      }
+    }
+    out += "|\n";
+  }
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "time axis: %.6f s total; '.' = idle\n", span);
+  out += buf;
+  return out;
+}
+
+std::string Trace::kernel_summary() const {
+  const auto acc = busy_by_kind();
+  std::vector<long> counts(kind_names.size(), 0);
+  for (const auto& e : events)
+    if (e.kind >= 0 && e.kind < static_cast<int>(counts.size())) ++counts[e.kind];
+  const double busy = std::max(total_busy(), 1e-12);
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "%-22s %8s %12s %7s\n", "kernel", "count", "time(s)", "%busy");
+  out += buf;
+  for (std::size_t k = 0; k < kind_names.size(); ++k) {
+    if (counts[k] == 0) continue;
+    std::snprintf(buf, sizeof buf, "%-22s %8ld %12.6f %6.1f%%\n", kind_names[k].c_str(),
+                  counts[k], acc[k], 100.0 * acc[k] / busy);
+    out += buf;
+  }
+  return out;
+}
+
+std::string Trace::chrome_trace_json() const {
+  std::string out = "[\n";
+  char buf[256];
+  bool first = true;
+  for (const auto& e : events) {
+    const char* name = (e.kind >= 0 && e.kind < static_cast<int>(kind_names.size()))
+                           ? kind_names[e.kind].c_str()
+                           : "task";
+    std::snprintf(buf, sizeof buf,
+                  "%s{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,"
+                  "\"ts\":%.3f,\"dur\":%.3f}",
+                  first ? "" : ",\n", name, e.worker, e.t_start * 1e6,
+                  (e.t_end - e.t_start) * 1e6);
+    out += buf;
+    first = false;
+  }
+  out += "\n]\n";
+  return out;
+}
+
+}  // namespace dnc::rt

@@ -1,0 +1,47 @@
+// Execution traces: per-task (worker, start, end) records plus rendering
+// helpers. The ASCII Gantt view reproduces the structure of the paper's
+// Figures 3 and 4 (per-core activity over time, coloured by kernel).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dnc::rt {
+
+struct TraceEvent {
+  std::uint64_t task_id;
+  int kind;
+  int worker;
+  double t_start;
+  double t_end;
+};
+
+struct Trace {
+  int workers = 0;
+  std::vector<std::string> kind_names;
+  std::vector<TraceEvent> events;
+
+  double makespan() const;
+  double total_busy() const;
+  /// Fraction of worker-time spent executing tasks (1 = no idle time).
+  double efficiency() const;
+
+  /// Per-kind aggregate busy time, index-aligned with kind_names.
+  std::vector<double> busy_by_kind() const;
+
+  /// Renders an ASCII Gantt chart, `width` characters of time axis. Each
+  /// worker is one row; each cell shows the initial of the dominant kernel
+  /// in that time slice ('.' = idle).
+  std::string ascii_gantt(int width = 100) const;
+
+  /// One line per kind: name, count, total time, % of busy time.
+  std::string kernel_summary() const;
+
+  /// Chrome trace-event JSON ("chrome://tracing" / Perfetto format): one
+  /// complete event per task, worker id as tid. Works for measured traces
+  /// and for simulated schedules alike.
+  std::string chrome_trace_json() const;
+};
+
+}  // namespace dnc::rt

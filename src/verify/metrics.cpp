@@ -1,0 +1,75 @@
+#include "verify/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "blas/aux.hpp"
+#include "blas/gemm.hpp"
+#include "common/error.hpp"
+#include "lapack/bisect.hpp"
+
+namespace dnc::verify {
+
+double orthogonality(const Matrix& v) {
+  const index_t n = v.rows();
+  DNC_REQUIRE(v.cols() == n, "orthogonality: V must be square");
+  if (n == 0) return 0.0;
+  // Compute G = V^T V in panels to bound workspace, track max |G - I|.
+  const index_t nb = std::min<index_t>(n, 256);
+  Matrix g(n, nb);
+  double worst = 0.0;
+  for (index_t j0 = 0; j0 < n; j0 += nb) {
+    const index_t w = std::min(nb, n - j0);
+    blas::gemm(blas::Trans::Yes, blas::Trans::No, n, w, n, 1.0, v.data(), v.ld(),
+               v.data() + j0 * v.ld(), v.ld(), 0.0, g.data(), g.ld());
+    for (index_t j = 0; j < w; ++j) {
+      for (index_t i = 0; i < n; ++i) {
+        const double target = (i == j0 + j) ? 1.0 : 0.0;
+        worst = std::max(worst, std::fabs(g(i, j) - target));
+      }
+    }
+  }
+  return worst / static_cast<double>(n);
+}
+
+double reduction_residual(const matgen::Tridiag& t, const std::vector<double>& lam,
+                          const Matrix& v) {
+  const index_t n = t.n();
+  DNC_REQUIRE(v.rows() == n && v.cols() == n, "reduction_residual: shape mismatch");
+  DNC_REQUIRE(static_cast<index_t>(lam.size()) == n, "reduction_residual: lambda size");
+  if (n == 0) return 0.0;
+  double worst = 0.0;
+  // Residual column j: T v_j - lam_j v_j, tridiagonal product is O(n).
+  for (index_t j = 0; j < n; ++j) {
+    const double* col = v.data() + j * v.ld();
+    for (index_t i = 0; i < n; ++i) {
+      double r = t.d[i] * col[i];
+      if (i > 0) r += t.e[i - 1] * col[i - 1];
+      if (i + 1 < n) r += t.e[i] * col[i + 1];
+      r -= lam[j] * col[i];
+      worst = std::max(worst, std::fabs(r));
+    }
+  }
+  const double tnorm = std::max(blas::lanst_one(n, t.d.data(), t.e.data()),
+                                std::numeric_limits<double>::min());
+  return worst / (tnorm * static_cast<double>(n));
+}
+
+double eigenvalue_error_vs_bisection(const matgen::Tridiag& t, const std::vector<double>& lam) {
+  const auto ref = lapack::bisect_all(t.n(), t.d.data(), t.e.data());
+  return max_relative_difference(lam, ref);
+}
+
+double max_relative_difference(const std::vector<double>& lam, const std::vector<double>& ref) {
+  DNC_REQUIRE(lam.size() == ref.size(), "max_relative_difference: size mismatch");
+  double scale = 0.0;
+  for (double r : ref) scale = std::max(scale, std::fabs(r));
+  if (scale == 0.0) scale = 1.0;
+  double worst = 0.0;
+  for (std::size_t i = 0; i < lam.size(); ++i)
+    worst = std::max(worst, std::fabs(lam[i] - ref[i]) / scale);
+  return worst;
+}
+
+}  // namespace dnc::verify

@@ -1,0 +1,31 @@
+// Accuracy metrics matching the paper's Figure 9:
+//   orthogonality  ||I - V V^T|| / n
+//   reduction      ||T - V Lambda V^T|| / (||T|| n)
+// plus eigenvalue cross-checks against bisection. Norms are max-norms of
+// the residual matrices (computed without forming n x n intermediates where
+// possible).
+#pragma once
+
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "matgen/tridiag.hpp"
+
+namespace dnc::verify {
+
+/// ||I - V^T V||_max / n  (V n x n column-major).
+double orthogonality(const Matrix& v);
+
+/// ||T V - V diag(lam)||_max / (||T||_1 * n): the reduction residual of the
+/// paper evaluated column-wise (equivalent up to a factor of the norm used).
+double reduction_residual(const matgen::Tridiag& t, const std::vector<double>& lam,
+                          const Matrix& v);
+
+/// Max relative eigenvalue error against bisection:
+/// max_i |lam_i - mu_i| / max(|mu|, tiny). Assumes both ascending.
+double eigenvalue_error_vs_bisection(const matgen::Tridiag& t, const std::vector<double>& lam);
+
+/// Max |lam_i - ref_i| / scale for two ascending lists.
+double max_relative_difference(const std::vector<double>& lam, const std::vector<double>& ref);
+
+}  // namespace dnc::verify

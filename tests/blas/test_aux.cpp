@@ -1,0 +1,108 @@
+#include "blas/aux.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+
+namespace dnc::blas {
+namespace {
+
+TEST(Aux, LacpyContiguous) {
+  Matrix a(5, 4);
+  Rng r(1);
+  for (index_t j = 0; j < 4; ++j)
+    for (index_t i = 0; i < 5; ++i) a(i, j) = r.uniform_sym();
+  Matrix b(5, 4);
+  lacpy(5, 4, a.data(), 5, b.data(), 5);
+  for (index_t j = 0; j < 4; ++j)
+    for (index_t i = 0; i < 5; ++i) EXPECT_EQ(a(i, j), b(i, j));
+}
+
+TEST(Aux, LacpyStrided) {
+  Matrix a(6, 3);
+  a.fill(7.0);
+  Matrix b(8, 3);
+  b.fill(0.0);
+  lacpy(4, 3, a.data(), 6, b.data() + 1, 8);
+  EXPECT_EQ(b(0, 0), 0.0);
+  EXPECT_EQ(b(1, 0), 7.0);
+  EXPECT_EQ(b(4, 2), 7.0);
+  EXPECT_EQ(b(5, 0), 0.0);
+}
+
+TEST(Aux, Laset) {
+  Matrix a(4, 4);
+  laset(4, 4, 2.0, -1.0, a.data(), 4);
+  for (index_t j = 0; j < 4; ++j)
+    for (index_t i = 0; i < 4; ++i) EXPECT_EQ(a(i, j), i == j ? -1.0 : 2.0);
+}
+
+TEST(Aux, LasetRect) {
+  Matrix a(3, 5);
+  laset(3, 5, 0.0, 1.0, a.data(), 3);
+  EXPECT_EQ(a(2, 2), 1.0);
+  EXPECT_EQ(a(2, 4), 0.0);
+}
+
+TEST(Aux, LasclBasic) {
+  Matrix a(3, 3);
+  a.fill(2.0);
+  lascl(3, 3, 4.0, 1.0, a.data(), 3);
+  EXPECT_DOUBLE_EQ(a(1, 1), 0.5);
+}
+
+TEST(Aux, LasclExtremeRatio) {
+  // Scaling 1e300 -> 1e-300 (factor 1e-600) must not overflow or produce
+  // zero when the data itself keeps the result representable.
+  Matrix a(2, 2);
+  a.fill(1e300);
+  lascl(2, 2, 1e300, 1e-300, a.data(), 2);
+  EXPECT_NEAR(a(0, 0) / 1e-300, 1.0, 1e-10);
+}
+
+TEST(Aux, LasclUpScaleExtreme) {
+  Matrix a(2, 2);
+  a.fill(1e-300);
+  lascl(2, 2, 1e-300, 1e2, a.data(), 2);
+  EXPECT_NEAR(a(1, 1), 1e2, 1e-8);
+}
+
+TEST(Aux, LangeNorms) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(1, 0) = -2;
+  a(0, 1) = 3;
+  a(1, 1) = -4;
+  EXPECT_DOUBLE_EQ(lange_max(2, 2, a.data(), 2), 4.0);
+  EXPECT_DOUBLE_EQ(lange_one(2, 2, a.data(), 2), 7.0);
+  EXPECT_NEAR(lange_fro(2, 2, a.data(), 2), std::sqrt(30.0), 1e-14);
+}
+
+TEST(Aux, LangeFroOverflowSafe) {
+  Matrix a(1, 2);
+  a(0, 0) = 1e308;
+  a(0, 1) = 1e308;
+  EXPECT_TRUE(std::isfinite(lange_fro(1, 2, a.data(), 1)));
+}
+
+TEST(Aux, Lanst) {
+  // T = tridiag(d=[1,-5,2], e=[3,-1]).
+  const double d[] = {1, -5, 2};
+  const double e[] = {3, -1};
+  EXPECT_DOUBLE_EQ(lanst_max(3, d, e), 5.0);
+  // Column sums: |1|+|3|, |3|+|5|+|1|, |1|+|2|.
+  EXPECT_DOUBLE_EQ(lanst_one(3, d, e), 9.0);
+}
+
+TEST(Aux, LanstSmall) {
+  const double d1[] = {-3.0};
+  EXPECT_DOUBLE_EQ(lanst_one(1, d1, nullptr), 3.0);
+  EXPECT_DOUBLE_EQ(lanst_max(1, d1, nullptr), 3.0);
+  EXPECT_DOUBLE_EQ(lanst_one(0, nullptr, nullptr), 0.0);
+}
+
+}  // namespace
+}  // namespace dnc::blas

@@ -1,0 +1,139 @@
+#include "blas/gemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <tuple>
+
+#include "blas/parallel_gemm.hpp"
+#include "common/rng.hpp"
+
+namespace dnc::blas {
+namespace {
+
+Matrix randmat(index_t m, index_t n, std::uint64_t seed) {
+  Rng r(seed);
+  Matrix a(m, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i) a(i, j) = r.uniform_sym();
+  return a;
+}
+
+double max_diff(const Matrix& a, const Matrix& b) {
+  double w = 0;
+  for (index_t j = 0; j < a.cols(); ++j)
+    for (index_t i = 0; i < a.rows(); ++i) w = std::max(w, std::fabs(a(i, j) - b(i, j)));
+  return w;
+}
+
+using Shape = std::tuple<int, int, int>;
+
+class GemmShapes : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(GemmShapes, MatchesReferenceAllTransposes) {
+  const auto [m, n, k] = GetParam();
+  for (Trans ta : {Trans::No, Trans::Yes}) {
+    for (Trans tb : {Trans::No, Trans::Yes}) {
+      Matrix a = (ta == Trans::No) ? randmat(m, k, 1) : randmat(k, m, 1);
+      Matrix b = (tb == Trans::No) ? randmat(k, n, 2) : randmat(n, k, 2);
+      Matrix c = randmat(m, n, 3);
+      Matrix cref = c;
+      gemm(ta, tb, m, n, k, 1.3, a.data(), a.ld(), b.data(), b.ld(), -0.7, c.data(), c.ld());
+      gemm_reference(ta, tb, m, n, k, 1.3, a.data(), a.ld(), b.data(), b.ld(), -0.7,
+                     cref.data(), cref.ld());
+      EXPECT_LT(max_diff(c, cref), 1e-11 * std::max<index_t>(1, k))
+          << "m=" << m << " n=" << n << " k=" << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GemmShapes,
+                         ::testing::Values(Shape{1, 1, 1}, Shape{3, 5, 7}, Shape{8, 4, 16},
+                                           Shape{33, 17, 65}, Shape{64, 64, 64},
+                                           Shape{100, 37, 129}, Shape{130, 258, 70},
+                                           Shape{257, 63, 300}));
+
+TEST(Gemm, BetaZeroOverwritesNaN) {
+  Matrix a = randmat(8, 8, 4);
+  Matrix b = randmat(8, 8, 5);
+  Matrix c(8, 8);
+  c.fill(std::numeric_limits<double>::quiet_NaN());
+  gemm(Trans::No, Trans::No, 8, 8, 8, 1.0, a.data(), 8, b.data(), 8, 0.0, c.data(), 8);
+  for (index_t j = 0; j < 8; ++j)
+    for (index_t i = 0; i < 8; ++i) EXPECT_TRUE(std::isfinite(c(i, j)));
+}
+
+TEST(Gemm, AlphaZeroScalesC) {
+  Matrix a = randmat(4, 4, 6);
+  Matrix b = randmat(4, 4, 7);
+  Matrix c(4, 4);
+  c.fill(2.0);
+  gemm(Trans::No, Trans::No, 4, 4, 4, 0.0, a.data(), 4, b.data(), 4, 0.5, c.data(), 4);
+  for (index_t j = 0; j < 4; ++j)
+    for (index_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(c(i, j), 1.0);
+}
+
+TEST(Gemm, KZeroActsAsScale) {
+  Matrix c(3, 3);
+  c.fill(4.0);
+  gemm(Trans::No, Trans::No, 3, 3, 0, 1.0, nullptr, 1, nullptr, 1, 0.25, c.data(), 3);
+  EXPECT_DOUBLE_EQ(c(1, 1), 1.0);
+}
+
+TEST(Gemm, SubmatrixLeadingDimensions) {
+  // C is a window of a bigger array: ld > m exercises all paths.
+  Matrix abig = randmat(40, 40, 8);
+  Matrix bbig = randmat(40, 40, 9);
+  Matrix cbig(40, 40);
+  cbig.fill(0.0);
+  Matrix cref = cbig;
+  const index_t m = 20, n = 18, k = 25;
+  gemm(Trans::No, Trans::No, m, n, k, 1.0, abig.data() + 3, 40, bbig.data() + 2, 40, 0.0,
+       cbig.data() + 5, 40);
+  gemm_reference(Trans::No, Trans::No, m, n, k, 1.0, abig.data() + 3, 40, bbig.data() + 2, 40,
+                 0.0, cref.data() + 5, 40);
+  EXPECT_LT(max_diff(cbig, cref), 1e-11 * k);
+}
+
+TEST(Gemm, IdentityPreserves) {
+  const index_t n = 50;
+  Matrix a = randmat(n, n, 10);
+  Matrix eye(n, n);
+  eye.fill(0.0);
+  for (index_t i = 0; i < n; ++i) eye(i, i) = 1.0;
+  Matrix c(n, n);
+  c.fill(0.0);
+  gemm(Trans::No, Trans::No, n, n, n, 1.0, a.data(), n, eye.data(), n, 0.0, c.data(), n);
+  EXPECT_LT(max_diff(c, a), 1e-13);
+}
+
+TEST(ParallelGemm, MatchesSequential) {
+  const index_t m = 65, n = 91, k = 77;
+  Matrix a = randmat(m, k, 11);
+  Matrix b = randmat(k, n, 12);
+  Matrix c1 = randmat(m, n, 13);
+  Matrix c2 = c1;
+  gemm(Trans::No, Trans::No, m, n, k, 1.0, a.data(), m, b.data(), k, 0.5, c1.data(), m);
+  ThreadPool pool(4);
+  parallel_gemm(pool, Trans::No, Trans::No, m, n, k, 1.0, a.data(), m, b.data(), k, 0.5,
+                c2.data(), m);
+  EXPECT_LT(max_diff(c1, c2), 1e-12);
+}
+
+TEST(ParallelGemm, TransB) {
+  const index_t m = 33, n = 44, k = 20;
+  Matrix a = randmat(m, k, 14);
+  Matrix b = randmat(n, k, 15);  // op(B) = B^T
+  Matrix c1(m, n), c2(m, n);
+  c1.fill(0);
+  c2.fill(0);
+  gemm(Trans::No, Trans::Yes, m, n, k, 1.0, a.data(), m, b.data(), n, 0.0, c1.data(), m);
+  ThreadPool pool(3);
+  parallel_gemm(pool, Trans::No, Trans::Yes, m, n, k, 1.0, a.data(), m, b.data(), n, 0.0,
+                c2.data(), m);
+  EXPECT_LT(max_diff(c1, c2), 1e-12);
+}
+
+}  // namespace
+}  // namespace dnc::blas

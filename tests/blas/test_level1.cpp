@@ -1,0 +1,126 @@
+#include "blas/level1.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace dnc::blas {
+namespace {
+
+std::vector<double> randvec(index_t n, std::uint64_t seed) {
+  Rng r(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = r.uniform_sym();
+  return v;
+}
+
+TEST(Level1, Axpy) {
+  auto x = randvec(100, 1);
+  auto y = randvec(100, 2);
+  auto y0 = y;
+  axpy(100, 2.5, x.data(), y.data());
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(y[i], y0[i] + 2.5 * x[i]);
+}
+
+TEST(Level1, AxpyZeroAlphaNoop) {
+  auto x = randvec(10, 3);
+  auto y = randvec(10, 4);
+  auto y0 = y;
+  axpy(10, 0.0, x.data(), y.data());
+  EXPECT_EQ(y, y0);
+}
+
+TEST(Level1, AxpyStrided) {
+  std::vector<double> x{1, 99, 2, 99, 3, 99};
+  std::vector<double> y{10, 20, 30};
+  axpy(3, 1.0, x.data(), 2, y.data(), 1);
+  EXPECT_DOUBLE_EQ(y[0], 11);
+  EXPECT_DOUBLE_EQ(y[1], 22);
+  EXPECT_DOUBLE_EQ(y[2], 33);
+}
+
+TEST(Level1, Scal) {
+  auto x = randvec(50, 5);
+  auto x0 = x;
+  scal(50, -3.0, x.data());
+  for (int i = 0; i < 50; ++i) EXPECT_DOUBLE_EQ(x[i], -3.0 * x0[i]);
+}
+
+TEST(Level1, Dot) {
+  std::vector<double> x{1, 2, 3};
+  std::vector<double> y{4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(3, x.data(), y.data()), 32.0);
+}
+
+TEST(Level1, DotStrided) {
+  std::vector<double> x{1, 0, 2, 0};
+  std::vector<double> y{3, 4};
+  EXPECT_DOUBLE_EQ(dot(2, x.data(), 2, y.data(), 1), 1 * 3 + 2 * 4);
+}
+
+TEST(Level1, Nrm2Basic) {
+  std::vector<double> x{3, 4};
+  EXPECT_DOUBLE_EQ(nrm2(2, x.data()), 5.0);
+}
+
+TEST(Level1, Nrm2OverflowSafe) {
+  std::vector<double> x{1e308, 1e308};
+  EXPECT_TRUE(std::isfinite(nrm2(2, x.data())));
+  EXPECT_NEAR(nrm2(2, x.data()) / 1e308, std::sqrt(2.0), 1e-12);
+}
+
+TEST(Level1, Nrm2UnderflowSafe) {
+  std::vector<double> x{1e-300, 1e-300, 1e-300, 1e-300};
+  EXPECT_NEAR(nrm2(4, x.data()) / 1e-300, 2.0, 1e-12);
+}
+
+TEST(Level1, Nrm2Zero) {
+  std::vector<double> x{0, 0, 0};
+  EXPECT_DOUBLE_EQ(nrm2(3, x.data()), 0.0);
+}
+
+TEST(Level1, CopyAndSwap) {
+  auto x = randvec(20, 6);
+  auto y = randvec(20, 7);
+  auto x0 = x, y0 = y;
+  swap(20, x.data(), y.data());
+  EXPECT_EQ(x, y0);
+  EXPECT_EQ(y, x0);
+  copy(20, x.data(), y.data());
+  EXPECT_EQ(x, y);
+}
+
+TEST(Level1, Asum) {
+  std::vector<double> x{-1, 2, -3};
+  EXPECT_DOUBLE_EQ(asum(3, x.data()), 6.0);
+}
+
+TEST(Level1, Iamax) {
+  std::vector<double> x{1, -7, 3, 7};
+  EXPECT_EQ(iamax(4, x.data()), 1);  // first occurrence of |max|
+  EXPECT_EQ(iamax(0, x.data()), -1);
+}
+
+TEST(Level1, RotOrthogonality) {
+  auto x = randvec(30, 8);
+  auto y = randvec(30, 9);
+  const double nx2 = dot(30, x.data(), x.data()) + dot(30, y.data(), y.data());
+  const double c = std::cos(0.7), s = std::sin(0.7);
+  rot(30, x.data(), y.data(), c, s);
+  const double nr2 = dot(30, x.data(), x.data()) + dot(30, y.data(), y.data());
+  EXPECT_NEAR(nx2, nr2, 1e-12 * nx2);
+}
+
+TEST(Level1, RotValues) {
+  std::vector<double> x{1.0};
+  std::vector<double> y{0.0};
+  rot(1, x.data(), y.data(), 0.0, 1.0);  // quarter turn
+  EXPECT_DOUBLE_EQ(x[0], 0.0);
+  EXPECT_DOUBLE_EQ(y[0], -1.0);
+}
+
+}  // namespace
+}  // namespace dnc::blas

@@ -1,0 +1,102 @@
+#include "blas/level2.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+
+namespace dnc::blas {
+namespace {
+
+Matrix randmat(index_t m, index_t n, std::uint64_t seed) {
+  Rng r(seed);
+  Matrix a(m, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i) a(i, j) = r.uniform_sym();
+  return a;
+}
+
+TEST(Level2, GemvNoTrans) {
+  const index_t m = 7, n = 5;
+  Matrix a = randmat(m, n, 1);
+  std::vector<double> x(n), y(m, 0.5), yref(m);
+  Rng r(2);
+  for (auto& v : x) v = r.uniform_sym();
+  for (index_t i = 0; i < m; ++i) {
+    double s = 0;
+    for (index_t j = 0; j < n; ++j) s += a(i, j) * x[j];
+    yref[i] = 2.0 * s + 3.0 * 0.5;
+  }
+  gemv(Trans::No, m, n, 2.0, a.data(), m, x.data(), 3.0, y.data());
+  for (index_t i = 0; i < m; ++i) EXPECT_NEAR(y[i], yref[i], 1e-13);
+}
+
+TEST(Level2, GemvTrans) {
+  const index_t m = 6, n = 4;
+  Matrix a = randmat(m, n, 3);
+  std::vector<double> x(m), y(n, 0.0);
+  Rng r(4);
+  for (auto& v : x) v = r.uniform_sym();
+  gemv(Trans::Yes, m, n, 1.0, a.data(), m, x.data(), 0.0, y.data());
+  for (index_t j = 0; j < n; ++j) {
+    double s = 0;
+    for (index_t i = 0; i < m; ++i) s += a(i, j) * x[i];
+    EXPECT_NEAR(y[j], s, 1e-13);
+  }
+}
+
+TEST(Level2, GemvBetaZeroIgnoresGarbage) {
+  Matrix a = randmat(3, 3, 5);
+  std::vector<double> x{1, 1, 1};
+  std::vector<double> y{1e300, -1e300, 1e300};
+  gemv(Trans::No, 3, 3, 1.0, a.data(), 3, x.data(), 0.0, y.data());
+  for (double v : y) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Level2, Ger) {
+  const index_t m = 5, n = 3;
+  Matrix a = randmat(m, n, 6);
+  Matrix a0 = a;
+  std::vector<double> x(m), y(n);
+  Rng r(7);
+  for (auto& v : x) v = r.uniform_sym();
+  for (auto& v : y) v = r.uniform_sym();
+  ger(m, n, 1.5, x.data(), y.data(), a.data(), m);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i) EXPECT_NEAR(a(i, j), a0(i, j) + 1.5 * x[i] * y[j], 1e-13);
+}
+
+TEST(Level2, SymvLowerMatchesFullProduct) {
+  const index_t n = 8;
+  Matrix full = randmat(n, n, 8);
+  // Symmetrize, keep lower triangle as storage.
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < j; ++i) full(i, j) = full(j, i);
+  std::vector<double> x(n), y(n, 0.0), yref(n, 0.0);
+  Rng r(9);
+  for (auto& v : x) v = r.uniform_sym();
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = 0; j < n; ++j) yref[i] += full(i, j) * x[j];
+  symv_lower(n, 1.0, full.data(), n, x.data(), 0.0, y.data());
+  for (index_t i = 0; i < n; ++i) EXPECT_NEAR(y[i], yref[i], 1e-12);
+}
+
+TEST(Level2, Syr2LowerMatchesDefinition) {
+  const index_t n = 6;
+  Matrix a = randmat(n, n, 10);
+  Matrix a0 = a;
+  std::vector<double> x(n), y(n);
+  Rng r(11);
+  for (auto& v : x) v = r.uniform_sym();
+  for (auto& v : y) v = r.uniform_sym();
+  syr2_lower(n, 0.75, x.data(), y.data(), a.data(), n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = j; i < n; ++i)
+      EXPECT_NEAR(a(i, j), a0(i, j) + 0.75 * (x[i] * y[j] + y[i] * x[j]), 1e-13);
+}
+
+}  // namespace
+}  // namespace dnc::blas

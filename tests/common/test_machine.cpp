@@ -1,0 +1,32 @@
+#include "common/machine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dnc {
+namespace {
+
+TEST(Machine, EpsMatchesIEEE) {
+  EXPECT_DOUBLE_EQ(lamch_eps(), 0x1p-53);
+  EXPECT_DOUBLE_EQ(lamch_prec(), 0x1p-52);
+}
+
+TEST(Machine, SafminReciprocalFinite) {
+  const double s = lamch_safmin();
+  EXPECT_GT(s, 0.0);
+  EXPECT_TRUE(std::isfinite(1.0 / s));
+}
+
+TEST(Machine, OneIsExactUnderEps) {
+  EXPECT_NE(1.0 + lamch_prec(), 1.0);
+  EXPECT_EQ(1.0 + lamch_eps() / 2, 1.0);
+}
+
+TEST(Machine, ScaleBoundsOrdered) {
+  const auto b = steqr_scale_bounds();
+  EXPECT_GT(b.ssfmax, 1.0);
+  EXPECT_LT(b.ssfmin, 1.0);
+  EXPECT_GT(b.ssfmin, 0.0);
+}
+
+}  // namespace
+}  // namespace dnc

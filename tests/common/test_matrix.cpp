@@ -1,0 +1,85 @@
+#include "common/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace dnc {
+namespace {
+
+TEST(Matrix, DefaultEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.cols(), 0);
+  EXPECT_EQ(m.data(), nullptr);
+}
+
+TEST(Matrix, ColumnMajorLayout) {
+  Matrix m(3, 2);
+  m(0, 0) = 1;
+  m(1, 0) = 2;
+  m(2, 0) = 3;
+  m(0, 1) = 4;
+  EXPECT_EQ(m.data()[0], 1);
+  EXPECT_EQ(m.data()[1], 2);
+  EXPECT_EQ(m.data()[2], 3);
+  EXPECT_EQ(m.data()[3], 4);
+}
+
+TEST(Matrix, AlignedTo64) {
+  Matrix m(17, 13);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(m.data()) % 64, 0u);
+}
+
+TEST(Matrix, CopySemantics) {
+  Matrix a(2, 2);
+  a.fill(3.5);
+  Matrix b = a;
+  b(0, 0) = -1.0;
+  EXPECT_EQ(a(0, 0), 3.5);
+  EXPECT_EQ(b(0, 0), -1.0);
+  EXPECT_EQ(b(1, 1), 3.5);
+}
+
+TEST(Matrix, MoveSemantics) {
+  Matrix a(4, 4);
+  a.fill(2.0);
+  const double* p = a.data();
+  Matrix b = std::move(a);
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(b(3, 3), 2.0);
+}
+
+TEST(Matrix, ViewBlock) {
+  Matrix m(4, 4);
+  for (index_t j = 0; j < 4; ++j)
+    for (index_t i = 0; i < 4; ++i) m(i, j) = static_cast<double>(10 * i + j);
+  MatrixView b = m.block(1, 2, 2, 2);
+  EXPECT_EQ(b.rows, 2);
+  EXPECT_EQ(b.cols, 2);
+  EXPECT_EQ(b(0, 0), 12.0);
+  EXPECT_EQ(b(1, 1), 23.0);
+  b(0, 0) = -5;
+  EXPECT_EQ(m(1, 2), -5.0);
+}
+
+TEST(Matrix, ViewColPointer) {
+  Matrix m(3, 3);
+  m(0, 2) = 9.0;
+  EXPECT_EQ(m.view().col(2)[0], 9.0);
+}
+
+TEST(Matrix, ResizeReallocates) {
+  Matrix m(2, 2);
+  m.fill(1.0);
+  m.resize(5, 3);
+  EXPECT_EQ(m.rows(), 5);
+  EXPECT_EQ(m.cols(), 3);
+}
+
+TEST(Matrix, NegativeDimensionThrows) {
+  EXPECT_THROW(Matrix(-1, 2), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dnc

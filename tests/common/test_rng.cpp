@@ -1,0 +1,101 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace dnc {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, Uniform01Range) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.uniform01();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01Mean) {
+  Rng r(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += r.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformSymRange) {
+  Rng r(5);
+  double mn = 1.0, mx = -1.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.uniform_sym();
+    mn = std::min(mn, x);
+    mx = std::max(mx, x);
+  }
+  EXPECT_LT(mn, -0.9);
+  EXPECT_GT(mx, 0.9);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(13);
+  double s1 = 0.0, s2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    s1 += x;
+    s2 += x * x;
+  }
+  EXPECT_NEAR(s1 / n, 0.0, 0.02);
+  EXPECT_NEAR(s2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, UniformBelowBounds) {
+  Rng r(17);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_below(10);
+    ASSERT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all residues hit
+}
+
+TEST(Rng, UniformBelowZeroAndOne) {
+  Rng r(19);
+  EXPECT_EQ(r.uniform_below(0), 0u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.uniform_below(1), 0u);
+}
+
+TEST(Rng, SplitIndependence) {
+  Rng parent(23);
+  Rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (parent.next_u64() == child.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ReseedResets) {
+  Rng r(29);
+  const auto a = r.next_u64();
+  r.next_u64();
+  r.reseed(29);
+  EXPECT_EQ(r.next_u64(), a);
+}
+
+}  // namespace
+}  // namespace dnc

@@ -1,0 +1,71 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace dnc {
+namespace {
+
+TEST(ThreadPool, SingleThreadInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1);
+  std::vector<int> hit(10, 0);
+  pool.parallel_for(0, 10, [&](index_t lo, index_t hi) {
+    for (index_t i = lo; i < hi; ++i) hit[i] = 1;
+  });
+  EXPECT_EQ(std::accumulate(hit.begin(), hit.end(), 0), 10);
+}
+
+TEST(ThreadPool, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hit(1000);
+  pool.parallel_for(0, 1000, [&](index_t lo, index_t hi) {
+    for (index_t i = lo; i < hi; ++i) hit[i].fetch_add(1);
+  });
+  for (const auto& h : hit) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.parallel_for(5, 5, [&](index_t, index_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, SequentialEpochs) {
+  ThreadPool pool(3);
+  std::atomic<long> sum{0};
+  for (int rep = 0; rep < 50; ++rep) {
+    pool.parallel_for(0, 100, [&](index_t lo, index_t hi) {
+      long local = 0;
+      for (index_t i = lo; i < hi; ++i) local += i;
+      sum.fetch_add(local);
+    });
+  }
+  EXPECT_EQ(sum.load(), 50L * (99 * 100 / 2));
+}
+
+TEST(ThreadPool, RunJobs) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hit(37);
+  pool.run_jobs(37, [&](index_t j) { hit[j].fetch_add(1); });
+  for (const auto& h : hit) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, InvalidSizeThrows) { EXPECT_THROW(ThreadPool(0), InvalidArgument); }
+
+TEST(ThreadPool, OversubscriptionWorks) {
+  // More threads than cores must still complete (this container has 1 core).
+  ThreadPool pool(16);
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 16, [&](index_t lo, index_t hi) {
+    count.fetch_add(static_cast<int>(hi - lo));
+  });
+  EXPECT_EQ(count.load(), 16);
+}
+
+}  // namespace
+}  // namespace dnc

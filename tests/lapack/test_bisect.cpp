@@ -1,0 +1,94 @@
+#include "lapack/bisect.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "matgen/tridiag.hpp"
+
+namespace dnc::lapack {
+namespace {
+
+TEST(Sturm, CountMonotone) {
+  auto t = matgen::onetwoone(20);
+  index_t prev = 0;
+  for (double x = -1.0; x <= 5.0; x += 0.1) {
+    const index_t c = sturm_count(20, t.d.data(), t.e.data(), x);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_EQ(sturm_count(20, t.d.data(), t.e.data(), -1.0), 0);
+  EXPECT_EQ(sturm_count(20, t.d.data(), t.e.data(), 5.0), 20);
+}
+
+TEST(Sturm, CountAtExactEigenvalue) {
+  // For diag(1,2,3) with zero couplings, count below 2 is exactly 1.
+  const double d[] = {1, 2, 3};
+  const double e[] = {0, 0};
+  EXPECT_EQ(sturm_count(3, d, e, 2.0), 1);
+  EXPECT_EQ(sturm_count(3, d, e, 2.0000001), 2);
+}
+
+TEST(Gershgorin, EnclosesSpectrum) {
+  auto t = matgen::clement(15);
+  double lo, hi;
+  gershgorin_bounds(15, t.d.data(), t.e.data(), lo, hi);
+  EXPECT_EQ(sturm_count(15, t.d.data(), t.e.data(), lo), 0);
+  EXPECT_EQ(sturm_count(15, t.d.data(), t.e.data(), hi), 15);
+}
+
+TEST(Bisect, OneTwoOneAnalytic) {
+  const index_t n = 50;
+  auto t = matgen::onetwoone(n);
+  const double pi = 3.14159265358979323846;
+  for (index_t k : {index_t{0}, index_t{10}, index_t{25}, index_t{49}}) {
+    const double exact = 2.0 - 2.0 * std::cos((k + 1) * pi / (n + 1));
+    EXPECT_NEAR(bisect_eigenvalue(n, t.d.data(), t.e.data(), k), exact, 1e-12);
+  }
+}
+
+TEST(Bisect, AllEigenvaluesSortedAndComplete) {
+  Rng rng(4);
+  matgen::Tridiag t;
+  const index_t n = 60;
+  t.d.resize(n);
+  t.e.resize(n - 1);
+  for (auto& x : t.d) x = rng.uniform_sym();
+  for (auto& x : t.e) x = rng.uniform_sym();
+  const auto w = bisect_all(n, t.d.data(), t.e.data());
+  EXPECT_EQ(static_cast<index_t>(w.size()), n);
+  EXPECT_TRUE(std::is_sorted(w.begin(), w.end()));
+  // Each computed value has the right Sturm count bracket.
+  for (index_t k = 0; k < n; ++k) {
+    EXPECT_LE(sturm_count(n, t.d.data(), t.e.data(), w[k] - 1e-8), k);
+    EXPECT_GE(sturm_count(n, t.d.data(), t.e.data(), w[k] + 1e-8), k + 1);
+  }
+}
+
+TEST(Bisect, ClusterResolution) {
+  // Three nearly equal eigenvalues from a block-diagonal matrix.
+  const double d[] = {1.0, 1.0 + 1e-12, 1.0 + 2e-12, 5.0};
+  const double e[] = {0.0, 0.0, 0.0};
+  const auto w = bisect_all(4, d, e);
+  EXPECT_NEAR(w[0], 1.0, 1e-10);
+  EXPECT_NEAR(w[2], 1.0, 1e-10);
+  EXPECT_NEAR(w[3], 5.0, 1e-10);
+}
+
+TEST(Bisect, MatchesAllVsSingle) {
+  auto t = matgen::wilkinson(31);
+  const auto all = bisect_all(31, t.d.data(), t.e.data());
+  for (index_t k : {index_t{0}, index_t{15}, index_t{30}}) {
+    EXPECT_NEAR(all[k], bisect_eigenvalue(31, t.d.data(), t.e.data(), k), 1e-10);
+  }
+}
+
+TEST(Bisect, SingleElement) {
+  const double d[] = {-3.5};
+  EXPECT_NEAR(bisect_eigenvalue(1, d, nullptr, 0), -3.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace dnc::lapack

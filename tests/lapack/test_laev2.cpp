@@ -1,0 +1,55 @@
+#include "lapack/laev2.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace dnc::lapack {
+namespace {
+
+void check_2x2(double a, double b, double c) {
+  double rt1, rt2, cs, sn;
+  laev2(a, b, c, rt1, rt2, cs, sn);
+  // Eigenvalue equations: trace and determinant.
+  const double scale = std::max({std::fabs(a), std::fabs(b), std::fabs(c), 1e-30});
+  EXPECT_NEAR(rt1 + rt2, a + c, 1e-13 * scale);
+  EXPECT_NEAR(rt1 * rt2, a * c - b * b, 1e-12 * scale * scale);
+  // (cs, sn) is a unit eigenvector for rt1.
+  EXPECT_NEAR(cs * cs + sn * sn, 1.0, 1e-13);
+  EXPECT_NEAR(a * cs + b * sn, rt1 * cs, 2e-12 * scale);
+  EXPECT_NEAR(b * cs + c * sn, rt1 * sn, 2e-12 * scale);
+  // rt1 has the larger magnitude (dlaev2 convention).
+  EXPECT_GE(std::fabs(rt1) + 1e-15 * scale, std::fabs(rt2));
+  // lae2 must agree.
+  double s1, s2;
+  lae2(a, b, c, s1, s2);
+  EXPECT_NEAR(s1, rt1, 1e-12 * scale);
+  EXPECT_NEAR(s2, rt2, 1e-12 * scale);
+}
+
+TEST(Laev2, Diagonal) { check_2x2(3.0, 0.0, -1.0); }
+TEST(Laev2, EqualDiagonal) { check_2x2(2.0, 1.0, 2.0); }
+TEST(Laev2, ZeroMatrix) {
+  double rt1, rt2, cs, sn;
+  laev2(0, 0, 0, rt1, rt2, cs, sn);
+  EXPECT_EQ(rt1, 0.0);
+  EXPECT_EQ(rt2, 0.0);
+}
+TEST(Laev2, NegativeTrace) { check_2x2(-5.0, 2.0, -3.0); }
+TEST(Laev2, LargeOffdiag) { check_2x2(1e-8, 1e8, -1e-8); }
+TEST(Laev2, GradedEntries) { check_2x2(1e12, 1e3, 1e-9); }
+
+TEST(Laev2, RandomSweep) {
+  Rng rng(77);
+  for (int t = 0; t < 1000; ++t) {
+    const double a = rng.uniform_sym() * std::pow(10.0, 4 * rng.uniform_sym());
+    const double b = rng.uniform_sym() * std::pow(10.0, 4 * rng.uniform_sym());
+    const double c = rng.uniform_sym() * std::pow(10.0, 4 * rng.uniform_sym());
+    check_2x2(a, b, c);
+  }
+}
+
+}  // namespace
+}  // namespace dnc::lapack

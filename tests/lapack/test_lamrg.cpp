@@ -1,0 +1,78 @@
+#include "lapack/lamrg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace dnc::lapack {
+namespace {
+
+TEST(Lamrg, TwoAscendingLists) {
+  const std::vector<double> a{1, 4, 9, 2, 3, 10};
+  std::vector<index_t> perm(6);
+  lamrg(3, 3, a.data(), 1, 1, perm.data());
+  std::vector<double> merged;
+  for (auto p : perm) merged.push_back(a[p]);
+  EXPECT_TRUE(std::is_sorted(merged.begin(), merged.end()));
+  EXPECT_EQ(merged.front(), 1);
+  EXPECT_EQ(merged.back(), 10);
+}
+
+TEST(Lamrg, SecondListDescending) {
+  // Second sublist stored descending, traversed with dtrd2 = -1.
+  const std::vector<double> a{1, 5, 9, 8, 6, 0};
+  std::vector<index_t> perm(6);
+  lamrg(3, 3, a.data(), 1, -1, perm.data());
+  std::vector<double> merged;
+  for (auto p : perm) merged.push_back(a[p]);
+  EXPECT_TRUE(std::is_sorted(merged.begin(), merged.end()));
+}
+
+TEST(Lamrg, EmptyFirstList) {
+  const std::vector<double> a{3, 4, 5};
+  std::vector<index_t> perm(3);
+  lamrg(0, 3, a.data(), 1, 1, perm.data());
+  EXPECT_EQ(perm[0], 0);
+  EXPECT_EQ(perm[2], 2);
+}
+
+TEST(Lamrg, EmptySecondList) {
+  const std::vector<double> a{3, 4, 5};
+  std::vector<index_t> perm(3);
+  lamrg(3, 0, a.data(), 1, 1, perm.data());
+  EXPECT_EQ(perm[0], 0);
+  EXPECT_EQ(perm[2], 2);
+}
+
+TEST(Lamrg, Ties) {
+  const std::vector<double> a{1, 2, 1, 2};
+  std::vector<index_t> perm(4);
+  lamrg(2, 2, a.data(), 1, 1, perm.data());
+  // Stable: first-list elements come first on ties.
+  EXPECT_EQ(perm[0], 0);
+  EXPECT_EQ(perm[1], 2);
+}
+
+TEST(Lamrg, RandomizedIsPermutationAndSorted) {
+  Rng rng(3);
+  for (int t = 0; t < 100; ++t) {
+    const index_t n1 = 1 + static_cast<index_t>(rng.uniform_below(20));
+    const index_t n2 = 1 + static_cast<index_t>(rng.uniform_below(20));
+    std::vector<double> a(n1 + n2);
+    for (auto& x : a) x = rng.uniform_sym();
+    std::sort(a.begin(), a.begin() + n1);
+    std::sort(a.begin() + n1, a.end());
+    std::vector<index_t> perm(n1 + n2);
+    lamrg(n1, n2, a.data(), 1, 1, perm.data());
+    std::vector<index_t> sortedp(perm);
+    std::sort(sortedp.begin(), sortedp.end());
+    for (index_t i = 0; i < n1 + n2; ++i) EXPECT_EQ(sortedp[i], i);
+    for (index_t i = 1; i < n1 + n2; ++i) EXPECT_LE(a[perm[i - 1]], a[perm[i]]);
+  }
+}
+
+}  // namespace
+}  // namespace dnc::lapack

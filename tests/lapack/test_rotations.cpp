@@ -1,0 +1,76 @@
+#include "lapack/rotations.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace dnc::lapack {
+namespace {
+
+TEST(Lapy2, Basic) {
+  EXPECT_DOUBLE_EQ(lapy2(3.0, 4.0), 5.0);
+  EXPECT_DOUBLE_EQ(lapy2(-3.0, 4.0), 5.0);
+  EXPECT_DOUBLE_EQ(lapy2(0.0, -2.0), 2.0);
+  EXPECT_DOUBLE_EQ(lapy2(0.0, 0.0), 0.0);
+}
+
+TEST(Lapy2, OverflowSafe) {
+  EXPECT_TRUE(std::isfinite(lapy2(1e308, 1e308)));
+  EXPECT_NEAR(lapy2(1e308, 1e308) / 1e308, std::sqrt(2.0), 1e-12);
+}
+
+TEST(Lapy2, UnderflowSafe) {
+  EXPECT_NEAR(lapy2(3e-320, 4e-320) / 1e-320, 5.0, 1e-6);
+}
+
+TEST(Lartg, ZeroG) {
+  double c, s, r;
+  lartg(2.5, 0.0, c, s, r);
+  EXPECT_DOUBLE_EQ(c, 1.0);
+  EXPECT_DOUBLE_EQ(s, 0.0);
+  EXPECT_DOUBLE_EQ(r, 2.5);
+}
+
+TEST(Lartg, ZeroF) {
+  double c, s, r;
+  lartg(0.0, -3.0, c, s, r);
+  EXPECT_DOUBLE_EQ(c, 0.0);
+  EXPECT_DOUBLE_EQ(s, 1.0);
+  EXPECT_DOUBLE_EQ(r, -3.0);
+}
+
+TEST(Lartg, AnnihilatesG) {
+  Rng rng(31);
+  for (int trial = 0; trial < 500; ++trial) {
+    const double f = rng.uniform_sym() * std::pow(10.0, 6.0 * rng.uniform_sym());
+    const double g = rng.uniform_sym() * std::pow(10.0, 6.0 * rng.uniform_sym());
+    if (f == 0.0 && g == 0.0) continue;
+    double c, s, r;
+    lartg(f, g, c, s, r);
+    // [c s; -s c] [f; g] = [r; 0]
+    EXPECT_NEAR(c * f + s * g, r, 1e-12 * std::fabs(r) + 1e-300);
+    EXPECT_NEAR(-s * f + c * g, 0.0, 1e-12 * std::fabs(r) + 1e-300);
+    EXPECT_NEAR(c * c + s * s, 1.0, 1e-13);
+  }
+}
+
+TEST(Lartg, ExtremeScales) {
+  for (double scale : {1e-280, 1e280}) {
+    double c, s, r;
+    lartg(3.0 * scale, 4.0 * scale, c, s, r);
+    EXPECT_NEAR(c, 0.6, 1e-12);
+    EXPECT_NEAR(s, 0.8, 1e-12);
+    EXPECT_NEAR(r / scale, 5.0, 1e-10);
+  }
+}
+
+TEST(Lartg, PreservesNorm) {
+  double c, s, r;
+  lartg(-7.0, 24.0, c, s, r);
+  EXPECT_NEAR(std::fabs(r), 25.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace dnc::lapack

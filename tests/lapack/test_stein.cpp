@@ -1,0 +1,89 @@
+#include "lapack/stein.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "matgen/tridiag.hpp"
+#include "verify/metrics.hpp"
+
+namespace dnc::lapack {
+namespace {
+
+void expect_bi_quality(const matgen::Tridiag& t, const std::vector<double>& lam,
+                       const Matrix& v) {
+  EXPECT_LT(verify::orthogonality(v), 1e-12);
+  EXPECT_LT(verify::reduction_residual(t, lam, v), 1e-12);
+  EXPECT_TRUE(std::is_sorted(lam.begin(), lam.end()));
+}
+
+TEST(SteinVector, SimpleEigenvector) {
+  // Diagonal-dominant: eigenvector of eigenvalue near d_k localises at k.
+  matgen::Tridiag t;
+  t.d = {1.0, 5.0, 9.0};
+  t.e = {0.1, 0.1};
+  Rng rng(1);
+  std::vector<double> z(3);
+  stein_vector(3, t.d.data(), t.e.data(), 5.0, nullptr, 1, 0, z.data(), rng);
+  EXPECT_GT(std::fabs(z[1]), 0.99);
+}
+
+TEST(SteinVector, OrthogonalizesAgainstPrev) {
+  matgen::Tridiag t = matgen::onetwoone(20);
+  Matrix prev(20, 1);
+  Rng rng(2);
+  stein_vector(20, t.d.data(), t.e.data(), 2.0, nullptr, 1, 0, prev.data(), rng);
+  std::vector<double> z(20);
+  stein_vector(20, t.d.data(), t.e.data(), 2.0, prev.data(), 20, 1, z.data(), rng);
+  double dot = 0;
+  for (index_t i = 0; i < 20; ++i) dot += prev(i, 0) * z[i];
+  EXPECT_LT(std::fabs(dot), 1e-10);
+}
+
+TEST(BiSolve, OneTwoOne) {
+  auto t = matgen::onetwoone(80);
+  std::vector<double> lam;
+  Matrix v;
+  bi_solve(80, t.d.data(), t.e.data(), lam, v);
+  expect_bi_quality(t, lam, v);
+  const double pi = 3.14159265358979323846;
+  for (index_t k = 0; k < 80; ++k)
+    EXPECT_NEAR(lam[k], 2.0 - 2.0 * std::cos((k + 1) * pi / 81.0), 1e-12);
+}
+
+class BiTypes : public ::testing::TestWithParam<int> {};
+
+TEST_P(BiTypes, SolvesTable3) {
+  const int type = GetParam();
+  const index_t n = 90;
+  auto t = matgen::table3_matrix(type, n, 17);
+  std::vector<double> lam;
+  Matrix v;
+  bi_solve(n, t.d.data(), t.e.data(), lam, v);
+  expect_bi_quality(t, lam, v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Types, BiTypes, ::testing::Values(1, 2, 4, 5, 10, 11, 12, 14));
+
+TEST(BiSolve, DegenerateClusterStaysOrthogonal) {
+  // n-1 equal eigenvalues: inverse iteration alone would produce parallel
+  // vectors; the in-cluster reorthogonalisation must prevent that.
+  auto t = matgen::table3_matrix(2, 60, 5);
+  std::vector<double> lam;
+  Matrix v;
+  bi_solve(60, t.d.data(), t.e.data(), lam, v);
+  expect_bi_quality(t, lam, v);
+}
+
+TEST(BiSolve, TinySizes) {
+  for (index_t n : {index_t{1}, index_t{2}}) {
+    auto t = matgen::onetwoone(n);
+    std::vector<double> lam;
+    Matrix v;
+    bi_solve(n, t.d.data(), t.e.data(), lam, v);
+    EXPECT_EQ(static_cast<index_t>(lam.size()), n);
+  }
+}
+
+}  // namespace
+}  // namespace dnc::lapack

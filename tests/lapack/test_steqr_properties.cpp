@@ -1,0 +1,54 @@
+// Property-style parameterized sweep of the leaf eigensolver across all
+// Table III families and several sizes: for every case, the invariants of
+// a spectral decomposition must hold (sorted eigenvalues, orthogonality,
+// residual, trace/Frobenius preservation).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <tuple>
+
+#include "lapack/steqr.hpp"
+#include "matgen/tridiag.hpp"
+#include "verify/metrics.hpp"
+
+namespace dnc::lapack {
+namespace {
+
+using Case = std::tuple<int /*type*/, int /*n*/>;
+class SteqrSweep : public ::testing::TestWithParam<Case> {};
+
+TEST_P(SteqrSweep, SpectralDecompositionInvariants) {
+  const auto [type, ni] = GetParam();
+  const index_t n = ni;
+  auto t = matgen::table3_matrix(type, n, 1234);
+  std::vector<double> d = t.d, e = t.e;
+  Matrix z(n, n);
+  steqr(CompZ::Identity, n, d.data(), e.data(), z.data(), n);
+
+  EXPECT_TRUE(std::is_sorted(d.begin(), d.end()));
+  EXPECT_LT(verify::orthogonality(z), 1e-14);
+  EXPECT_LT(verify::reduction_residual(t, d, z), 1e-14);
+
+  // Trace preservation: sum(lambda) == sum(diag).
+  const double tr_t = std::accumulate(t.d.begin(), t.d.end(), 0.0);
+  const double tr_l = std::accumulate(d.begin(), d.end(), 0.0);
+  double scale = 0.0;
+  for (double x : t.d) scale += std::fabs(x);
+  EXPECT_NEAR(tr_t, tr_l, 1e-12 * std::max(scale, 1.0));
+
+  // Frobenius preservation: sum(lambda^2) == ||T||_F^2.
+  double f_t = 0.0;
+  for (double x : t.d) f_t += x * x;
+  for (double x : t.e) f_t += 2.0 * x * x;
+  double f_l = 0.0;
+  for (double x : d) f_l += x * x;
+  EXPECT_NEAR(f_t, f_l, 1e-11 * std::max(f_t, 1.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(TypesAndSizes, SteqrSweep,
+                         ::testing::Combine(::testing::Range(1, 16),
+                                            ::testing::Values(17, 64, 130)));
+
+}  // namespace
+}  // namespace dnc::lapack

@@ -1,0 +1,148 @@
+#include "lapack/sytrd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "blas/gemm.hpp"
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "lapack/bisect.hpp"
+#include "lapack/steqr.hpp"
+
+namespace dnc::lapack {
+namespace {
+
+Matrix random_symmetric(index_t n, std::uint64_t seed) {
+  Rng r(seed);
+  Matrix a(n, n);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = j; i < n; ++i) {
+      a(i, j) = r.uniform_sym();
+      a(j, i) = a(i, j);
+    }
+  }
+  return a;
+}
+
+TEST(Larfg, AnnihilatesTail) {
+  std::vector<double> x{3.0, 4.0, 0.0};
+  double alpha = 1.0;
+  const double tau = larfg(3, alpha, x.data(), 1);
+  // H x_orig = beta e1 with |beta| = ||x_orig||.
+  EXPECT_NEAR(std::fabs(alpha), std::sqrt(1.0 + 9.0 + 16.0), 1e-13);
+  EXPECT_GT(tau, 0.0);
+  EXPECT_LE(tau, 2.0);
+}
+
+TEST(Larfg, ZeroTailGivesZeroTau) {
+  std::vector<double> x{0.0, 0.0};
+  double alpha = 5.0;
+  EXPECT_EQ(larfg(2, alpha, x.data(), 1), 0.0);
+  EXPECT_EQ(alpha, 5.0);
+}
+
+TEST(Larfg, ReflectorIsOrthogonal) {
+  Rng r(9);
+  std::vector<double> x(6);
+  for (auto& v : x) v = r.uniform_sym();
+  double alpha = r.uniform_sym();
+  std::vector<double> v{1.0};
+  std::vector<double> tail(x.begin(), x.end());
+  const double tau = larfg(7, alpha, tail.data(), 1);
+  v.insert(v.end(), tail.begin(), tail.end());
+  // ||H y|| == ||y|| for H = I - tau v v^T requires tau(2 - tau ||v||^2) = 0
+  double vv = 0;
+  for (double t : v) vv += t * t;
+  EXPECT_NEAR(tau * (2.0 - tau * vv), 0.0, 1e-13);
+}
+
+TEST(Sytrd, PreservesSpectrum) {
+  const index_t n = 40;
+  Matrix a = random_symmetric(n, 3);
+  // Reference spectrum via bisection on... we need a tridiagonal first; use
+  // sytrd itself then bisection, and cross-check with steqr on the same
+  // tridiagonal -- plus an independent trace check.
+  double trace = 0.0;
+  for (index_t i = 0; i < n; ++i) trace += a(i, i);
+  Matrix fact = a;
+  std::vector<double> d(n), e(n - 1), tau(n - 1);
+  sytrd_lower(n, fact.data(), n, d.data(), e.data(), tau.data());
+  double trace_t = 0.0;
+  for (double v : d) trace_t += v;
+  EXPECT_NEAR(trace, trace_t, 1e-11 * n);
+  // Frobenius norm is also preserved under orthogonal similarity.
+  double fro_a = 0.0;
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i) fro_a += a(i, j) * a(i, j);
+  double fro_t = 0.0;
+  for (double v : d) fro_t += v * v;
+  for (double v : e) fro_t += 2.0 * v * v;
+  EXPECT_NEAR(std::sqrt(fro_a), std::sqrt(fro_t), 1e-10 * n);
+}
+
+TEST(Sytrd, FullPipelineResidual) {
+  // A = Q T Q^T; eigenvectors of A are Q * (eigenvectors of T). Verify
+  // A v = lambda v for the assembled vectors.
+  const index_t n = 30;
+  Matrix a = random_symmetric(n, 7);
+  Matrix fact = a;
+  std::vector<double> d(n), e(n), tau(n);
+  sytrd_lower(n, fact.data(), n, d.data(), e.data(), tau.data());
+  Matrix z(n, n);
+  steqr(CompZ::Identity, n, d.data(), e.data(), z.data(), n);
+  ormtr_left_lower(n, n, fact.data(), n, tau.data(), z.data(), n);
+  // Residual ||A z_j - d_j z_j||.
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < n; ++i) {
+      double r = 0.0;
+      for (index_t k = 0; k < n; ++k) r += a(i, k) * z(k, j);
+      r -= d[j] * z(i, j);
+      EXPECT_LT(std::fabs(r), 1e-12 * n) << "entry " << i << "," << j;
+    }
+  }
+  // Orthogonality of assembled vectors.
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      double s = 0;
+      for (index_t k = 0; k < n; ++k) s += z(k, i) * z(k, j);
+      EXPECT_NEAR(s, i == j ? 1.0 : 0.0, 1e-12 * n);
+    }
+  }
+}
+
+TEST(Sytrd, AlreadyTridiagonalIsFixpoint) {
+  const index_t n = 12;
+  Matrix a(n, n);
+  a.fill(0.0);
+  for (index_t i = 0; i < n; ++i) a(i, i) = static_cast<double>(i);
+  for (index_t i = 0; i + 1 < n; ++i) {
+    a(i + 1, i) = 0.5;
+    a(i, i + 1) = 0.5;
+  }
+  Matrix fact = a;
+  std::vector<double> d(n), e(n), tau(n);
+  sytrd_lower(n, fact.data(), n, d.data(), e.data(), tau.data());
+  for (index_t i = 0; i < n; ++i) EXPECT_NEAR(d[i], static_cast<double>(i), 1e-13);
+  for (index_t i = 0; i + 1 < n; ++i) EXPECT_NEAR(std::fabs(e[i]), 0.5, 1e-13);
+}
+
+TEST(Sytrd, SmallSizes) {
+  for (index_t n : {index_t{1}, index_t{2}, index_t{3}}) {
+    Matrix a = random_symmetric(n, 100 + n);
+    Matrix fact = a;
+    std::vector<double> d(n), e(std::max<index_t>(1, n - 1)),
+        tau(std::max<index_t>(1, n - 1));
+    sytrd_lower(n, fact.data(), n, d.data(), e.data(), tau.data());
+    double tr = 0, trt = 0;
+    for (index_t i = 0; i < n; ++i) {
+      tr += a(i, i);
+      trt += d[i];
+    }
+    EXPECT_NEAR(tr, trt, 1e-13);
+  }
+}
+
+}  // namespace
+}  // namespace dnc::lapack

@@ -1,0 +1,80 @@
+#include "matgen/application.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lapack/bisect.hpp"
+
+namespace dnc::matgen {
+namespace {
+
+TEST(Application, FemLaplacianIsPositiveSemiDefiniteish) {
+  Rng rng(1);
+  auto t = fem_laplacian_jump(200, 6, rng);
+  EXPECT_EQ(t.n(), 200);
+  // Diagonally dominant with positive diagonal => positive definite.
+  for (index_t i = 0; i < 200; ++i) {
+    double off = (i > 0 ? std::fabs(t.e[i - 1]) : 0.0) + (i < 199 ? std::fabs(t.e[i]) : 0.0);
+    EXPECT_GE(t.d[i] + 1e-12, off);
+  }
+  EXPECT_EQ(lapack::sturm_count(200, t.d.data(), t.e.data(), 0.0), 0);
+}
+
+TEST(Application, GluedWilkinsonClusters) {
+  auto t = glued_wilkinson(21, 5, 1e-6);
+  EXPECT_EQ(t.n(), 105);
+  auto w = lapack::bisect_all(105, t.d.data(), t.e.data());
+  // Wilkinson's top eigenvalues come in near-degenerate pairs, so gluing 5
+  // blocks produces a cluster of 2 x 5 = 10 at the top.
+  const double top = w.back();
+  index_t cluster = 0;
+  for (double v : w)
+    if (std::fabs(v - top) < 1e-4) ++cluster;
+  EXPECT_EQ(cluster, 10);
+}
+
+TEST(Application, SchroedingerTunnellingPairs) {
+  auto t = schroedinger_double_well(400, 40.0);
+  auto w = lapack::bisect_all(400, t.d.data(), t.e.data());
+  // Lowest two states are a tunnelling pair: split tiny vs the gap above.
+  const double split01 = w[1] - w[0];
+  const double gap12 = w[2] - w[1];
+  EXPECT_LT(split01, gap12 * 0.5);
+}
+
+TEST(Application, Grid2dHasMultiplicities) {
+  Rng rng(2);
+  auto t = grid2d_spectrum(8, 8, rng);
+  EXPECT_EQ(t.n(), 64);
+  auto w = lapack::bisect_all(64, t.d.data(), t.e.data());
+  // Symmetric grid (nx == ny) has eigenvalue multiplicities: count near
+  // duplicates.
+  index_t dups = 0;
+  for (std::size_t i = 1; i < w.size(); ++i)
+    if (std::fabs(w[i] - w[i - 1]) < 1e-8) ++dups;
+  EXPECT_GT(dups, 10);
+}
+
+TEST(Application, SuiteRespectsCap) {
+  auto suite = application_suite(300);
+  EXPECT_GE(suite.size(), 4u);
+  for (const auto& m : suite) {
+    EXPECT_FALSE(m.name.empty());
+    EXPECT_LE(m.matrix.n(), 450);  // glued wilkinson rounds to whole blocks
+    EXPECT_GE(m.matrix.n(), 2);
+  }
+}
+
+TEST(Application, SuiteDeterministic) {
+  auto a = application_suite(500, 7);
+  auto b = application_suite(500, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].matrix.d, b[i].matrix.d);
+    EXPECT_EQ(a[i].matrix.e, b[i].matrix.e);
+  }
+}
+
+}  // namespace
+}  // namespace dnc::matgen

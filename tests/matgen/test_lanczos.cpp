@@ -1,0 +1,111 @@
+#include "matgen/lanczos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "lapack/bisect.hpp"
+#include "matgen/spectrum.hpp"
+
+namespace dnc::matgen {
+namespace {
+
+// The generated tridiagonal must have (numerically) the prescribed spectrum.
+void check_spectrum(const std::vector<double>& lambda, double tol) {
+  Rng rng(7);
+  auto t = tridiag_from_spectrum(lambda, rng);
+  ASSERT_EQ(t.n(), static_cast<index_t>(lambda.size()));
+  auto w = lapack::bisect_all(t.n(), t.d.data(), t.e.data());
+  std::vector<double> want(lambda);
+  std::sort(want.begin(), want.end());
+  double scale = 1e-300;
+  for (double v : want) scale = std::max(scale, std::fabs(v));
+  for (std::size_t i = 0; i < want.size(); ++i)
+    EXPECT_NEAR(w[i], want[i], tol * scale) << "eigenvalue " << i;
+}
+
+TEST(Lanczos, DistinctSmall) { check_spectrum({1.0, 2.0, 3.0, 4.0}, 1e-12); }
+
+TEST(Lanczos, SingleValue) { check_spectrum({3.5}, 0.0); }
+
+TEST(Lanczos, TwoValues) { check_spectrum({-1.0, 5.0}, 1e-13); }
+
+TEST(Lanczos, NegativeAndPositive) {
+  std::vector<double> lam;
+  for (int i = 0; i < 30; ++i) lam.push_back(-3.0 + 0.2 * i);
+  check_spectrum(lam, 1e-12);
+}
+
+TEST(Lanczos, GeometricSpread) {
+  std::vector<double> lam;
+  for (int i = 0; i < 40; ++i) lam.push_back(std::pow(10.0, -6.0 * i / 39.0));
+  check_spectrum(lam, 1e-11);
+}
+
+TEST(Lanczos, AllEqualFastPath) {
+  std::vector<double> lam(200, 2.5);
+  Rng rng(3);
+  auto t = tridiag_from_spectrum(lam, rng);
+  for (double v : t.d) EXPECT_DOUBLE_EQ(v, 2.5);
+  // Couplings are ulp-tiny, not zero.
+  for (double v : t.e) {
+    EXPECT_LT(std::fabs(v), 1e-14);
+  }
+}
+
+TEST(Lanczos, MassiveMultiplicityType2Like) {
+  // n-1 copies of 1 plus a single 1e-6 (Table III type 2 structure).
+  std::vector<double> lam(100, 1.0);
+  lam[0] = 1e-6;
+  check_spectrum(lam, 1e-11);
+}
+
+TEST(Lanczos, Type1Like) {
+  std::vector<double> lam(80, 1e-6);
+  lam.back() = 1.0;
+  check_spectrum(lam, 1e-11);
+}
+
+TEST(Lanczos, MultipleClusters) {
+  // Two clusters of multiplicity 10 each plus scattered values: exercises
+  // repeated restarts without the single-cluster fill shortcut.
+  std::vector<double> lam;
+  for (int i = 0; i < 10; ++i) lam.push_back(1.0);
+  for (int i = 0; i < 10; ++i) lam.push_back(2.0);
+  for (int i = 0; i < 5; ++i) lam.push_back(3.0 + i);
+  check_spectrum(lam, 1e-11);
+}
+
+TEST(Lanczos, UnsortedInputHandled) {
+  check_spectrum({5.0, 1.0, 3.0, 2.0, 4.0}, 1e-12);
+}
+
+TEST(Lanczos, MatrixIsEssentiallyUnreducedForDistinct) {
+  std::vector<double> lam;
+  for (int i = 0; i < 50; ++i) lam.push_back(static_cast<double>(i));
+  Rng rng(11);
+  auto t = tridiag_from_spectrum(lam, rng);
+  // With distinct well-separated eigenvalues there is no breakdown: all
+  // couplings are substantial.
+  index_t tiny = 0;
+  for (double v : t.e)
+    if (std::fabs(v) < 1e-8) ++tiny;
+  EXPECT_EQ(tiny, 0);
+}
+
+TEST(Lanczos, NoTinyCouplingOptionGivesExactZeros) {
+  std::vector<double> lam(50, 1.0);
+  lam[0] = 2.0;
+  SpectrumOptions opt;
+  opt.tiny_coupling = false;
+  Rng rng(13);
+  auto t = tridiag_from_spectrum(lam, rng, opt);
+  index_t zeros = 0;
+  for (double v : t.e)
+    if (v == 0.0) ++zeros;
+  EXPECT_GT(zeros, 0);
+}
+
+}  // namespace
+}  // namespace dnc::matgen

@@ -1,0 +1,141 @@
+#include "matgen/tridiag.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "lapack/bisect.hpp"
+#include "matgen/spectrum.hpp"
+
+namespace dnc::matgen {
+namespace {
+
+TEST(Tridiag, OneTwoOneShape) {
+  auto t = onetwoone(5);
+  EXPECT_EQ(t.n(), 5);
+  EXPECT_EQ(t.d, (std::vector<double>{2, 2, 2, 2, 2}));
+  EXPECT_EQ(t.e, (std::vector<double>{1, 1, 1, 1}));
+}
+
+TEST(Tridiag, WilkinsonSymmetricProfile) {
+  auto t = wilkinson(21);
+  EXPECT_DOUBLE_EQ(t.d[0], 10.0);
+  EXPECT_DOUBLE_EQ(t.d[10], 0.0);
+  EXPECT_DOUBLE_EQ(t.d[20], 10.0);
+  for (index_t i = 0; i < 21; ++i) EXPECT_DOUBLE_EQ(t.d[i], t.d[20 - i]);
+}
+
+TEST(Tridiag, ClementSymmetricOffdiag) {
+  auto t = clement(10);
+  for (index_t i = 0; i + 1 < 10; ++i) EXPECT_DOUBLE_EQ(t.e[i], t.e[8 - i]);
+  // Spectrum is symmetric about zero: check via Sturm counts.
+  EXPECT_EQ(lapack::sturm_count(10, t.d.data(), t.e.data(), 0.0), 5);
+}
+
+TEST(Tridiag, LegendreEigenvaluesAreGaussNodes) {
+  // Eigenvalues of the Legendre Jacobi matrix are the Gauss-Legendre nodes;
+  // for n = 3: 0, +-sqrt(3/5).
+  auto t = legendre(3);
+  auto w = lapack::bisect_all(3, t.d.data(), t.e.data());
+  EXPECT_NEAR(w[0], -std::sqrt(0.6), 1e-12);
+  EXPECT_NEAR(w[1], 0.0, 1e-12);
+  EXPECT_NEAR(w[2], std::sqrt(0.6), 1e-12);
+}
+
+TEST(Tridiag, LaguerreDiagonal) {
+  auto t = laguerre(4);
+  EXPECT_EQ(t.d, (std::vector<double>{1, 3, 5, 7}));
+  EXPECT_EQ(t.e, (std::vector<double>{1, 2, 3}));
+}
+
+TEST(Tridiag, HermiteEigenvaluesSymmetric) {
+  // Hermite nodes for n = 2: +-1/sqrt(2).
+  auto t = hermite(2);
+  auto w = lapack::bisect_all(2, t.d.data(), t.e.data());
+  EXPECT_NEAR(w[0], -std::sqrt(0.5), 1e-12);
+  EXPECT_NEAR(w[1], std::sqrt(0.5), 1e-12);
+}
+
+TEST(Spectrum, Type1Shape) {
+  Rng rng(1);
+  auto s = table3_spectrum(1, 100, 1e6, rng);
+  EXPECT_DOUBLE_EQ(s.back(), 1.0);
+  for (index_t i = 0; i + 1 < 100; ++i) EXPECT_DOUBLE_EQ(s[i], 1e-6);
+}
+
+TEST(Spectrum, Type2Shape) {
+  Rng rng(1);
+  auto s = table3_spectrum(2, 100, 1e6, rng);
+  EXPECT_DOUBLE_EQ(s.front(), 1e-6);
+  for (index_t i = 1; i < 100; ++i) EXPECT_DOUBLE_EQ(s[i], 1.0);
+}
+
+TEST(Spectrum, Type3Geometric) {
+  Rng rng(1);
+  auto s = table3_spectrum(3, 11, 1e6, rng);
+  EXPECT_NEAR(s.front(), 1e-6, 1e-18);
+  EXPECT_DOUBLE_EQ(s.back(), 1.0);
+  // Constant ratio between consecutive sorted values.
+  for (index_t i = 1; i + 1 < 11; ++i)
+    EXPECT_NEAR(s[i + 1] / s[i], s[1] / s[0], 1e-10);
+}
+
+TEST(Spectrum, Type4Arithmetic) {
+  Rng rng(1);
+  auto s = table3_spectrum(4, 11, 1e6, rng);
+  for (index_t i = 1; i + 1 < 11; ++i)
+    EXPECT_NEAR(s[i + 1] - s[i], s[1] - s[0], 1e-12);
+}
+
+TEST(Spectrum, RandomTypesInRange) {
+  Rng rng(2);
+  for (int type : {5, 6}) {
+    auto s = table3_spectrum(type, 500, 1e6, rng);
+    EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+    for (double v : s) {
+      EXPECT_GE(v, 1e-6 * 0.999);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(Spectrum, Types789UlpStructure) {
+  Rng rng(3);
+  const double ulp = std::numeric_limits<double>::epsilon();
+  auto s7 = table3_spectrum(7, 10, 1e6, rng);
+  EXPECT_DOUBLE_EQ(s7.back(), 1.0);
+  EXPECT_NEAR(s7[0], ulp, 1e-20);
+  auto s9 = table3_spectrum(9, 10, 1e6, rng);
+  EXPECT_DOUBLE_EQ(s9.front(), 1.0);
+  EXPECT_NEAR(s9[9] - s9[0], 9 * 100 * ulp, 1e-12);
+}
+
+TEST(Table3, AllTypesProduceValidMatrices) {
+  for (int type = 1; type <= 15; ++type) {
+    auto t = table3_matrix(type, 50, 11);
+    EXPECT_EQ(t.n(), 50) << "type " << type;
+    EXPECT_EQ(t.e.size(), 49u) << "type " << type;
+    for (double v : t.d) EXPECT_TRUE(std::isfinite(v)) << "type " << type;
+    for (double v : t.e) EXPECT_TRUE(std::isfinite(v)) << "type " << type;
+  }
+}
+
+TEST(Table3, InvalidTypeThrows) {
+  EXPECT_THROW(table3_matrix(0, 10), InvalidArgument);
+  EXPECT_THROW(table3_matrix(16, 10), InvalidArgument);
+}
+
+TEST(Table3, Deterministic) {
+  auto a = table3_matrix(5, 30, 99);
+  auto b = table3_matrix(5, 30, 99);
+  EXPECT_EQ(a.d, b.d);
+  EXPECT_EQ(a.e, b.e);
+}
+
+TEST(Table3, DescriptionsNonEmpty) {
+  for (int type = 1; type <= 15; ++type) EXPECT_FALSE(table3_description(type).empty());
+}
+
+}  // namespace
+}  // namespace dnc::matgen

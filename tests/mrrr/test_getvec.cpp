@@ -1,0 +1,104 @@
+#include "mrrr/getvec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "lapack/bisect.hpp"
+#include "matgen/tridiag.hpp"
+
+namespace dnc::mrrr {
+namespace {
+
+// Residual ||(T - lam) v|| for the tridiagonal behind the representation.
+double residual(const matgen::Tridiag& t, double lam, const double* z) {
+  const index_t n = t.n();
+  double worst = 0.0;
+  for (index_t i = 0; i < n; ++i) {
+    double r = (t.d[i] - lam) * z[i];
+    if (i > 0) r += t.e[i - 1] * z[i - 1];
+    if (i + 1 < n) r += t.e[i] * z[i + 1];
+    worst = std::max(worst, std::fabs(r));
+  }
+  return worst;
+}
+
+TEST(Getvec, WellSeparatedEigenvalues) {
+  auto t = matgen::laguerre(40);  // well separated
+  double glo, ghi;
+  lapack::gershgorin_bounds(40, t.d.data(), t.e.data(), glo, ghi);
+  auto rep = ldl_factor(40, t.d.data(), t.e.data(), glo - 1.0);
+  auto w = lapack::bisect_all(40, t.d.data(), t.e.data(), 0.0, 1e-13);
+  std::vector<double> z(40);
+  for (index_t k = 0; k < 40; k += 7) {
+    const double lam_local = bisect_ldl(rep, k, w[k] - rep.sigma - 1e-6,
+                                        w[k] - rep.sigma + 1e-6, 0.0);
+    const auto r = twisted_eigenvector(rep, lam_local, z.data());
+    EXPECT_LT(residual(t, rep.sigma + lam_local, z.data()), 1e-10) << "k=" << k;
+    EXPECT_NEAR(std::fabs(r.gamma) / std::sqrt(r.znorm2), r.resid, 1e-18);
+    // Unit norm.
+    double nrm = 0;
+    for (double x : z) nrm += x * x;
+    EXPECT_NEAR(nrm, 1.0, 1e-12);
+  }
+}
+
+TEST(Getvec, TwistIndexMatchesLargeEntry) {
+  // For a diagonal-dominant matrix the eigenvector of the k-th eigenvalue
+  // localises at entry k; the twist should land there.
+  matgen::Tridiag t;
+  const index_t n = 20;
+  t.d.resize(n);
+  t.e.assign(n - 1, 0.01);
+  for (index_t i = 0; i < n; ++i) t.d[i] = static_cast<double>(i);
+  auto rep = ldl_factor(n, t.d.data(), t.e.data(), -1.0);
+  std::vector<double> z(n);
+  for (index_t k : {index_t{0}, index_t{10}, index_t{19}}) {
+    const double lam_local = bisect_ldl(rep, k, static_cast<double>(k) + 1.0 - 0.5,
+                                        static_cast<double>(k) + 1.0 + 0.5, 0.0);
+    const auto r = twisted_eigenvector(rep, lam_local, z.data());
+    EXPECT_EQ(r.twist, k);
+    EXPECT_GT(std::fabs(z[k]), 0.99);
+  }
+}
+
+TEST(Getvec, OrthogonalityForSeparatedPairs) {
+  auto t = matgen::onetwoone(30);
+  auto rep = ldl_factor(30, t.d.data(), t.e.data(), -0.5);
+  auto w = lapack::bisect_all(30, t.d.data(), t.e.data(), 0.0, 1e-14);
+  std::vector<double> z1(30), z2(30);
+  const double l1 = bisect_ldl(rep, 10, w[10] - rep.sigma - 1e-6, w[10] - rep.sigma + 1e-6, 0.0);
+  const double l2 = bisect_ldl(rep, 11, w[11] - rep.sigma - 1e-6, w[11] - rep.sigma + 1e-6, 0.0);
+  twisted_eigenvector(rep, l1, z1.data());
+  twisted_eigenvector(rep, l2, z2.data());
+  double dot = 0;
+  for (index_t i = 0; i < 30; ++i) dot += z1[i] * z2[i];
+  EXPECT_LT(std::fabs(dot), 1e-12);
+}
+
+TEST(Getvec, RayleighCorrectionImprovesEigenvalue) {
+  auto t = matgen::hermite(25);
+  auto rep = ldl_factor(25, t.d.data(), t.e.data(), -10.0);
+  auto w = lapack::bisect_all(25, t.d.data(), t.e.data(), 0.0, 1e-14);
+  std::vector<double> z(25);
+  // Perturb the eigenvalue a bit; the Rayleigh correction should point back.
+  const double truth = w[12] - rep.sigma;
+  const double perturbed = truth * (1.0 + 1e-9);
+  const auto r = twisted_eigenvector(rep, perturbed, z.data());
+  const double corrected = perturbed + rayleigh_correction(r);
+  EXPECT_LT(std::fabs(corrected - truth), std::fabs(perturbed - truth));
+}
+
+TEST(Getvec, SingleElement) {
+  Representation rep;
+  rep.sigma = 0.0;
+  rep.d = {2.5};
+  std::vector<double> z(1);
+  const auto r = twisted_eigenvector(rep, 2.5, z.data());
+  EXPECT_DOUBLE_EQ(z[0], 1.0);
+  EXPECT_NEAR(r.gamma, 0.0, 1e-15);
+}
+
+}  // namespace
+}  // namespace dnc::mrrr

@@ -1,0 +1,69 @@
+#include "verify/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "blas/aux.hpp"
+#include "common/rng.hpp"
+#include "lapack/steqr.hpp"
+#include "matgen/tridiag.hpp"
+
+namespace dnc::verify {
+namespace {
+
+TEST(Metrics, OrthogonalityOfIdentity) {
+  Matrix v(10, 10);
+  blas::laset(10, 10, 0.0, 1.0, v.data(), 10);
+  EXPECT_EQ(orthogonality(v), 0.0);
+}
+
+TEST(Metrics, OrthogonalityDetectsDefect) {
+  Matrix v(4, 4);
+  blas::laset(4, 4, 0.0, 1.0, v.data(), 4);
+  v(0, 1) = 0.5;  // column 1 no longer orthogonal to column 0
+  EXPECT_GT(orthogonality(v), 0.1 / 4.0);
+}
+
+TEST(Metrics, ReductionResidualExact) {
+  // Diagonal T with identity V has zero residual.
+  matgen::Tridiag t;
+  t.d = {1.0, 2.0, 3.0};
+  t.e = {0.0, 0.0};
+  Matrix v(3, 3);
+  blas::laset(3, 3, 0.0, 1.0, v.data(), 3);
+  EXPECT_EQ(reduction_residual(t, {1.0, 2.0, 3.0}, v), 0.0);
+}
+
+TEST(Metrics, ReductionResidualDetectsWrongEigenvalue) {
+  matgen::Tridiag t;
+  t.d = {1.0, 2.0};
+  t.e = {0.0};
+  Matrix v(2, 2);
+  blas::laset(2, 2, 0.0, 1.0, v.data(), 2);
+  EXPECT_GT(reduction_residual(t, {1.5, 2.0}, v), 0.01);
+}
+
+TEST(Metrics, SteqrPassesMetrics) {
+  auto t = matgen::table3_matrix(13, 60);
+  std::vector<double> d = t.d, e = t.e;
+  Matrix v(60, 60);
+  lapack::steqr(lapack::CompZ::Identity, 60, d.data(), e.data(), v.data(), 60);
+  EXPECT_LT(orthogonality(v), 1e-15);
+  EXPECT_LT(reduction_residual(t, d, v), 1e-15);
+  EXPECT_LT(eigenvalue_error_vs_bisection(t, d), 1e-12);
+}
+
+TEST(Metrics, MaxRelativeDifference) {
+  EXPECT_DOUBLE_EQ(max_relative_difference({1.0, 2.0}, {1.0, 2.0}), 0.0);
+  EXPECT_NEAR(max_relative_difference({1.1, 2.0}, {1.0, 2.0}), 0.05, 1e-12);
+  EXPECT_THROW(max_relative_difference({1.0}, {1.0, 2.0}), InvalidArgument);
+}
+
+TEST(Metrics, EmptyMatrix) {
+  Matrix v;
+  EXPECT_EQ(orthogonality(v), 0.0);
+}
+
+}  // namespace
+}  // namespace dnc::verify
