@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_nb.dir/bench_ablation_nb.cpp.o"
+  "CMakeFiles/bench_ablation_nb.dir/bench_ablation_nb.cpp.o.d"
+  "bench_ablation_nb"
+  "bench_ablation_nb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_nb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_workspace.dir/bench_ablation_workspace.cpp.o"
+  "CMakeFiles/bench_ablation_workspace.dir/bench_ablation_workspace.cpp.o.d"
+  "bench_ablation_workspace"
+  "bench_ablation_workspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_workspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_four_families.dir/bench_ext_four_families.cpp.o"
+  "CMakeFiles/bench_ext_four_families.dir/bench_ext_four_families.cpp.o.d"
+  "bench_ext_four_families"
+  "bench_ext_four_families.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_four_families.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ext_four_families.
+# This may be replaced when dependencies are built.

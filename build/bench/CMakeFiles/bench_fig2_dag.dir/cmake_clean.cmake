@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_dag.dir/bench_fig2_dag.cpp.o"
+  "CMakeFiles/bench_fig2_dag.dir/bench_fig2_dag.cpp.o.d"
+  "bench_fig2_dag"
+  "bench_fig2_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_traces.dir/bench_fig3_traces.cpp.o"
+  "CMakeFiles/bench_fig3_traces.dir/bench_fig3_traces.cpp.o.d"
+  "bench_fig3_traces"
+  "bench_fig3_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

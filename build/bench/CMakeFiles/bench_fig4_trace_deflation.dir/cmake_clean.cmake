@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_trace_deflation.dir/bench_fig4_trace_deflation.cpp.o"
+  "CMakeFiles/bench_fig4_trace_deflation.dir/bench_fig4_trace_deflation.cpp.o.d"
+  "bench_fig4_trace_deflation"
+  "bench_fig4_trace_deflation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_trace_deflation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

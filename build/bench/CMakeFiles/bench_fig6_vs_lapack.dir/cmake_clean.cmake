@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_vs_lapack.dir/bench_fig6_vs_lapack.cpp.o"
+  "CMakeFiles/bench_fig6_vs_lapack.dir/bench_fig6_vs_lapack.cpp.o.d"
+  "bench_fig6_vs_lapack"
+  "bench_fig6_vs_lapack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_vs_lapack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig6_vs_lapack.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_vs_scalapack.dir/bench_fig7_vs_scalapack.cpp.o"
+  "CMakeFiles/bench_fig7_vs_scalapack.dir/bench_fig7_vs_scalapack.cpp.o.d"
+  "bench_fig7_vs_scalapack"
+  "bench_fig7_vs_scalapack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_vs_scalapack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

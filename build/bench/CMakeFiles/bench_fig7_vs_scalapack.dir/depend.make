@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_vs_scalapack.
+# This may be replaced when dependencies are built.

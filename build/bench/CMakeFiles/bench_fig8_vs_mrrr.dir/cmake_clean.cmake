@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_vs_mrrr.dir/bench_fig8_vs_mrrr.cpp.o"
+  "CMakeFiles/bench_fig8_vs_mrrr.dir/bench_fig8_vs_mrrr.cpp.o.d"
+  "bench_fig8_vs_mrrr"
+  "bench_fig8_vs_mrrr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_vs_mrrr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

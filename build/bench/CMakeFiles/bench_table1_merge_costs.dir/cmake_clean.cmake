@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_merge_costs.dir/bench_table1_merge_costs.cpp.o"
+  "CMakeFiles/bench_table1_merge_costs.dir/bench_table1_merge_costs.cpp.o.d"
+  "bench_table1_merge_costs"
+  "bench_table1_merge_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_merge_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_symmetric_eigensolver.dir/full_symmetric_eigensolver.cpp.o"
+  "CMakeFiles/full_symmetric_eigensolver.dir/full_symmetric_eigensolver.cpp.o.d"
+  "full_symmetric_eigensolver"
+  "full_symmetric_eigensolver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_symmetric_eigensolver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for full_symmetric_eigensolver.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_comparison.dir/solver_comparison.cpp.o"
+  "CMakeFiles/solver_comparison.dir/solver_comparison.cpp.o.d"
+  "solver_comparison"
+  "solver_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

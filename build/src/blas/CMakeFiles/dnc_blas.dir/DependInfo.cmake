@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blas/aux.cpp" "src/blas/CMakeFiles/dnc_blas.dir/aux.cpp.o" "gcc" "src/blas/CMakeFiles/dnc_blas.dir/aux.cpp.o.d"
+  "/root/repo/src/blas/gemm.cpp" "src/blas/CMakeFiles/dnc_blas.dir/gemm.cpp.o" "gcc" "src/blas/CMakeFiles/dnc_blas.dir/gemm.cpp.o.d"
+  "/root/repo/src/blas/level1.cpp" "src/blas/CMakeFiles/dnc_blas.dir/level1.cpp.o" "gcc" "src/blas/CMakeFiles/dnc_blas.dir/level1.cpp.o.d"
+  "/root/repo/src/blas/level2.cpp" "src/blas/CMakeFiles/dnc_blas.dir/level2.cpp.o" "gcc" "src/blas/CMakeFiles/dnc_blas.dir/level2.cpp.o.d"
+  "/root/repo/src/blas/parallel_gemm.cpp" "src/blas/CMakeFiles/dnc_blas.dir/parallel_gemm.cpp.o" "gcc" "src/blas/CMakeFiles/dnc_blas.dir/parallel_gemm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dnc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

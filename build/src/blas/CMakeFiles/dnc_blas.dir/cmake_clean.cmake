@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnc_blas.dir/aux.cpp.o"
+  "CMakeFiles/dnc_blas.dir/aux.cpp.o.d"
+  "CMakeFiles/dnc_blas.dir/gemm.cpp.o"
+  "CMakeFiles/dnc_blas.dir/gemm.cpp.o.d"
+  "CMakeFiles/dnc_blas.dir/level1.cpp.o"
+  "CMakeFiles/dnc_blas.dir/level1.cpp.o.d"
+  "CMakeFiles/dnc_blas.dir/level2.cpp.o"
+  "CMakeFiles/dnc_blas.dir/level2.cpp.o.d"
+  "CMakeFiles/dnc_blas.dir/parallel_gemm.cpp.o"
+  "CMakeFiles/dnc_blas.dir/parallel_gemm.cpp.o.d"
+  "libdnc_blas.a"
+  "libdnc_blas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnc_blas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

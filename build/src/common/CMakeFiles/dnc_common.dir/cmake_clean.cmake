@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnc_common.dir/machine.cpp.o"
+  "CMakeFiles/dnc_common.dir/machine.cpp.o.d"
+  "CMakeFiles/dnc_common.dir/rng.cpp.o"
+  "CMakeFiles/dnc_common.dir/rng.cpp.o.d"
+  "CMakeFiles/dnc_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/dnc_common.dir/thread_pool.cpp.o.d"
+  "libdnc_common.a"
+  "libdnc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dc/dc_lapack_model.cpp" "src/dc/CMakeFiles/dnc_dc.dir/dc_lapack_model.cpp.o" "gcc" "src/dc/CMakeFiles/dnc_dc.dir/dc_lapack_model.cpp.o.d"
+  "/root/repo/src/dc/dc_scalapack_model.cpp" "src/dc/CMakeFiles/dnc_dc.dir/dc_scalapack_model.cpp.o" "gcc" "src/dc/CMakeFiles/dnc_dc.dir/dc_scalapack_model.cpp.o.d"
+  "/root/repo/src/dc/dc_sequential.cpp" "src/dc/CMakeFiles/dnc_dc.dir/dc_sequential.cpp.o" "gcc" "src/dc/CMakeFiles/dnc_dc.dir/dc_sequential.cpp.o.d"
+  "/root/repo/src/dc/dc_taskflow.cpp" "src/dc/CMakeFiles/dnc_dc.dir/dc_taskflow.cpp.o" "gcc" "src/dc/CMakeFiles/dnc_dc.dir/dc_taskflow.cpp.o.d"
+  "/root/repo/src/dc/deflation.cpp" "src/dc/CMakeFiles/dnc_dc.dir/deflation.cpp.o" "gcc" "src/dc/CMakeFiles/dnc_dc.dir/deflation.cpp.o.d"
+  "/root/repo/src/dc/merge.cpp" "src/dc/CMakeFiles/dnc_dc.dir/merge.cpp.o" "gcc" "src/dc/CMakeFiles/dnc_dc.dir/merge.cpp.o.d"
+  "/root/repo/src/dc/partition.cpp" "src/dc/CMakeFiles/dnc_dc.dir/partition.cpp.o" "gcc" "src/dc/CMakeFiles/dnc_dc.dir/partition.cpp.o.d"
+  "/root/repo/src/dc/secular.cpp" "src/dc/CMakeFiles/dnc_dc.dir/secular.cpp.o" "gcc" "src/dc/CMakeFiles/dnc_dc.dir/secular.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lapack/CMakeFiles/dnc_lapack.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/dnc_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/dnc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dnc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnc_dc.dir/dc_lapack_model.cpp.o"
+  "CMakeFiles/dnc_dc.dir/dc_lapack_model.cpp.o.d"
+  "CMakeFiles/dnc_dc.dir/dc_scalapack_model.cpp.o"
+  "CMakeFiles/dnc_dc.dir/dc_scalapack_model.cpp.o.d"
+  "CMakeFiles/dnc_dc.dir/dc_sequential.cpp.o"
+  "CMakeFiles/dnc_dc.dir/dc_sequential.cpp.o.d"
+  "CMakeFiles/dnc_dc.dir/dc_taskflow.cpp.o"
+  "CMakeFiles/dnc_dc.dir/dc_taskflow.cpp.o.d"
+  "CMakeFiles/dnc_dc.dir/deflation.cpp.o"
+  "CMakeFiles/dnc_dc.dir/deflation.cpp.o.d"
+  "CMakeFiles/dnc_dc.dir/merge.cpp.o"
+  "CMakeFiles/dnc_dc.dir/merge.cpp.o.d"
+  "CMakeFiles/dnc_dc.dir/partition.cpp.o"
+  "CMakeFiles/dnc_dc.dir/partition.cpp.o.d"
+  "CMakeFiles/dnc_dc.dir/secular.cpp.o"
+  "CMakeFiles/dnc_dc.dir/secular.cpp.o.d"
+  "libdnc_dc.a"
+  "libdnc_dc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnc_dc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

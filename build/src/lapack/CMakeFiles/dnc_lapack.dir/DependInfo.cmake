@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lapack/bisect.cpp" "src/lapack/CMakeFiles/dnc_lapack.dir/bisect.cpp.o" "gcc" "src/lapack/CMakeFiles/dnc_lapack.dir/bisect.cpp.o.d"
+  "/root/repo/src/lapack/laed4.cpp" "src/lapack/CMakeFiles/dnc_lapack.dir/laed4.cpp.o" "gcc" "src/lapack/CMakeFiles/dnc_lapack.dir/laed4.cpp.o.d"
+  "/root/repo/src/lapack/laev2.cpp" "src/lapack/CMakeFiles/dnc_lapack.dir/laev2.cpp.o" "gcc" "src/lapack/CMakeFiles/dnc_lapack.dir/laev2.cpp.o.d"
+  "/root/repo/src/lapack/lamrg.cpp" "src/lapack/CMakeFiles/dnc_lapack.dir/lamrg.cpp.o" "gcc" "src/lapack/CMakeFiles/dnc_lapack.dir/lamrg.cpp.o.d"
+  "/root/repo/src/lapack/rotations.cpp" "src/lapack/CMakeFiles/dnc_lapack.dir/rotations.cpp.o" "gcc" "src/lapack/CMakeFiles/dnc_lapack.dir/rotations.cpp.o.d"
+  "/root/repo/src/lapack/stein.cpp" "src/lapack/CMakeFiles/dnc_lapack.dir/stein.cpp.o" "gcc" "src/lapack/CMakeFiles/dnc_lapack.dir/stein.cpp.o.d"
+  "/root/repo/src/lapack/steqr.cpp" "src/lapack/CMakeFiles/dnc_lapack.dir/steqr.cpp.o" "gcc" "src/lapack/CMakeFiles/dnc_lapack.dir/steqr.cpp.o.d"
+  "/root/repo/src/lapack/sterf.cpp" "src/lapack/CMakeFiles/dnc_lapack.dir/sterf.cpp.o" "gcc" "src/lapack/CMakeFiles/dnc_lapack.dir/sterf.cpp.o.d"
+  "/root/repo/src/lapack/sytrd.cpp" "src/lapack/CMakeFiles/dnc_lapack.dir/sytrd.cpp.o" "gcc" "src/lapack/CMakeFiles/dnc_lapack.dir/sytrd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/blas/CMakeFiles/dnc_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dnc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

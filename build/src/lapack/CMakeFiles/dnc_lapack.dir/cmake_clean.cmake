@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnc_lapack.dir/bisect.cpp.o"
+  "CMakeFiles/dnc_lapack.dir/bisect.cpp.o.d"
+  "CMakeFiles/dnc_lapack.dir/laed4.cpp.o"
+  "CMakeFiles/dnc_lapack.dir/laed4.cpp.o.d"
+  "CMakeFiles/dnc_lapack.dir/laev2.cpp.o"
+  "CMakeFiles/dnc_lapack.dir/laev2.cpp.o.d"
+  "CMakeFiles/dnc_lapack.dir/lamrg.cpp.o"
+  "CMakeFiles/dnc_lapack.dir/lamrg.cpp.o.d"
+  "CMakeFiles/dnc_lapack.dir/rotations.cpp.o"
+  "CMakeFiles/dnc_lapack.dir/rotations.cpp.o.d"
+  "CMakeFiles/dnc_lapack.dir/stein.cpp.o"
+  "CMakeFiles/dnc_lapack.dir/stein.cpp.o.d"
+  "CMakeFiles/dnc_lapack.dir/steqr.cpp.o"
+  "CMakeFiles/dnc_lapack.dir/steqr.cpp.o.d"
+  "CMakeFiles/dnc_lapack.dir/sterf.cpp.o"
+  "CMakeFiles/dnc_lapack.dir/sterf.cpp.o.d"
+  "CMakeFiles/dnc_lapack.dir/sytrd.cpp.o"
+  "CMakeFiles/dnc_lapack.dir/sytrd.cpp.o.d"
+  "libdnc_lapack.a"
+  "libdnc_lapack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnc_lapack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

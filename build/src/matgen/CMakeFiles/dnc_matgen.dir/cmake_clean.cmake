@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnc_matgen.dir/application.cpp.o"
+  "CMakeFiles/dnc_matgen.dir/application.cpp.o.d"
+  "CMakeFiles/dnc_matgen.dir/lanczos.cpp.o"
+  "CMakeFiles/dnc_matgen.dir/lanczos.cpp.o.d"
+  "CMakeFiles/dnc_matgen.dir/spectrum.cpp.o"
+  "CMakeFiles/dnc_matgen.dir/spectrum.cpp.o.d"
+  "CMakeFiles/dnc_matgen.dir/tridiag.cpp.o"
+  "CMakeFiles/dnc_matgen.dir/tridiag.cpp.o.d"
+  "libdnc_matgen.a"
+  "libdnc_matgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnc_matgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnc_mrrr.dir/getvec.cpp.o"
+  "CMakeFiles/dnc_mrrr.dir/getvec.cpp.o.d"
+  "CMakeFiles/dnc_mrrr.dir/ldl.cpp.o"
+  "CMakeFiles/dnc_mrrr.dir/ldl.cpp.o.d"
+  "CMakeFiles/dnc_mrrr.dir/mrrr.cpp.o"
+  "CMakeFiles/dnc_mrrr.dir/mrrr.cpp.o.d"
+  "libdnc_mrrr.a"
+  "libdnc_mrrr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnc_mrrr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdnc_mrrr.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for dnc_mrrr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/dot.cpp" "src/runtime/CMakeFiles/dnc_runtime.dir/dot.cpp.o" "gcc" "src/runtime/CMakeFiles/dnc_runtime.dir/dot.cpp.o.d"
+  "/root/repo/src/runtime/engine.cpp" "src/runtime/CMakeFiles/dnc_runtime.dir/engine.cpp.o" "gcc" "src/runtime/CMakeFiles/dnc_runtime.dir/engine.cpp.o.d"
+  "/root/repo/src/runtime/graph.cpp" "src/runtime/CMakeFiles/dnc_runtime.dir/graph.cpp.o" "gcc" "src/runtime/CMakeFiles/dnc_runtime.dir/graph.cpp.o.d"
+  "/root/repo/src/runtime/simulator.cpp" "src/runtime/CMakeFiles/dnc_runtime.dir/simulator.cpp.o" "gcc" "src/runtime/CMakeFiles/dnc_runtime.dir/simulator.cpp.o.d"
+  "/root/repo/src/runtime/trace.cpp" "src/runtime/CMakeFiles/dnc_runtime.dir/trace.cpp.o" "gcc" "src/runtime/CMakeFiles/dnc_runtime.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dnc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

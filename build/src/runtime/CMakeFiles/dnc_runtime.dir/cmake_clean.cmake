@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnc_runtime.dir/dot.cpp.o"
+  "CMakeFiles/dnc_runtime.dir/dot.cpp.o.d"
+  "CMakeFiles/dnc_runtime.dir/engine.cpp.o"
+  "CMakeFiles/dnc_runtime.dir/engine.cpp.o.d"
+  "CMakeFiles/dnc_runtime.dir/graph.cpp.o"
+  "CMakeFiles/dnc_runtime.dir/graph.cpp.o.d"
+  "CMakeFiles/dnc_runtime.dir/simulator.cpp.o"
+  "CMakeFiles/dnc_runtime.dir/simulator.cpp.o.d"
+  "CMakeFiles/dnc_runtime.dir/trace.cpp.o"
+  "CMakeFiles/dnc_runtime.dir/trace.cpp.o.d"
+  "libdnc_runtime.a"
+  "libdnc_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnc_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

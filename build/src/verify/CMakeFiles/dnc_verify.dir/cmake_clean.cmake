@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnc_verify.dir/metrics.cpp.o"
+  "CMakeFiles/dnc_verify.dir/metrics.cpp.o.d"
+  "libdnc_verify.a"
+  "libdnc_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnc_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dnc_verify.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blas.dir/blas/test_aux.cpp.o"
+  "CMakeFiles/test_blas.dir/blas/test_aux.cpp.o.d"
+  "CMakeFiles/test_blas.dir/blas/test_gemm.cpp.o"
+  "CMakeFiles/test_blas.dir/blas/test_gemm.cpp.o.d"
+  "CMakeFiles/test_blas.dir/blas/test_level1.cpp.o"
+  "CMakeFiles/test_blas.dir/blas/test_level1.cpp.o.d"
+  "CMakeFiles/test_blas.dir/blas/test_level2.cpp.o"
+  "CMakeFiles/test_blas.dir/blas/test_level2.cpp.o.d"
+  "test_blas"
+  "test_blas.pdb"
+  "test_blas[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

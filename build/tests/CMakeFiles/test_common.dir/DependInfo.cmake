@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/test_machine.cpp" "tests/CMakeFiles/test_common.dir/common/test_machine.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_machine.cpp.o.d"
+  "/root/repo/tests/common/test_matrix.cpp" "tests/CMakeFiles/test_common.dir/common/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_matrix.cpp.o.d"
+  "/root/repo/tests/common/test_rng.cpp" "tests/CMakeFiles/test_common.dir/common/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_rng.cpp.o.d"
+  "/root/repo/tests/common/test_thread_pool.cpp" "tests/CMakeFiles/test_common.dir/common/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/verify/CMakeFiles/dnc_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/matgen/CMakeFiles/dnc_matgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/dnc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/lapack/CMakeFiles/dnc_lapack.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/dnc_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dnc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/common/test_machine.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_machine.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_matrix.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_matrix.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_rng.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_rng.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_thread_pool.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_thread_pool.cpp.o.d"
+  "test_common"
+  "test_common.pdb"
+  "test_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

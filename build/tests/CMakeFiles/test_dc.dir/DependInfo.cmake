@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dc/test_dc_properties.cpp" "tests/CMakeFiles/test_dc.dir/dc/test_dc_properties.cpp.o" "gcc" "tests/CMakeFiles/test_dc.dir/dc/test_dc_properties.cpp.o.d"
+  "/root/repo/tests/dc/test_deflation.cpp" "tests/CMakeFiles/test_dc.dir/dc/test_deflation.cpp.o" "gcc" "tests/CMakeFiles/test_dc.dir/dc/test_deflation.cpp.o.d"
+  "/root/repo/tests/dc/test_partition.cpp" "tests/CMakeFiles/test_dc.dir/dc/test_partition.cpp.o" "gcc" "tests/CMakeFiles/test_dc.dir/dc/test_partition.cpp.o.d"
+  "/root/repo/tests/dc/test_secular_kernels.cpp" "tests/CMakeFiles/test_dc.dir/dc/test_secular_kernels.cpp.o" "gcc" "tests/CMakeFiles/test_dc.dir/dc/test_secular_kernels.cpp.o.d"
+  "/root/repo/tests/dc/test_solvers.cpp" "tests/CMakeFiles/test_dc.dir/dc/test_solvers.cpp.o" "gcc" "tests/CMakeFiles/test_dc.dir/dc/test_solvers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/verify/CMakeFiles/dnc_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/matgen/CMakeFiles/dnc_matgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/dnc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/lapack/CMakeFiles/dnc_lapack.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/dnc_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dnc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dc/CMakeFiles/dnc_dc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dc.dir/dc/test_dc_properties.cpp.o"
+  "CMakeFiles/test_dc.dir/dc/test_dc_properties.cpp.o.d"
+  "CMakeFiles/test_dc.dir/dc/test_deflation.cpp.o"
+  "CMakeFiles/test_dc.dir/dc/test_deflation.cpp.o.d"
+  "CMakeFiles/test_dc.dir/dc/test_partition.cpp.o"
+  "CMakeFiles/test_dc.dir/dc/test_partition.cpp.o.d"
+  "CMakeFiles/test_dc.dir/dc/test_secular_kernels.cpp.o"
+  "CMakeFiles/test_dc.dir/dc/test_secular_kernels.cpp.o.d"
+  "CMakeFiles/test_dc.dir/dc/test_solvers.cpp.o"
+  "CMakeFiles/test_dc.dir/dc/test_solvers.cpp.o.d"
+  "test_dc"
+  "test_dc.pdb"
+  "test_dc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/lapack/test_bisect.cpp" "tests/CMakeFiles/test_lapack.dir/lapack/test_bisect.cpp.o" "gcc" "tests/CMakeFiles/test_lapack.dir/lapack/test_bisect.cpp.o.d"
+  "/root/repo/tests/lapack/test_laed4.cpp" "tests/CMakeFiles/test_lapack.dir/lapack/test_laed4.cpp.o" "gcc" "tests/CMakeFiles/test_lapack.dir/lapack/test_laed4.cpp.o.d"
+  "/root/repo/tests/lapack/test_laev2.cpp" "tests/CMakeFiles/test_lapack.dir/lapack/test_laev2.cpp.o" "gcc" "tests/CMakeFiles/test_lapack.dir/lapack/test_laev2.cpp.o.d"
+  "/root/repo/tests/lapack/test_lamrg.cpp" "tests/CMakeFiles/test_lapack.dir/lapack/test_lamrg.cpp.o" "gcc" "tests/CMakeFiles/test_lapack.dir/lapack/test_lamrg.cpp.o.d"
+  "/root/repo/tests/lapack/test_rotations.cpp" "tests/CMakeFiles/test_lapack.dir/lapack/test_rotations.cpp.o" "gcc" "tests/CMakeFiles/test_lapack.dir/lapack/test_rotations.cpp.o.d"
+  "/root/repo/tests/lapack/test_stein.cpp" "tests/CMakeFiles/test_lapack.dir/lapack/test_stein.cpp.o" "gcc" "tests/CMakeFiles/test_lapack.dir/lapack/test_stein.cpp.o.d"
+  "/root/repo/tests/lapack/test_steqr.cpp" "tests/CMakeFiles/test_lapack.dir/lapack/test_steqr.cpp.o" "gcc" "tests/CMakeFiles/test_lapack.dir/lapack/test_steqr.cpp.o.d"
+  "/root/repo/tests/lapack/test_steqr_properties.cpp" "tests/CMakeFiles/test_lapack.dir/lapack/test_steqr_properties.cpp.o" "gcc" "tests/CMakeFiles/test_lapack.dir/lapack/test_steqr_properties.cpp.o.d"
+  "/root/repo/tests/lapack/test_sytrd.cpp" "tests/CMakeFiles/test_lapack.dir/lapack/test_sytrd.cpp.o" "gcc" "tests/CMakeFiles/test_lapack.dir/lapack/test_sytrd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/verify/CMakeFiles/dnc_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/matgen/CMakeFiles/dnc_matgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/dnc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/lapack/CMakeFiles/dnc_lapack.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/dnc_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dnc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

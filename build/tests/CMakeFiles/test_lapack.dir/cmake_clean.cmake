@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lapack.dir/lapack/test_bisect.cpp.o"
+  "CMakeFiles/test_lapack.dir/lapack/test_bisect.cpp.o.d"
+  "CMakeFiles/test_lapack.dir/lapack/test_laed4.cpp.o"
+  "CMakeFiles/test_lapack.dir/lapack/test_laed4.cpp.o.d"
+  "CMakeFiles/test_lapack.dir/lapack/test_laev2.cpp.o"
+  "CMakeFiles/test_lapack.dir/lapack/test_laev2.cpp.o.d"
+  "CMakeFiles/test_lapack.dir/lapack/test_lamrg.cpp.o"
+  "CMakeFiles/test_lapack.dir/lapack/test_lamrg.cpp.o.d"
+  "CMakeFiles/test_lapack.dir/lapack/test_rotations.cpp.o"
+  "CMakeFiles/test_lapack.dir/lapack/test_rotations.cpp.o.d"
+  "CMakeFiles/test_lapack.dir/lapack/test_stein.cpp.o"
+  "CMakeFiles/test_lapack.dir/lapack/test_stein.cpp.o.d"
+  "CMakeFiles/test_lapack.dir/lapack/test_steqr.cpp.o"
+  "CMakeFiles/test_lapack.dir/lapack/test_steqr.cpp.o.d"
+  "CMakeFiles/test_lapack.dir/lapack/test_steqr_properties.cpp.o"
+  "CMakeFiles/test_lapack.dir/lapack/test_steqr_properties.cpp.o.d"
+  "CMakeFiles/test_lapack.dir/lapack/test_sytrd.cpp.o"
+  "CMakeFiles/test_lapack.dir/lapack/test_sytrd.cpp.o.d"
+  "test_lapack"
+  "test_lapack.pdb"
+  "test_lapack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lapack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

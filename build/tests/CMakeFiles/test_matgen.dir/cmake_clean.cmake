@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_matgen.dir/matgen/test_application.cpp.o"
+  "CMakeFiles/test_matgen.dir/matgen/test_application.cpp.o.d"
+  "CMakeFiles/test_matgen.dir/matgen/test_lanczos.cpp.o"
+  "CMakeFiles/test_matgen.dir/matgen/test_lanczos.cpp.o.d"
+  "CMakeFiles/test_matgen.dir/matgen/test_tridiag.cpp.o"
+  "CMakeFiles/test_matgen.dir/matgen/test_tridiag.cpp.o.d"
+  "test_matgen"
+  "test_matgen.pdb"
+  "test_matgen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_matgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

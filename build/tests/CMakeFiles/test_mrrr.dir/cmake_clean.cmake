@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mrrr.dir/mrrr/test_getvec.cpp.o"
+  "CMakeFiles/test_mrrr.dir/mrrr/test_getvec.cpp.o.d"
+  "CMakeFiles/test_mrrr.dir/mrrr/test_ldl.cpp.o"
+  "CMakeFiles/test_mrrr.dir/mrrr/test_ldl.cpp.o.d"
+  "CMakeFiles/test_mrrr.dir/mrrr/test_mrrr.cpp.o"
+  "CMakeFiles/test_mrrr.dir/mrrr/test_mrrr.cpp.o.d"
+  "test_mrrr"
+  "test_mrrr.pdb"
+  "test_mrrr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mrrr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

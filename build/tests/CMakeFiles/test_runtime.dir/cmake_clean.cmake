@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime.dir/runtime/test_engine.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_engine.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_graph.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_graph.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_runtime_stress.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_runtime_stress.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_simulator.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_simulator.cpp.o.d"
+  "test_runtime"
+  "test_runtime.pdb"
+  "test_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

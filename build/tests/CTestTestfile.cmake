@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_blas[1]_include.cmake")
+include("/root/repo/build/tests/test_lapack[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_matgen[1]_include.cmake")
+include("/root/repo/build/tests/test_dc[1]_include.cmake")
+include("/root/repo/build/tests/test_mrrr[1]_include.cmake")
+include("/root/repo/build/tests/test_verify[1]_include.cmake")
