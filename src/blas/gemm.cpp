@@ -2,75 +2,30 @@
 
 #include <algorithm>
 #include <cstring>
-#include <vector>
 
+#include "blas/simd/kernels.hpp"
+#include "common/aligned_buffer.hpp"
 #include "common/error.hpp"
 
 namespace dnc::blas {
 namespace {
 
-constexpr index_t kMR = 8;
-constexpr index_t kNR = 4;
-
-// Element accessor honouring the transpose flag: returns op(A)(i, j).
-inline double at(const double* a, index_t lda, Trans t, index_t i, index_t j) {
-  return t == Trans::No ? a[i + j * lda] : a[j + i * lda];
-}
-
-// Packs a kMR-row slice of op(A) (rows [i0,i0+mr), cols [p0,p0+kb)) into
-// `dst` in microkernel order: for each p, kMR contiguous row entries
-// (zero-padded when mr < kMR).
-void pack_a(const double* a, index_t lda, Trans t, index_t i0, index_t mr, index_t p0,
-            index_t kb, double* dst) {
-  if (t == Trans::No && mr == kMR) {
-    for (index_t p = 0; p < kb; ++p) {
-      const double* src = a + i0 + (p0 + p) * lda;
-      for (index_t i = 0; i < kMR; ++i) dst[p * kMR + i] = src[i];
-    }
-    return;
-  }
-  for (index_t p = 0; p < kb; ++p) {
-    for (index_t i = 0; i < kMR; ++i)
-      dst[p * kMR + i] = (i < mr) ? at(a, lda, t, i0 + i, p0 + p) : 0.0;
-  }
-}
-
-// Packs a kNR-column slice of op(B) (rows [p0,p0+kb), cols [j0,j0+nr)) into
-// `dst`: for each p, kNR contiguous column entries (zero-padded).
-void pack_b(const double* b, index_t ldb, Trans t, index_t p0, index_t kb, index_t j0,
-            index_t nr, double* dst) {
-  if (t == Trans::No && nr == kNR) {
-    for (index_t p = 0; p < kb; ++p) {
-      for (index_t j = 0; j < kNR; ++j) dst[p * kNR + j] = b[(p0 + p) + (j0 + j) * ldb];
-    }
-    return;
-  }
-  for (index_t p = 0; p < kb; ++p) {
-    for (index_t j = 0; j < kNR; ++j)
-      dst[p * kNR + j] = (j < nr) ? at(b, ldb, t, p0 + p, j0 + j) : 0.0;
-  }
-}
-
-// kMR x kNR register microkernel over packed panels. acc is kept in local
-// array so the compiler maps it to vector registers.
-void microkernel(index_t kb, const double* ap, const double* bp, double acc[kMR][kNR]) {
-  for (index_t i = 0; i < kMR; ++i)
-    for (index_t j = 0; j < kNR; ++j) acc[i][j] = 0.0;
-  for (index_t p = 0; p < kb; ++p) {
-    const double* arow = ap + p * kMR;
-    const double* brow = bp + p * kNR;
-    for (index_t j = 0; j < kNR; ++j) {
-      const double bv = brow[j];
-      for (index_t i = 0; i < kMR; ++i) acc[i][j] += arow[i] * bv;
-    }
-  }
-}
+// Thread-local packing workspaces: each thread (main, or a fork/join pool
+// worker running a slab of parallel_gemm, or a runtime worker executing an
+// UpdateVect task) reuses one aligned arena across all its GEMM calls, so
+// the thousands of small panel products in a merge tree never touch malloc
+// after warm-up.
+thread_local AlignedBuffer tls_apack;
+thread_local AlignedBuffer tls_bpack;
 
 }  // namespace
 
 void gemm_reference(Trans transa, Trans transb, index_t m, index_t n, index_t k, double alpha,
                     const double* a, index_t lda, const double* b, index_t ldb, double beta,
                     double* c, index_t ldc) {
+  auto at = [](const double* x, index_t ldx, Trans t, index_t i, index_t j) {
+    return t == Trans::No ? x[i + j * ldx] : x[j + i * ldx];
+  };
   for (index_t j = 0; j < n; ++j) {
     for (index_t i = 0; i < m; ++i) {
       double s = 0.0;
@@ -97,20 +52,40 @@ void gemm(Trans transa, Trans transb, index_t m, index_t n, index_t k, double al
     }
     return;
   }
+
+  const simd::KernelTable& kt = simd::kernels();
+
   // Small problems are served by the reference loop: the packing overhead
-  // dominates below roughly the microtile volume.
-  if (m * n * k < 32 * 32 * 32) {
+  // dominates below roughly the microtile volume (lower for the SIMD
+  // tables, whose packed path amortises sooner).
+  if (m * n * k < kt.gemm_small_volume) {
     gemm_reference(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
     return;
   }
+
+  // Microtile shape: 8x4 by default; short-wide products (m a sliver, n
+  // broad -- e.g. the tail panels of a heavily deflated UpdateVect) map
+  // better onto 4x8.
+  index_t MR = 8, NR = 4;
+  simd::MicrokernelFn mk = kt.mk8x4;
+  if (m <= 4 && n >= 8) {
+    MR = 4;
+    NR = 8;
+    mk = kt.mk4x8;
+  }
+
+  const bool ta = (transa == Trans::Yes);
+  const bool tb = (transb == Trans::Yes);
 
   const GemmBlocking blk;
   const index_t mc = std::min(blk.mc, m);
   const index_t kcap = std::min(blk.kc, k);
   const index_t ncap = std::min(blk.nc, n);
 
-  std::vector<double> apack(static_cast<std::size_t>(((mc + kMR - 1) / kMR) * kMR) * kcap);
-  std::vector<double> bpack(static_cast<std::size_t>(((ncap + kNR - 1) / kNR) * kNR) * kcap);
+  double* apack =
+      tls_apack.reserve(static_cast<std::size_t>(((mc + MR - 1) / MR) * MR) * kcap);
+  double* bpack =
+      tls_bpack.reserve(static_cast<std::size_t>(((ncap + NR - 1) / NR) * NR) * kcap);
 
   for (index_t jc = 0; jc < n; jc += ncap) {
     const index_t nb = std::min(ncap, n - jc);
@@ -118,38 +93,27 @@ void gemm(Trans transa, Trans transb, index_t m, index_t n, index_t k, double al
       const index_t kb = std::min(kcap, k - pc);
       const double beta_eff = (pc == 0) ? beta : 1.0;
       // Pack the B panel once per (jc, pc).
-      const index_t ntiles = (nb + kNR - 1) / kNR;
+      const index_t ntiles = (nb + NR - 1) / NR;
       for (index_t jt = 0; jt < ntiles; ++jt) {
-        const index_t j0 = jc + jt * kNR;
-        pack_b(b, ldb, transb, pc, kb, j0, std::min(kNR, n - j0), bpack.data() + jt * kNR * kb);
+        const index_t j0 = jc + jt * NR;
+        kt.pack_b(b, ldb, tb, pc, kb, j0, std::min(NR, n - j0), bpack + jt * NR * kb, NR);
       }
       for (index_t ic = 0; ic < m; ic += mc) {
         const index_t mb = std::min(mc, m - ic);
-        const index_t mtiles = (mb + kMR - 1) / kMR;
+        const index_t mtiles = (mb + MR - 1) / MR;
         for (index_t it = 0; it < mtiles; ++it) {
-          const index_t i0 = ic + it * kMR;
-          pack_a(a, lda, transa, i0, std::min(kMR, m - i0), pc, kb,
-                 apack.data() + it * kMR * kb);
+          const index_t i0 = ic + it * MR;
+          kt.pack_a(a, lda, ta, i0, std::min(MR, m - i0), pc, kb, apack + it * MR * kb, MR);
         }
         // Macro loop over microtiles.
         for (index_t jt = 0; jt < ntiles; ++jt) {
-          const index_t j0 = jc + jt * kNR;
-          const index_t nr = std::min(kNR, n - j0);
+          const index_t j0 = jc + jt * NR;
+          const index_t nr = std::min(NR, n - j0);
           for (index_t it = 0; it < mtiles; ++it) {
-            const index_t i0 = ic + it * kMR;
-            const index_t mr = std::min(kMR, m - i0);
-            double acc[kMR][kNR];
-            microkernel(kb, apack.data() + it * kMR * kb, bpack.data() + jt * kNR * kb, acc);
-            for (index_t j = 0; j < nr; ++j) {
-              double* col = c + i0 + (j0 + j) * ldc;
-              if (beta_eff == 0.0) {
-                for (index_t i = 0; i < mr; ++i) col[i] = alpha * acc[i][j];
-              } else if (beta_eff == 1.0) {
-                for (index_t i = 0; i < mr; ++i) col[i] += alpha * acc[i][j];
-              } else {
-                for (index_t i = 0; i < mr; ++i) col[i] = alpha * acc[i][j] + beta_eff * col[i];
-              }
-            }
+            const index_t i0 = ic + it * MR;
+            const index_t mr = std::min(MR, m - i0);
+            mk(kb, apack + it * MR * kb, bpack + jt * NR * kb, alpha, beta_eff,
+               c + i0 + j0 * ldc, ldc, mr, nr);
           }
         }
       }

@@ -2,50 +2,14 @@
 
 #include <cmath>
 
+#include "blas/simd/kernels.hpp"
+
 namespace dnc::blas {
+namespace {
 
-void axpy(index_t n, double alpha, const double* x, double* y) {
-  if (alpha == 0.0) return;
-  for (index_t i = 0; i < n; ++i) y[i] += alpha * x[i];
-}
-
-void axpy(index_t n, double alpha, const double* x, index_t incx, double* y, index_t incy) {
-  if (alpha == 0.0) return;
-  if (incx == 1 && incy == 1) {
-    axpy(n, alpha, x, y);
-    return;
-  }
-  for (index_t i = 0; i < n; ++i) y[i * incy] += alpha * x[i * incx];
-}
-
-void scal(index_t n, double alpha, double* x) {
-  for (index_t i = 0; i < n; ++i) x[i] *= alpha;
-}
-
-void scal(index_t n, double alpha, double* x, index_t incx) {
-  if (incx == 1) {
-    scal(n, alpha, x);
-    return;
-  }
-  for (index_t i = 0; i < n; ++i) x[i * incx] *= alpha;
-}
-
-double dot(index_t n, const double* x, const double* y) {
-  double s = 0.0;
-  for (index_t i = 0; i < n; ++i) s += x[i] * y[i];
-  return s;
-}
-
-double dot(index_t n, const double* x, index_t incx, const double* y, index_t incy) {
-  if (incx == 1 && incy == 1) return dot(n, x, y);
-  double s = 0.0;
-  for (index_t i = 0; i < n; ++i) s += x[i * incx] * y[i * incy];
-  return s;
-}
-
-double nrm2(index_t n, const double* x, index_t incx) {
-  // Scaled sum of squares as in LAPACK dlassq: avoids overflow/underflow for
-  // extreme inputs such as the type-7/8 graded matrices.
+// Overflow-safe scaled sum of squares as in LAPACK dlassq; the slow path
+// behind the vectorized nrm2 below.
+double nrm2_scaled(index_t n, const double* x, index_t incx) {
   double scale = 0.0, ssq = 1.0;
   for (index_t i = 0; i < n; ++i) {
     const double a = std::fabs(x[i * incx]);
@@ -62,11 +26,68 @@ double nrm2(index_t n, const double* x, index_t incx) {
   return scale * std::sqrt(ssq);
 }
 
-double nrm2(index_t n, const double* x) { return nrm2(n, x, 1); }
+// Safe range for the unscaled sum of squares: if sumsq lands in
+// [kSsqSmall, kSsqBig] then no term overflowed (overflow would have
+// produced inf, caught by isfinite) and any term that underflowed is
+// relatively below ~1e-160, far under double rounding error; sqrt(sumsq)
+// is then correct to working precision.
+constexpr double kSsqSmall = 1e-140;
+constexpr double kSsqBig = 1e140;
 
-void copy(index_t n, const double* x, double* y) {
-  for (index_t i = 0; i < n; ++i) y[i] = x[i];
+}  // namespace
+
+void axpy(index_t n, double alpha, const double* x, double* y) {
+  if (alpha == 0.0) return;
+  simd::kernels().axpy(n, alpha, x, y);
 }
+
+void axpy(index_t n, double alpha, const double* x, index_t incx, double* y, index_t incy) {
+  if (alpha == 0.0) return;
+  if (incx == 1 && incy == 1) {
+    axpy(n, alpha, x, y);
+    return;
+  }
+  for (index_t i = 0; i < n; ++i) y[i * incy] += alpha * x[i * incx];
+}
+
+void scal(index_t n, double alpha, double* x) { simd::kernels().scal(n, alpha, x); }
+
+void scal(index_t n, double alpha, double* x, index_t incx) {
+  if (incx == 1) {
+    scal(n, alpha, x);
+    return;
+  }
+  for (index_t i = 0; i < n; ++i) x[i * incx] *= alpha;
+}
+
+double dot(index_t n, const double* x, const double* y) {
+  return simd::kernels().dot(n, x, y);
+}
+
+double dot(index_t n, const double* x, index_t incx, const double* y, index_t incy) {
+  if (incx == 1 && incy == 1) return dot(n, x, y);
+  double s = 0.0;
+  for (index_t i = 0; i < n; ++i) s += x[i * incx] * y[i * incy];
+  return s;
+}
+
+double nrm2(index_t n, const double* x, index_t incx) {
+  if (incx == 1) return nrm2(n, x);
+  return nrm2_scaled(n, x, incx);
+}
+
+double nrm2(index_t n, const double* x) {
+  // Fast path: plain vectorized sum of squares, accepted only when the
+  // result proves no overflow/underflow could have distorted it. A huge or
+  // non-finite sumsq may have overflowed and a tiny one may have lost
+  // underflowed terms (so the 1e±300 graded matrices of types 7/8, and
+  // exactly-zero vectors, re-run the scaled loop).
+  const double ssq = simd::kernels().sumsq(n, x);
+  if (ssq >= kSsqSmall && ssq <= kSsqBig) return std::sqrt(ssq);
+  return nrm2_scaled(n, x, 1);
+}
+
+void copy(index_t n, const double* x, double* y) { simd::kernels().copy(n, x, y); }
 
 void copy(index_t n, const double* x, index_t incx, double* y, index_t incy) {
   if (incx == 1 && incy == 1) {
@@ -76,13 +97,7 @@ void copy(index_t n, const double* x, index_t incx, double* y, index_t incy) {
   for (index_t i = 0; i < n; ++i) y[i * incy] = x[i * incx];
 }
 
-void swap(index_t n, double* x, double* y) {
-  for (index_t i = 0; i < n; ++i) {
-    const double t = x[i];
-    x[i] = y[i];
-    y[i] = t;
-  }
-}
+void swap(index_t n, double* x, double* y) { simd::kernels().swap(n, x, y); }
 
 double asum(index_t n, const double* x) {
   double s = 0.0;
@@ -105,12 +120,7 @@ index_t iamax(index_t n, const double* x) {
 }
 
 void rot(index_t n, double* x, double* y, double c, double s) {
-  for (index_t i = 0; i < n; ++i) {
-    const double xi = x[i];
-    const double yi = y[i];
-    x[i] = c * xi + s * yi;
-    y[i] = c * yi - s * xi;
-  }
+  simd::kernels().rot(n, x, y, c, s);
 }
 
 void rot(index_t n, double* x, index_t incx, double* y, index_t incy, double c, double s) {

@@ -1,5 +1,7 @@
 #include "blas/parallel_gemm.hpp"
 
+#include "blas/simd/kernels.hpp"
+
 namespace dnc::blas {
 
 void parallel_gemm(ThreadPool& pool, Trans transa, Trans transb, index_t m, index_t n,
@@ -8,6 +10,11 @@ void parallel_gemm(ThreadPool& pool, Trans transa, Trans transb, index_t m, inde
   if (m <= 0 || n <= 0) return;
   // Column slabs of C are disjoint, so each worker runs an independent
   // sequential GEMM on its slab; the surrounding parallel_for is the join.
+  // Each worker packs into its own thread-local workspace (see gemm.cpp),
+  // so the slabs share nothing but the read-only A and B panels. The
+  // dispatched microkernel (simd::kernels()) is resolved once per slab
+  // inside gemm; slab boundaries need no tile alignment because partial
+  // micro-tiles are handled by the packed zero-padding.
   pool.parallel_for(0, n, [&](index_t j0, index_t j1) {
     const index_t nb = j1 - j0;
     const double* bsub = (transb == Trans::No) ? b + j0 * ldb : b + j0;

@@ -1,0 +1,61 @@
+// Runtime selection of the kernel table.
+//
+// Selection happens once, on the first call to kernels(): the hardware
+// probe (common/cpu_features) is clamped by the DNC_SIMD environment
+// variable and by what this binary was compiled with. The active table is
+// held in an atomic pointer so ScopedIsaOverride (tests/benches) can swap
+// it and restore it without races against readers.
+#include <atomic>
+
+#include "blas/simd/kernels.hpp"
+
+namespace dnc::blas::simd {
+namespace {
+
+std::atomic<const KernelTable*> g_active{nullptr};
+
+const KernelTable* select_table() noexcept {
+  const KernelTable* t = kernels_for(requested_simd_isa());
+  return t != nullptr ? t : &kScalarTable;
+}
+
+const KernelTable* active_or_init() noexcept {
+  const KernelTable* t = g_active.load(std::memory_order_acquire);
+  if (t != nullptr) return t;
+  // Benign race: concurrent first calls compute the same answer.
+  t = select_table();
+  g_active.store(t, std::memory_order_release);
+  return t;
+}
+
+}  // namespace
+
+const KernelTable* kernels_for(SimdIsa isa) noexcept {
+  switch (isa) {
+    case SimdIsa::Avx2:
+#if defined(DNC_HAVE_AVX2)
+      if (detect_simd_isa() >= SimdIsa::Avx2) return &kAvx2Table;
+#endif
+      return nullptr;
+    case SimdIsa::Sse2:
+#if defined(DNC_HAVE_SSE2)
+      if (detect_simd_isa() >= SimdIsa::Sse2) return &kSse2Table;
+#endif
+      return nullptr;
+    default:
+      return &kScalarTable;
+  }
+}
+
+const KernelTable& kernels() noexcept { return *active_or_init(); }
+
+SimdIsa active_isa() noexcept { return kernels().isa; }
+
+ScopedIsaOverride::ScopedIsaOverride(SimdIsa isa) noexcept : saved_(active_or_init()) {
+  const KernelTable* t = kernels_for(isa);
+  g_active.store(t != nullptr ? t : &kScalarTable, std::memory_order_release);
+}
+
+ScopedIsaOverride::~ScopedIsaOverride() { g_active.store(saved_, std::memory_order_release); }
+
+}  // namespace dnc::blas::simd

@@ -1,0 +1,124 @@
+// SIMD kernel layer: one table of function pointers per instruction set,
+// selected once at runtime.
+//
+// Layout of the layer:
+//   kernels_scalar.cpp   portable C++ implementations (always built; also
+//                        the reference the SIMD paths are tested against)
+//   kernels_sse2.cpp     128-bit double vectors      (built when the
+//                        toolchain targets x86 and DNC_ENABLE_SIMD is ON)
+//   kernels_avx2.cpp     256-bit double vectors + FMA (same condition, and
+//                        compiled with -mavx2 -mfma for this file only)
+//   dispatch.cpp         runtime selection: hardware probe (cpuid) clamped
+//                        by the DNC_SIMD env var ("scalar"|"sse2"|"avx2")
+//
+// Callers (gemm.cpp, level1.cpp, lapack/laed4.cpp) fetch the active table
+// with kernels() and call through it; the indirection is one predictable
+// load per kernel invocation, negligible against the vector loops behind
+// it. Keeping every ISA's table linked in (rather than ifdef-ing call
+// sites) is what lets one binary run the scalar, SSE2 and AVX2 paths --
+// tests compare them pairwise in-process, and CI re-runs the suites under
+// DNC_SIMD=scalar.
+//
+// Numerical note: the AVX2 kernels use FMA and block-wise summation, so
+// dot/sumsq/GEMM/laed4 results may differ from the scalar path by a few
+// ulps (usually they are *more* accurate -- fewer roundings). Tests and
+// callers must not expect bitwise equality across tables.
+#pragma once
+
+#include "common/cpu_features.hpp"
+#include "common/matrix.hpp"
+
+namespace dnc::blas::simd {
+
+/// GEMM microkernel over packed tiles. `ap` holds kb steps of MR contiguous
+/// A-rows, `bp` kb steps of NR contiguous B-columns (zero-padded partial
+/// tiles, see pack_a/pack_b). Computes acc = sum_p ap_p * bp_p^T and updates
+/// the mr x nr visible corner of C: C = alpha*acc + beta*C (beta == 0 must
+/// overwrite, never read, C -- callers rely on it to clear NaNs).
+using MicrokernelFn = void (*)(index_t kb, const double* ap, const double* bp, double alpha,
+                               double beta, double* c, index_t ldc, index_t mr, index_t nr);
+
+/// Packs a tile-rows slice of op(A) (rows [i0,i0+mr), cols [p0,p0+kb)) into
+/// microkernel order: for each p, MR contiguous row entries, zero-padded
+/// when mr < MR. `trans` selects op(A) = A^T.
+using PackAFn = void (*)(const double* a, index_t lda, bool trans, index_t i0, index_t mr,
+                         index_t p0, index_t kb, double* dst, index_t MR);
+
+/// Packs a tile-cols slice of op(B) (rows [p0,p0+kb), cols [j0,j0+nr)) into
+/// microkernel order: for each p, NR contiguous column entries, zero-padded.
+using PackBFn = void (*)(const double* b, index_t ldb, bool trans, index_t p0, index_t kb,
+                         index_t j0, index_t nr, double* dst, index_t NR);
+
+/// Secular-equation pole sums, the inner loop of every LAED4 task: for
+/// j in [j0, j1) with t_j = z_j / (delta0_j - tau) accumulates
+///   *w    += sum rho * z_j * t_j        (f contribution)
+///   *dsum += sum rho * t_j^2            (per-side derivative)
+///   *asum += sum |rho * z_j * t_j|      (error-bound magnitude sum)
+using Laed4SumsFn = void (*)(index_t j0, index_t j1, const double* delta0, const double* z,
+                             double rho, double tau, double* w, double* dsum, double* asum);
+
+struct KernelTable {
+  SimdIsa isa;
+  const char* name;
+
+  // --- level-3: packed GEMM microkernels and packing -------------------
+  MicrokernelFn mk8x4;  ///< MR=8, NR=4 (tall tiles; the default)
+  MicrokernelFn mk4x8;  ///< MR=4, NR=8 (short-wide C panels)
+  PackAFn pack_a;
+  PackBFn pack_b;
+  /// Problems with m*n*k below this volume skip packing and run the
+  /// reference triple loop; the SIMD tables set it lower because their
+  /// packed path amortises sooner.
+  index_t gemm_small_volume;
+
+  // --- level-1 (contiguous; strided variants stay scalar) --------------
+  void (*axpy)(index_t n, double alpha, const double* x, double* y);
+  double (*dot)(index_t n, const double* x, const double* y);
+  void (*scal)(index_t n, double alpha, double* x);
+  void (*copy)(index_t n, const double* x, double* y);
+  void (*swap)(index_t n, double* x, double* y);
+  void (*rot)(index_t n, double* x, double* y, double c, double s);
+  /// Plain sum of squares (no overflow scaling) -- the nrm2 fast path;
+  /// level1.cpp falls back to the scaled scalar loop outside safe range.
+  double (*sumsq)(index_t n, const double* x);
+
+  // --- lapack/laed4 ----------------------------------------------------
+  Laed4SumsFn laed4_sums;
+};
+
+/// The active table: hardware probe clamped by DNC_SIMD (read once, on
+/// first use). Safe to call from any thread.
+const KernelTable& kernels() noexcept;
+
+/// Active instruction set (== kernels().isa).
+SimdIsa active_isa() noexcept;
+
+/// Table for a specific level, or nullptr when that level was not compiled
+/// in or the hardware cannot run it. kernels_for(Scalar) never fails.
+const KernelTable* kernels_for(SimdIsa isa) noexcept;
+
+/// Forces the active table for the current process -- used by tests and
+/// benchmarks to compare paths in-process. Clamped like DNC_SIMD. Restores
+/// the previous table on destruction. Not for concurrent use from multiple
+/// threads (tests/benches are single-threaded at override points).
+class ScopedIsaOverride {
+ public:
+  explicit ScopedIsaOverride(SimdIsa isa) noexcept;
+  ~ScopedIsaOverride();
+  ScopedIsaOverride(const ScopedIsaOverride&) = delete;
+  ScopedIsaOverride& operator=(const ScopedIsaOverride&) = delete;
+
+ private:
+  const KernelTable* saved_;
+};
+
+/// The scalar table (always present; the testing reference).
+extern const KernelTable kScalarTable;
+#if defined(DNC_HAVE_SSE2)
+extern const KernelTable kSse2Table;
+#endif
+#if defined(DNC_HAVE_AVX2)
+extern const KernelTable kAvx2Table;
+#endif
+
+}  // namespace dnc::blas::simd

@@ -1,0 +1,151 @@
+// Portable C++ kernel table: the fallback on non-x86 targets, the
+// DNC_SIMD=scalar path, and the reference every SIMD table is tested
+// against. The GEMM microkernel is the seed's register-blocked loop
+// (written so GCC can auto-vectorize it with the baseline ISA), hoisted
+// here so scalar and SIMD paths share the packing/blocking driver.
+#include <cmath>
+
+#include "blas/simd/kernels.hpp"
+
+namespace dnc::blas::simd {
+namespace {
+
+inline double at(const double* a, index_t lda, bool trans, index_t i, index_t j) {
+  return trans ? a[j + i * lda] : a[i + j * lda];
+}
+
+// MR x NR register microkernel over packed panels; acc kept in a local
+// array so the compiler maps it to registers.
+template <index_t MR, index_t NR>
+void microkernel(index_t kb, const double* ap, const double* bp, double alpha, double beta,
+                 double* c, index_t ldc, index_t mr, index_t nr) {
+  double acc[MR][NR];
+  for (index_t i = 0; i < MR; ++i)
+    for (index_t j = 0; j < NR; ++j) acc[i][j] = 0.0;
+  for (index_t p = 0; p < kb; ++p) {
+    const double* arow = ap + p * MR;
+    const double* brow = bp + p * NR;
+    for (index_t j = 0; j < NR; ++j) {
+      const double bv = brow[j];
+      for (index_t i = 0; i < MR; ++i) acc[i][j] += arow[i] * bv;
+    }
+  }
+  for (index_t j = 0; j < nr; ++j) {
+    double* col = c + j * ldc;
+    if (beta == 0.0) {
+      for (index_t i = 0; i < mr; ++i) col[i] = alpha * acc[i][j];
+    } else if (beta == 1.0) {
+      for (index_t i = 0; i < mr; ++i) col[i] += alpha * acc[i][j];
+    } else {
+      for (index_t i = 0; i < mr; ++i) col[i] = alpha * acc[i][j] + beta * col[i];
+    }
+  }
+}
+
+void pack_a_scalar(const double* a, index_t lda, bool trans, index_t i0, index_t mr, index_t p0,
+                   index_t kb, double* dst, index_t MR) {
+  if (!trans && mr == MR) {
+    for (index_t p = 0; p < kb; ++p) {
+      const double* src = a + i0 + (p0 + p) * lda;
+      for (index_t i = 0; i < MR; ++i) dst[p * MR + i] = src[i];
+    }
+    return;
+  }
+  for (index_t p = 0; p < kb; ++p) {
+    for (index_t i = 0; i < MR; ++i)
+      dst[p * MR + i] = (i < mr) ? at(a, lda, trans, i0 + i, p0 + p) : 0.0;
+  }
+}
+
+void pack_b_scalar(const double* b, index_t ldb, bool trans, index_t p0, index_t kb, index_t j0,
+                   index_t nr, double* dst, index_t NR) {
+  if (!trans && nr == NR) {
+    for (index_t p = 0; p < kb; ++p) {
+      for (index_t j = 0; j < NR; ++j) dst[p * NR + j] = b[(p0 + p) + (j0 + j) * ldb];
+    }
+    return;
+  }
+  for (index_t p = 0; p < kb; ++p) {
+    for (index_t j = 0; j < NR; ++j)
+      dst[p * NR + j] = (j < nr) ? at(b, ldb, trans, p0 + p, j0 + j) : 0.0;
+  }
+}
+
+void axpy_scalar(index_t n, double alpha, const double* x, double* y) {
+  for (index_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+double dot_scalar(index_t n, const double* x, const double* y) {
+  double s = 0.0;
+  for (index_t i = 0; i < n; ++i) s += x[i] * y[i];
+  return s;
+}
+
+void scal_scalar(index_t n, double alpha, double* x) {
+  for (index_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+void copy_scalar(index_t n, const double* x, double* y) {
+  for (index_t i = 0; i < n; ++i) y[i] = x[i];
+}
+
+void swap_scalar(index_t n, double* x, double* y) {
+  for (index_t i = 0; i < n; ++i) {
+    const double t = x[i];
+    x[i] = y[i];
+    y[i] = t;
+  }
+}
+
+void rot_scalar(index_t n, double* x, double* y, double c, double s) {
+  for (index_t i = 0; i < n; ++i) {
+    const double xi = x[i];
+    const double yi = y[i];
+    x[i] = c * xi + s * yi;
+    y[i] = c * yi - s * xi;
+  }
+}
+
+double sumsq_scalar(index_t n, const double* x) {
+  double s = 0.0;
+  for (index_t i = 0; i < n; ++i) s += x[i] * x[i];
+  return s;
+}
+
+void laed4_sums_scalar(index_t j0, index_t j1, const double* delta0, const double* z,
+                       double rho, double tau, double* w, double* dsum, double* asum) {
+  double fw = 0.0, fd = 0.0, fa = 0.0;
+  for (index_t j = j0; j < j1; ++j) {
+    const double dj = delta0[j] - tau;
+    const double t = z[j] / dj;
+    const double term = rho * z[j] * t;
+    fw += term;
+    fd += rho * t * t;
+    fa += std::fabs(term);
+  }
+  *w += fw;
+  *dsum += fd;
+  *asum += fa;
+}
+
+}  // namespace
+
+const KernelTable kScalarTable = {
+    SimdIsa::Scalar,
+    "scalar",
+    &microkernel<8, 4>,
+    &microkernel<4, 8>,
+    &pack_a_scalar,
+    &pack_b_scalar,
+    32 * 32 * 32,
+    &axpy_scalar,
+    &dot_scalar,
+    &scal_scalar,
+    &copy_scalar,
+    &swap_scalar,
+    &rot_scalar,
+    &sumsq_scalar,
+    &laed4_sums_scalar,
+};
+
+}  // namespace dnc::blas::simd

@@ -1,0 +1,55 @@
+// Grow-only cache-line-aligned scratch buffer.
+//
+// The packed-GEMM workspaces (and any other per-thread kernel scratch) need
+// 64-byte alignment for vector loads and must not pay a malloc per call: a
+// merge tree issues thousands of small panel GEMMs, and the seed profile
+// showed the per-call std::vector allocations in blas::gemm on the hot
+// path. Instances are meant to be `thread_local`, so each worker of the
+// fork/join pool reuses one arena across every task it runs.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+#include "common/error.hpp"
+
+namespace dnc {
+
+class AlignedBuffer {
+ public:
+  static constexpr std::size_t kAlignment = 64;
+
+  AlignedBuffer() = default;
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+  ~AlignedBuffer() { std::free(data_); }
+
+  /// Returns a 64-byte-aligned array of at least `n` doubles. Contents are
+  /// unspecified; previous pointers are invalidated when the buffer grows.
+  double* reserve(std::size_t n) {
+    if (n > capacity_) {
+      // Grow geometrically so alternating callers with slightly different
+      // panel shapes do not reallocate on every call.
+      std::size_t want = capacity_ + capacity_ / 2;
+      if (want < n) want = n;
+      std::free(data_);
+      const std::size_t bytes = (want * sizeof(double) + kAlignment - 1) & ~(kAlignment - 1);
+      data_ = static_cast<double*>(std::aligned_alloc(kAlignment, bytes));
+      if (data_ == nullptr) {
+        capacity_ = 0;
+        throw std::bad_alloc();
+      }
+      capacity_ = want;
+    }
+    return data_;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  double* data_ = nullptr;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace dnc

@@ -1,0 +1,63 @@
+#include "common/cpu_features.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace dnc {
+namespace {
+
+SimdIsa probe_hardware() noexcept {
+#if (defined(__x86_64__) || defined(__i386__)) && (defined(__GNUC__) || defined(__clang__))
+  __builtin_cpu_init();
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) return SimdIsa::Avx2;
+  if (__builtin_cpu_supports("sse2")) return SimdIsa::Sse2;
+  return SimdIsa::Scalar;
+#else
+  return SimdIsa::Scalar;
+#endif
+}
+
+}  // namespace
+
+SimdIsa detect_simd_isa() noexcept {
+  static const SimdIsa isa = probe_hardware();
+  return isa;
+}
+
+bool parse_simd_isa(const char* s, SimdIsa& out) noexcept {
+  if (s == nullptr) return false;
+  if (std::strcmp(s, "scalar") == 0 || std::strcmp(s, "off") == 0 ||
+      std::strcmp(s, "none") == 0) {
+    out = SimdIsa::Scalar;
+    return true;
+  }
+  if (std::strcmp(s, "sse2") == 0) {
+    out = SimdIsa::Sse2;
+    return true;
+  }
+  if (std::strcmp(s, "avx2") == 0) {
+    out = SimdIsa::Avx2;
+    return true;
+  }
+  return false;
+}
+
+SimdIsa requested_simd_isa() noexcept {
+  const SimdIsa hw = detect_simd_isa();
+  SimdIsa req;
+  if (!parse_simd_isa(std::getenv("DNC_SIMD"), req)) return hw;
+  return static_cast<int>(req) < static_cast<int>(hw) ? req : hw;
+}
+
+const char* simd_isa_name(SimdIsa isa) noexcept {
+  switch (isa) {
+    case SimdIsa::Sse2:
+      return "sse2";
+    case SimdIsa::Avx2:
+      return "avx2";
+    default:
+      return "scalar";
+  }
+}
+
+}  // namespace dnc

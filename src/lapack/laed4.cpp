@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "blas/simd/kernels.hpp"
 #include "common/error.hpp"
 #include "common/machine.hpp"
 
@@ -25,17 +26,11 @@ struct SecularEval {
 SecularEval evaluate(index_t k, const double* delta0, const double* z, double rho, double tau,
                      index_t split) {
   SecularEval ev{1.0, 0.0, 0.0, 1.0};
-  for (index_t j = 0; j < k; ++j) {
-    const double dj = delta0[j] - tau;  // d_j - lambda
-    const double t = z[j] / dj;
-    const double term = rho * z[j] * t;  // rho z_j^2/(d_j - lambda)
-    ev.w += term;
-    if (j <= split)
-      ev.dpsi += rho * t * t;
-    else
-      ev.dphi += rho * t * t;
-    ev.asum += std::fabs(term);
-  }
+  // Vectorized pole sums (the hot loop of every LAED4 task): one pass per
+  // side of the split so the per-side derivative sums stay separate.
+  const auto& kt = blas::simd::kernels();
+  kt.laed4_sums(0, split + 1, delta0, z, rho, tau, &ev.w, &ev.dpsi, &ev.asum);
+  kt.laed4_sums(split + 1, k, delta0, z, rho, tau, &ev.w, &ev.dphi, &ev.asum);
   return ev;
 }
 
@@ -110,8 +105,7 @@ SecularResult laed4(index_t k, index_t i, const double* d, const double* z, doub
   const bool last = (i == k - 1);
 
   // Sum of z_j^2 bounds the last interval: lambda_{k-1} < d_{k-1} + rho*|z|^2.
-  double znorm2 = 0.0;
-  for (index_t j = 0; j < k; ++j) znorm2 += z[j] * z[j];
+  const double znorm2 = blas::simd::kernels().sumsq(k, z);
 
   // ---- Choose the origin pole and the initial bracket in tau space. ----
   index_t origin_idx;

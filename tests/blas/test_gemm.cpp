@@ -81,6 +81,57 @@ TEST(Gemm, KZeroActsAsScale) {
   EXPECT_DOUBLE_EQ(c(1, 1), 1.0);
 }
 
+TEST(Gemm, MZeroIsNoop) {
+  // Degenerate row count: must return without touching memory (null
+  // operands prove no access path runs).
+  gemm(Trans::No, Trans::No, 0, 5, 5, 1.0, nullptr, 1, nullptr, 1, 0.0, nullptr, 1);
+}
+
+TEST(Gemm, NZeroIsNoop) {
+  Matrix c(3, 3);
+  c.fill(7.0);
+  gemm(Trans::No, Trans::No, 3, 0, 5, 1.0, nullptr, 3, nullptr, 5, 0.0, c.data(), 3);
+  for (index_t j = 0; j < 3; ++j)
+    for (index_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(c(i, j), 7.0);  // untouched
+}
+
+TEST(Gemm, AlphaZeroBetaZeroOverwritesNaN) {
+  Matrix c(4, 4);
+  c.fill(std::numeric_limits<double>::quiet_NaN());
+  gemm(Trans::No, Trans::No, 4, 4, 4, 0.0, nullptr, 4, nullptr, 4, 0.0, c.data(), 4);
+  for (index_t j = 0; j < 4; ++j)
+    for (index_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(c(i, j), 0.0);
+}
+
+TEST(Gemm, KZeroBetaZeroOverwritesNaN) {
+  Matrix c(3, 3);
+  c.fill(std::numeric_limits<double>::quiet_NaN());
+  gemm(Trans::No, Trans::No, 3, 3, 0, 1.0, nullptr, 1, nullptr, 1, 0.0, c.data(), 3);
+  for (index_t j = 0; j < 3; ++j)
+    for (index_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(c(i, j), 0.0);
+}
+
+TEST(Gemm, ShortWidePanelUsesWideMicrotile) {
+  // m <= 4 with broad n routes through the 4x8 microkernel; sweep the
+  // row-count and column remainders of that path.
+  for (index_t m : {1, 2, 3, 4}) {
+    for (index_t n : {8, 9, 15, 16, 33}) {
+      // Past every dispatch table's small-volume cutoff (scalar's is
+      // 32^3), so the packed 4x8 path actually runs.
+      const index_t k = 32768 / (m * n) + 37;
+      Matrix a = randmat(m, k, 20 + m);
+      Matrix b = randmat(k, n, 30 + n);
+      Matrix c = randmat(m, n, 40);
+      Matrix cref = c;
+      gemm(Trans::No, Trans::No, m, n, k, 1.1, a.data(), a.ld(), b.data(), b.ld(), 0.3,
+           c.data(), c.ld());
+      gemm_reference(Trans::No, Trans::No, m, n, k, 1.1, a.data(), a.ld(), b.data(), b.ld(),
+                     0.3, cref.data(), cref.ld());
+      EXPECT_LT(max_diff(c, cref), 1e-11 * k) << "m=" << m << " n=" << n;
+    }
+  }
+}
+
 TEST(Gemm, SubmatrixLeadingDimensions) {
   // C is a window of a bigger array: ld > m exercises all paths.
   Matrix abig = randmat(40, 40, 8);

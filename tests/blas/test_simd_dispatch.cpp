@@ -1,0 +1,382 @@
+// Property tests for the SIMD kernel layer: every table the binary carries
+// (scalar always; SSE2/AVX2 when compiled in and the host supports them) is
+// compared against the scalar reference across remainder shapes -- vector
+// kernels live or die on their tail handling, so lengths sweep every
+// residue mod the widest vector, and GEMM shapes sweep the residues mod
+// MR/NR of both microtiles.
+#include "blas/simd/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "blas/gemm.hpp"
+#include "blas/level1.hpp"
+#include "common/rng.hpp"
+
+namespace dnc::blas::simd {
+namespace {
+
+std::vector<double> randvec(index_t n, std::uint64_t seed) {
+  Rng r(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = r.uniform_sym();
+  return v;
+}
+
+std::vector<const KernelTable*> available_tables() {
+  std::vector<const KernelTable*> t;
+  for (SimdIsa isa : {SimdIsa::Scalar, SimdIsa::Sse2, SimdIsa::Avx2})
+    if (const KernelTable* kt = kernels_for(isa)) t.push_back(kt);
+  return t;
+}
+
+// Lengths covering every residue mod 8 (the widest unrolled step) plus a
+// couple of long ones so the unrolled body actually loops.
+const index_t kLens[] = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16,
+                         17, 31, 32, 33, 63, 64, 65, 100, 1000, 1001, 1003, 1007};
+
+TEST(SimdDispatch, ActiveTableIsAvailable) {
+  const KernelTable& kt = kernels();
+  EXPECT_EQ(kernels_for(kt.isa), &kt);
+  EXPECT_EQ(active_isa(), kt.isa);
+  EXPECT_STREQ(kt.name, simd_isa_name(kt.isa));
+}
+
+TEST(SimdDispatch, ScalarAlwaysPresent) {
+  ASSERT_NE(kernels_for(SimdIsa::Scalar), nullptr);
+  EXPECT_EQ(kernels_for(SimdIsa::Scalar), &kScalarTable);
+}
+
+TEST(SimdDispatch, EnvParsing) {
+  SimdIsa isa = SimdIsa::Avx2;
+  EXPECT_TRUE(parse_simd_isa("scalar", isa));
+  EXPECT_EQ(isa, SimdIsa::Scalar);
+  EXPECT_TRUE(parse_simd_isa("off", isa));
+  EXPECT_EQ(isa, SimdIsa::Scalar);
+  EXPECT_TRUE(parse_simd_isa("sse2", isa));
+  EXPECT_EQ(isa, SimdIsa::Sse2);
+  EXPECT_TRUE(parse_simd_isa("avx2", isa));
+  EXPECT_EQ(isa, SimdIsa::Avx2);
+  EXPECT_FALSE(parse_simd_isa("avx512", isa));
+  EXPECT_FALSE(parse_simd_isa("", isa));
+  EXPECT_FALSE(parse_simd_isa(nullptr, isa));
+}
+
+TEST(SimdDispatch, DetectIsMonotone) {
+  // AVX2 hardware implies SSE2 hardware; the probe must never report an
+  // impossible combination, and kernels_for must clamp to it.
+  const SimdIsa hw = detect_simd_isa();
+  if (hw >= SimdIsa::Sse2) {
+#if defined(__x86_64__) || defined(__i386__)
+    SUCCEED();
+#endif
+  }
+  if (kernels_for(SimdIsa::Avx2) != nullptr) EXPECT_GE(hw, SimdIsa::Avx2);
+  if (kernels_for(SimdIsa::Sse2) != nullptr) EXPECT_GE(hw, SimdIsa::Sse2);
+}
+
+TEST(SimdDispatch, ScopedOverrideSwitchesAndRestores) {
+  const KernelTable& before = kernels();
+  {
+    ScopedIsaOverride force(SimdIsa::Scalar);
+    EXPECT_EQ(active_isa(), SimdIsa::Scalar);
+  }
+  EXPECT_EQ(&kernels(), &before);
+}
+
+TEST(SimdKernels, AxpyMatchesScalar) {
+  for (const KernelTable* kt : available_tables()) {
+    for (index_t n : kLens) {
+      auto x = randvec(n, 1);
+      auto yref = randvec(n, 2);
+      auto y = yref;
+      kScalarTable.axpy(n, 1.7, x.data(), yref.data());
+      kt->axpy(n, 1.7, x.data(), y.data());
+      for (index_t i = 0; i < n; ++i)
+        EXPECT_NEAR(y[i], yref[i], 4e-16 * (std::fabs(yref[i]) + std::fabs(x[i])))
+            << kt->name << " n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(SimdKernels, DotMatchesScalar) {
+  for (const KernelTable* kt : available_tables()) {
+    for (index_t n : kLens) {
+      auto x = randvec(n, 3);
+      auto y = randvec(n, 4);
+      const double ref = kScalarTable.dot(n, x.data(), y.data());
+      EXPECT_NEAR(kt->dot(n, x.data(), y.data()), ref, 1e-14 * (n + 1))
+          << kt->name << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdKernels, ScalCopySwapMatchScalar) {
+  for (const KernelTable* kt : available_tables()) {
+    for (index_t n : kLens) {
+      auto x = randvec(n, 5);
+      auto xs = x;
+      kt->scal(n, -2.25, xs.data());  // -2.25 is exact: results bitwise equal
+      for (index_t i = 0; i < n; ++i) EXPECT_EQ(xs[i], -2.25 * x[i]) << kt->name;
+
+      std::vector<double> y(n, 0.0);
+      kt->copy(n, x.data(), y.data());
+      EXPECT_EQ(x, y) << kt->name;
+
+      auto a = randvec(n, 6);
+      auto b = randvec(n, 7);
+      auto a0 = a, b0 = b;
+      kt->swap(n, a.data(), b.data());
+      EXPECT_EQ(a, b0) << kt->name;
+      EXPECT_EQ(b, a0) << kt->name;
+    }
+  }
+}
+
+TEST(SimdKernels, RotMatchesScalar) {
+  const double c = std::cos(0.83), s = std::sin(0.83);
+  for (const KernelTable* kt : available_tables()) {
+    for (index_t n : kLens) {
+      auto x = randvec(n, 8), y = randvec(n, 9);
+      auto xr = x, yr = y;
+      kScalarTable.rot(n, xr.data(), yr.data(), c, s);
+      kt->rot(n, x.data(), y.data(), c, s);
+      for (index_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(x[i], xr[i], 4e-16) << kt->name << " n=" << n;
+        EXPECT_NEAR(y[i], yr[i], 4e-16) << kt->name << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, SumsqMatchesScalar) {
+  for (const KernelTable* kt : available_tables()) {
+    for (index_t n : kLens) {
+      auto x = randvec(n, 10);
+      const double ref = kScalarTable.sumsq(n, x.data());
+      EXPECT_NEAR(kt->sumsq(n, x.data()), ref, 1e-14 * (n + 1)) << kt->name << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdKernels, Nrm2ExtremeValuesStaySafe) {
+  // The level-1 nrm2 wrapper must reject the vectorized sum of squares
+  // whenever it could have overflowed/underflowed, whatever table is live.
+  for (const KernelTable* kt : available_tables()) {
+    ScopedIsaOverride force(kt->isa);
+    // n=2 at 1e308: the unscaled sum of squares overflows but the true
+    // norm sqrt(2)*1e308 is representable -- only the scaled loop survives.
+    std::vector<double> big(2, 1e308);
+    EXPECT_TRUE(std::isfinite(nrm2(2, big.data()))) << kt->name;
+    EXPECT_NEAR(nrm2(2, big.data()) / 1e308, std::sqrt(2.0), 1e-12) << kt->name;
+    std::vector<double> tiny(4, 1e-300);
+    EXPECT_NEAR(nrm2(4, tiny.data()) / 1e-300, 2.0, 1e-12) << kt->name;
+    std::vector<double> zero(7, 0.0);
+    EXPECT_DOUBLE_EQ(nrm2(7, zero.data()), 0.0) << kt->name;
+    std::vector<double> plain{3.0, 4.0};
+    EXPECT_DOUBLE_EQ(nrm2(2, plain.data()), 5.0) << kt->name;
+  }
+}
+
+TEST(SimdKernels, PackAMatchesScalar) {
+  // All tile widths, full and partial rows, both transposes.
+  const index_t lda = 37, ncols = 30;
+  auto a = randvec(lda * ncols, 11);
+  for (const KernelTable* kt : available_tables()) {
+    for (index_t MR : {8, 4}) {
+      for (bool trans : {false, true}) {
+        for (index_t mr = 1; mr <= MR; ++mr) {
+          const index_t kb = 13, i0 = 5, p0 = 3;
+          // For trans, "rows" index the columns of the stored array; the
+          // shapes above keep every access in bounds either way.
+          std::vector<double> ref(static_cast<std::size_t>(MR) * kb, -1.0);
+          std::vector<double> out(static_cast<std::size_t>(MR) * kb, -2.0);
+          kScalarTable.pack_a(a.data(), lda, trans, i0, mr, p0, kb, ref.data(), MR);
+          kt->pack_a(a.data(), lda, trans, i0, mr, p0, kb, out.data(), MR);
+          EXPECT_EQ(ref, out) << kt->name << " MR=" << MR << " mr=" << mr
+                              << " trans=" << trans;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, PackBMatchesScalar) {
+  const index_t ldb = 41, ncols = 35;
+  auto b = randvec(ldb * ncols, 12);
+  for (const KernelTable* kt : available_tables()) {
+    for (index_t NR : {4, 8}) {
+      for (bool trans : {false, true}) {
+        for (index_t nr = 1; nr <= NR; ++nr) {
+          for (index_t kb : {1, 2, 3, 4, 5, 7, 8, 13}) {
+            const index_t p0 = 2, j0 = 6;
+            std::vector<double> ref(static_cast<std::size_t>(NR) * kb, -1.0);
+            std::vector<double> out(static_cast<std::size_t>(NR) * kb, -2.0);
+            kScalarTable.pack_b(b.data(), ldb, trans, p0, kb, j0, nr, ref.data(), NR);
+            kt->pack_b(b.data(), ldb, trans, p0, kb, j0, nr, out.data(), NR);
+            EXPECT_EQ(ref, out) << kt->name << " NR=" << NR << " nr=" << nr << " kb=" << kb
+                                << " trans=" << trans;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, MicrokernelsMatchScalarAllEdges) {
+  // Packed panels with kb sweeping small values; every (mr, nr) corner;
+  // the three beta classes (overwrite, accumulate, general).
+  for (const KernelTable* kt : available_tables()) {
+    for (int wide = 0; wide < 2; ++wide) {
+      const index_t MR = wide ? 4 : 8, NR = wide ? 8 : 4;
+      const MicrokernelFn mk = wide ? kt->mk4x8 : kt->mk8x4;
+      const MicrokernelFn mkref = wide ? kScalarTable.mk4x8 : kScalarTable.mk8x4;
+      for (index_t kb : {1, 2, 3, 7, 16, 33}) {
+        auto ap = randvec(MR * kb, 13);
+        auto bp = randvec(NR * kb, 14);
+        for (index_t mr = 1; mr <= MR; ++mr) {
+          for (index_t nr = 1; nr <= NR; ++nr) {
+            for (double beta : {0.0, 1.0, -0.4}) {
+              const index_t ldc = MR + 3;
+              auto c = randvec(ldc * NR, 15);
+              auto cref = c;
+              mk(kb, ap.data(), bp.data(), 1.3, beta, c.data(), ldc, mr, nr);
+              mkref(kb, ap.data(), bp.data(), 1.3, beta, cref.data(), ldc, mr, nr);
+              for (std::size_t i = 0; i < c.size(); ++i)
+                EXPECT_NEAR(c[i], cref[i], 1e-13 * kb)
+                    << kt->name << (wide ? " 4x8" : " 8x4") << " kb=" << kb << " mr=" << mr
+                    << " nr=" << nr << " beta=" << beta;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, MicrokernelBetaZeroOverwritesNaN) {
+  for (const KernelTable* kt : available_tables()) {
+    for (int wide = 0; wide < 2; ++wide) {
+      const index_t MR = wide ? 4 : 8, NR = wide ? 8 : 4;
+      const MicrokernelFn mk = wide ? kt->mk4x8 : kt->mk8x4;
+      auto ap = randvec(MR * 4, 16);
+      auto bp = randvec(NR * 4, 17);
+      std::vector<double> c(MR * NR, std::numeric_limits<double>::quiet_NaN());
+      mk(4, ap.data(), bp.data(), 1.0, 0.0, c.data(), MR, MR, NR);
+      for (double v : c) EXPECT_TRUE(std::isfinite(v)) << kt->name;
+    }
+  }
+}
+
+TEST(SimdKernels, Laed4SumsMatchScalar) {
+  // Remainder lengths and a split inside, at the ends, and off both ends.
+  for (const KernelTable* kt : available_tables()) {
+    for (index_t k : {1, 2, 3, 4, 5, 7, 8, 9, 16, 17, 127, 128, 129}) {
+      Rng rng(18);
+      std::vector<double> delta0(k), z(k);
+      double acc = -0.5;
+      for (index_t j = 0; j < k; ++j) {
+        acc += 0.05 + rng.uniform01();
+        delta0[j] = acc;
+        z[j] = 0.02 + rng.uniform01();
+      }
+      const double rho = 1.3, tau = 0.021;  // off-pole evaluation point
+      for (index_t j0 : {index_t{0}, k / 2}) {
+        double w1 = 1.0, d1 = 0.0, a1 = 1.0;
+        double w2 = 1.0, d2 = 0.0, a2 = 1.0;
+        kScalarTable.laed4_sums(j0, k, delta0.data(), z.data(), rho, tau, &w1, &d1, &a1);
+        kt->laed4_sums(j0, k, delta0.data(), z.data(), rho, tau, &w2, &d2, &a2);
+        EXPECT_NEAR(w2, w1, 1e-12 * (std::fabs(w1) + a1)) << kt->name << " k=" << k;
+        EXPECT_NEAR(d2, d1, 1e-12 * std::fabs(d1)) << kt->name << " k=" << k;
+        EXPECT_NEAR(a2, a1, 1e-12 * a1) << kt->name << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(SimdGemm, AllResidueShapesMatchReferenceUnderEveryTable) {
+  // m and n sweep every residue mod 8 and mod 4 (covering both microtiles
+  // and the mixed-tile boundary), k is chosen to clear every table's
+  // small-volume cutoff so the packed path really runs.
+  for (const KernelTable* kt : available_tables()) {
+    ScopedIsaOverride force(kt->isa);
+    for (index_t m : {1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16, 17}) {
+      for (index_t n : {1, 2, 3, 4, 5, 7, 8, 9, 12, 13}) {
+        const index_t k = 32768 / (m * n) + 29;
+        Rng rng(100 + m * 17 + n);
+        Matrix a(m, k), b(k, n), c(m, n), cref(m, n);
+        for (index_t j = 0; j < k; ++j)
+          for (index_t i = 0; i < m; ++i) a(i, j) = rng.uniform_sym();
+        for (index_t j = 0; j < n; ++j)
+          for (index_t i = 0; i < k; ++i) b(i, j) = rng.uniform_sym();
+        for (index_t j = 0; j < n; ++j)
+          for (index_t i = 0; i < m; ++i) cref(i, j) = c(i, j) = rng.uniform_sym();
+        gemm(Trans::No, Trans::No, m, n, k, 0.9, a.data(), m, b.data(), k, -0.6, c.data(), m);
+        gemm_reference(Trans::No, Trans::No, m, n, k, 0.9, a.data(), m, b.data(), k, -0.6,
+                       cref.data(), m);
+        double worst = 0.0;
+        for (index_t j = 0; j < n; ++j)
+          for (index_t i = 0; i < m; ++i)
+            worst = std::max(worst, std::fabs(c(i, j) - cref(i, j)));
+        EXPECT_LT(worst, 1e-11 * k) << kt->name << " m=" << m << " n=" << n << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(SimdGemm, TransposedShapesMatchReferenceUnderEveryTable) {
+  for (const KernelTable* kt : available_tables()) {
+    ScopedIsaOverride force(kt->isa);
+    const index_t m = 37, n = 29, k = 41;
+    Rng rng(200);
+    // Volume 37*29*41 = 43993 > every cutoff.
+    for (Trans ta : {Trans::No, Trans::Yes}) {
+      for (Trans tb : {Trans::No, Trans::Yes}) {
+        Matrix a = (ta == Trans::No) ? Matrix(m, k) : Matrix(k, m);
+        Matrix b = (tb == Trans::No) ? Matrix(k, n) : Matrix(n, k);
+        Matrix c(m, n), cref(m, n);
+        for (index_t j = 0; j < a.cols(); ++j)
+          for (index_t i = 0; i < a.rows(); ++i) a(i, j) = rng.uniform_sym();
+        for (index_t j = 0; j < b.cols(); ++j)
+          for (index_t i = 0; i < b.rows(); ++i) b(i, j) = rng.uniform_sym();
+        for (index_t j = 0; j < n; ++j)
+          for (index_t i = 0; i < m; ++i) cref(i, j) = c(i, j) = rng.uniform_sym();
+        gemm(ta, tb, m, n, k, 1.2, a.data(), a.ld(), b.data(), b.ld(), 0.4, c.data(), m);
+        gemm_reference(ta, tb, m, n, k, 1.2, a.data(), a.ld(), b.data(), b.ld(), 0.4,
+                       cref.data(), m);
+        double worst = 0.0;
+        for (index_t j = 0; j < n; ++j)
+          for (index_t i = 0; i < m; ++i)
+            worst = std::max(worst, std::fabs(c(i, j) - cref(i, j)));
+        EXPECT_LT(worst, 1e-11 * k) << kt->name;
+      }
+    }
+  }
+}
+
+TEST(SimdLevel1, StridedVariantsUnaffectedByDispatch) {
+  // Strided level-1 calls stay scalar whatever table is active; spot-check
+  // they agree with the contiguous kernels on equivalent data.
+  for (const KernelTable* kt : available_tables()) {
+    ScopedIsaOverride force(kt->isa);
+    const index_t n = 57;
+    auto xs = randvec(2 * n, 19);
+    auto y = randvec(n, 20);
+    auto ycontig = y;
+    std::vector<double> xc(n);
+    for (index_t i = 0; i < n; ++i) xc[i] = xs[2 * i];
+    axpy(n, 0.7, xs.data(), 2, y.data(), 1);
+    axpy(n, 0.7, xc.data(), ycontig.data());
+    for (index_t i = 0; i < n; ++i)
+      EXPECT_NEAR(y[i], ycontig[i], 4e-16 * (std::fabs(y[i]) + 1.0)) << kt->name;
+    EXPECT_NEAR(dot(n, xs.data(), 2, y.data(), 1), dot(n, xc.data(), y.data()),
+                1e-13 * n)
+        << kt->name;
+  }
+}
+
+}  // namespace
+}  // namespace dnc::blas::simd

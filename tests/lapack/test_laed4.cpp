@@ -6,6 +6,7 @@
 #include <cmath>
 #include <vector>
 
+#include "blas/simd/kernels.hpp"
 #include "common/machine.hpp"
 #include "common/rng.hpp"
 
@@ -172,6 +173,70 @@ TEST(Laed4, InvalidArgsThrow) {
   double delta[2];
   EXPECT_THROW(laed4(2, 2, d, z, 1.0, delta), InvalidArgument);
   EXPECT_THROW(laed4(2, 0, d, z, -1.0, delta), InvalidArgument);
+}
+
+TEST(Laed4, SimdDispatchAgreesWithScalarWithin8Eps) {
+  // The pole sums run through the SIMD dispatch table; FMA and block-wise
+  // summation may perturb the iteration, but every root must agree with the
+  // forced-scalar path to the solver's own convergence tolerance (8 eps on
+  // the secular residual translates to ~8 eps relative on tau).
+  const index_t k = 257;  // odd length: exercises every vector tail
+  Rng rng(77);
+  std::vector<double> d(k), z(k);
+  double acc = 0.0, nrm = 0.0;
+  for (index_t j = 0; j < k; ++j) {
+    acc += 0.01 + rng.uniform01();
+    d[j] = acc;
+    z[j] = 0.05 + rng.uniform01();
+    nrm += z[j] * z[j];
+  }
+  nrm = std::sqrt(nrm);
+  for (auto& v : z) v /= nrm;
+  const double rho = 1.7;
+  const double eps = lamch_eps();
+
+  for (SimdIsa isa :
+       {SimdIsa::Sse2, SimdIsa::Avx2}) {
+    if (blas::simd::kernels_for(isa) == nullptr) continue;  // not on this host/build
+    for (index_t i = 0; i < k; i += 7) {
+      std::vector<double> delta_s(k), delta_v(k);
+      SecularResult rs, rv;
+      {
+        blas::simd::ScopedIsaOverride force(SimdIsa::Scalar);
+        rs = laed4(k, i, d.data(), z.data(), rho, delta_s.data());
+      }
+      {
+        blas::simd::ScopedIsaOverride force(isa);
+        rv = laed4(k, i, d.data(), z.data(), rho, delta_v.data());
+      }
+      // Both paths stop on |f| <= 8 eps * sum|terms|, so each tau lies
+      // within ~erretm/f' of the true root; they must agree to twice that
+      // plus 8 eps relative slack.
+      const double lam = rs.origin + rs.tau;
+      double dw = 0.0, mags = 1.0;
+      for (index_t j = 0; j < k; ++j) {
+        const double t = z[j] / (d[j] - lam);
+        dw += rho * t * t;
+        mags += std::fabs(rho * z[j] * z[j] / (d[j] - lam));
+      }
+      const double tol = 4.0 * (8.0 * eps * mags) / dw + 8.0 * eps * std::fabs(rs.tau);
+      EXPECT_NEAR(rv.tau, rs.tau, tol) << "isa=" << static_cast<int>(isa) << " root " << i;
+      EXPECT_EQ(rv.origin, rs.origin) << "origin pole choice must not flip";
+      // Both must satisfy the secular equation to the solver tolerance.
+      // Evaluate through the returned deltas (exact d_j - lambda to full
+      // relative accuracy); the tolerance carries an O(k eps) term for the
+      // test's own re-summation rounding.
+      for (const auto* dl : {&delta_s, &delta_v}) {
+        double f = 1.0, mags = 1.0;
+        for (index_t j = 0; j < k; ++j) {
+          const double term = rho * z[j] * z[j] / (*dl)[j];
+          f += term;
+          mags += std::fabs(term);
+        }
+        EXPECT_LT(std::fabs(f), (64.0 + 4.0 * k) * eps * mags) << "root " << i;
+      }
+    }
+  }
 }
 
 TEST(Laed5, MatchesLaed4OnRandom2x2) {
