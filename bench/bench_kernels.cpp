@@ -25,6 +25,7 @@
 #include "dc/deflation.hpp"
 #include "lapack/laed4.hpp"
 #include "lapack/steqr.hpp"
+#include "bench_support.hpp"
 #include "matgen/tridiag.hpp"
 #include "runtime/engine.hpp"
 
@@ -261,6 +262,8 @@ void register_dispatch_benchmarks() {
 
 int main(int argc, char** argv) {
   register_dispatch_benchmarks();
+  for (const auto& [key, value] : dnc::bench::machine_metadata())
+    benchmark::AddCustomContext(key, value);
   // Default to writing BENCH_kernels.json next to the invocation unless the
   // caller picked an output themselves.
   bool has_out = false;

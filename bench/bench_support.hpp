@@ -10,13 +10,32 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
+#include "blas/simd/kernels.hpp"
 #include "common/matrix.hpp"
 #include "dc/api.hpp"
 #include "matgen/tridiag.hpp"
 
 namespace dnc::bench {
+
+/// Machine/configuration metadata stamped into every BENCH_*.json so a
+/// recorded number can be traced back to the environment that produced it:
+/// thread count, the dispatched SIMD kernel table, and every DNC_* override
+/// in effect.
+inline std::vector<std::pair<std::string, std::string>> machine_metadata() {
+  std::vector<std::pair<std::string, std::string>> kv;
+  kv.emplace_back("hardware_threads", std::to_string(std::thread::hardware_concurrency()));
+  kv.emplace_back("simd_dispatch", blas::simd::kernels().name);
+  for (const char* var : {"DNC_SIMD", "DNC_BENCH_NMAX", "DNC_BENCH_FAST", "DNC_TRACE",
+                          "DNC_REPORT"}) {
+    const char* val = std::getenv(var);
+    kv.emplace_back(var, val ? val : "(unset)");
+  }
+  return kv;
+}
 
 inline index_t nmax_from_env(index_t dflt = 1536) {
   if (const char* s = std::getenv("DNC_BENCH_NMAX")) return std::atol(s);
@@ -80,6 +99,12 @@ inline dc::Options scaled_options(index_t n) {
 
 inline void header(const std::string& title, const std::string& what) {
   std::printf("==== %s ====\n%s\n", title.c_str(), what.c_str());
+  std::string meta;
+  for (const auto& [key, value] : machine_metadata()) {
+    if (!meta.empty()) meta += "  ";
+    meta += key + "=" + value;
+  }
+  std::printf("[machine] %s\n", meta.c_str());
 }
 
 }  // namespace dnc::bench

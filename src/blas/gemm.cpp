@@ -6,6 +6,7 @@
 #include "blas/simd/kernels.hpp"
 #include "common/aligned_buffer.hpp"
 #include "common/error.hpp"
+#include "obs/counters.hpp"
 
 namespace dnc::blas {
 namespace {
@@ -53,6 +54,9 @@ void gemm(Trans transa, Trans transb, index_t m, index_t n, index_t k, double al
     return;
   }
 
+  obs::bump(obs::kGemmCalls);
+  obs::bump(obs::kGemmFlops, 2ull * static_cast<std::uint64_t>(m) * n * k);
+
   const simd::KernelTable& kt = simd::kernels();
 
   // Small problems are served by the reference loop: the packing overhead
@@ -87,6 +91,7 @@ void gemm(Trans transa, Trans transb, index_t m, index_t n, index_t k, double al
   double* bpack =
       tls_bpack.reserve(static_cast<std::size_t>(((ncap + NR - 1) / NR) * NR) * kcap);
 
+  std::uint64_t packed_doubles = 0;
   for (index_t jc = 0; jc < n; jc += ncap) {
     const index_t nb = std::min(ncap, n - jc);
     for (index_t pc = 0; pc < k; pc += kcap) {
@@ -98,6 +103,7 @@ void gemm(Trans transa, Trans transb, index_t m, index_t n, index_t k, double al
         const index_t j0 = jc + jt * NR;
         kt.pack_b(b, ldb, tb, pc, kb, j0, std::min(NR, n - j0), bpack + jt * NR * kb, NR);
       }
+      packed_doubles += static_cast<std::uint64_t>(ntiles) * NR * kb;
       for (index_t ic = 0; ic < m; ic += mc) {
         const index_t mb = std::min(mc, m - ic);
         const index_t mtiles = (mb + MR - 1) / MR;
@@ -105,6 +111,7 @@ void gemm(Trans transa, Trans transb, index_t m, index_t n, index_t k, double al
           const index_t i0 = ic + it * MR;
           kt.pack_a(a, lda, ta, i0, std::min(MR, m - i0), pc, kb, apack + it * MR * kb, MR);
         }
+        packed_doubles += static_cast<std::uint64_t>(mtiles) * MR * kb;
         // Macro loop over microtiles.
         for (index_t jt = 0; jt < ntiles; ++jt) {
           const index_t j0 = jc + jt * NR;
@@ -119,6 +126,7 @@ void gemm(Trans transa, Trans transb, index_t m, index_t n, index_t k, double al
       }
     }
   }
+  obs::bump(obs::kGemmPackedBytes, packed_doubles * sizeof(double));
 }
 
 }  // namespace dnc::blas

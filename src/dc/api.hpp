@@ -26,6 +26,7 @@
 
 #include "common/matrix.hpp"
 #include "dc/options.hpp"
+#include "obs/report.hpp"
 #include "runtime/simulator.hpp"
 #include "runtime/trace.hpp"
 
@@ -39,6 +40,12 @@ struct SolveStats {
   double deflation_ratio = 0.0;  ///< sum(m - k) / sum(m) over all merges
   index_t root_k = 0;            ///< non-deflated count of the final merge
   double seconds = 0.0;          ///< wall-clock of the solve
+
+  /// Observability report: per-merge deflation records, algorithmic counter
+  /// deltas (laed4/sturm/gemm), scheduler metrics for the runtime-backed
+  /// drivers. Exported to $DNC_REPORT / $DNC_TRACE when those are set (which
+  /// works even when stats itself is null).
+  obs::SolveReport report;
 
   // Filled by the runtime-backed drivers only:
   rt::Trace trace;                             ///< per-task execution trace

@@ -23,6 +23,7 @@ namespace dnc::dc {
 void stedc_lapack_model(index_t n, double* d, double* e, Matrix& v, const Options& opt,
                         SolveStats* stats, const std::vector<int>& simulate_workers) {
   Stopwatch sw;
+  obs::SolveScope scope("lapack_model");
   if (stats) *stats = SolveStats{};
   if (detail::solve_trivial(n, d, e, v)) {
     if (stats) {
@@ -108,14 +109,22 @@ void stedc_lapack_model(index_t n, double* d, double* e, Matrix& v, const Option
 
   runtime.wait_all();
 
+  const double seconds = sw.elapsed();
+  rt::Trace trace;
+  const rt::Trace* tr = nullptr;
+  if (stats || obs::trace_export_requested() || obs::report_export_requested()) {
+    trace = runtime.trace();
+    tr = &trace;
+  }
   if (stats) {
     detail::fill_stats(plan, ctxs, stats);
     stats->n = n;
-    stats->trace = runtime.trace();
-    stats->seconds = sw.elapsed();
+    stats->trace = trace;
+    stats->seconds = seconds;
     for (int w : simulate_workers) stats->simulated.push_back(rt::simulate_schedule(graph, w));
     if (opt.export_dag) stats->dag_dot = rt::export_dot(graph);
   }
+  detail::finish_report(scope, ctxs, n, opt.threads, seconds, tr, stats);
 }
 
 }  // namespace dnc::dc

@@ -4,6 +4,7 @@
 
 #include "blas/aux.hpp"
 #include "blas/level1.hpp"
+#include "blas/simd/kernels.hpp"
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "dc/api.hpp"
@@ -89,11 +90,37 @@ void fill_stats(const Plan& plan, const std::vector<std::unique_ptr<MergeContext
   stats->deflation_ratio = total_m > 0 ? static_cast<double>(total_defl) / total_m : 0.0;
 }
 
+void finish_report(const obs::SolveScope& scope,
+                   const std::vector<std::unique_ptr<MergeContext>>& ctxs, index_t n,
+                   int threads, double seconds, const rt::Trace* trace, SolveStats* stats) {
+  const bool want_export = obs::trace_export_requested() || obs::report_export_requested();
+  if (stats == nullptr && !want_export) return;
+  obs::SolveReport local;
+  obs::SolveReport& rep = stats ? stats->report : local;
+  // The dispatched kernel table is authoritative (DNC_SIMD and in-process
+  // overrides included); the scope would otherwise fall back to the env.
+  rep.simd_isa = blas::simd::kernels().name;
+  scope.finish(rep, n, threads, seconds, trace);
+  for (const auto& ctx : ctxs) {
+    if (!ctx) continue;
+    obs::MergeRecord mr;
+    mr.level = ctx->node.level;
+    mr.m = ctx->node.m;
+    mr.n1 = ctx->node.n1;
+    mr.k = ctx->defl.k;
+    for (int t = 0; t < 4; ++t) mr.ctot[t] = ctx->defl.ctot[t];
+    mr.t_end = ctx->t_deflate_end;
+    rep.merges.push_back(mr);
+  }
+  if (want_export) obs::export_solve_artifacts(rep, trace);
+}
+
 }  // namespace detail
 
 void stedc_sequential(index_t n, double* d, double* e, Matrix& v, const Options& opt,
                       SolveStats* stats) {
   Stopwatch sw;
+  obs::SolveScope scope("sequential");
   if (stats) *stats = SolveStats{};
   if (detail::solve_trivial(n, d, e, v)) {
     if (stats) {
@@ -140,6 +167,7 @@ void stedc_sequential(index_t n, double* d, double* e, Matrix& v, const Options&
     stats->n = n;
     stats->seconds = sw.elapsed();
   }
+  detail::finish_report(scope, ctxs, n, /*threads=*/1, sw.elapsed(), nullptr, stats);
 }
 
 }  // namespace dnc::dc

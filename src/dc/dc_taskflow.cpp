@@ -30,6 +30,7 @@ namespace dnc::dc {
 void stedc_taskflow(index_t n, double* d, double* e, Matrix& v, const Options& opt,
                     SolveStats* stats, const std::vector<int>& simulate_workers) {
   Stopwatch sw;
+  obs::SolveScope scope("taskflow");
   if (stats) *stats = SolveStats{};
   if (detail::solve_trivial(n, d, e, v)) {
     if (stats) {
@@ -89,77 +90,94 @@ void stedc_taskflow(index_t n, double* d, double* e, Matrix& v, const Options& o
   for (std::size_t i = 0; i < plan.nodes.size(); ++i) {
     const TreeNode& node = plan.nodes[i];
     if (node.leaf()) {
-      graph.submit(K.stedc,
-                   [&, node] { detail::solve_leaf(node, d, e, v, perm.data()); },
-                   {{&hT, rt::Access::In}, {&hblock[i], rt::Access::InOut}});
+      graph
+          .submit(K.stedc, [&, node] { detail::solve_leaf(node, d, e, v, perm.data()); },
+                  {{&hT, rt::Access::In}, {&hblock[i], rt::Access::InOut}})
+          ->annotate(node.level, node.m);
       continue;
     }
     MergeContext* ctx = ctxs[i].get();
     const index_t i0 = node.i0;
-    graph.submit(K.deflate,
-                 [&, ctx, i0] {
-                   MatrixView qb = ctx->qblock(v);
-                   run_deflation(*ctx, qb, d + i0, perm.data() + i0);
-                 },
-                 {{&hblock[node.son1], rt::Access::InOut},
-                  {&hblock[node.son2], rt::Access::InOut},
-                  {&hblock[i], rt::Access::InOut}});
+    graph
+        .submit(K.deflate,
+                [&, ctx, i0] {
+                  MatrixView qb = ctx->qblock(v);
+                  run_deflation(*ctx, qb, d + i0, perm.data() + i0);
+                },
+                {{&hblock[node.son1], rt::Access::InOut},
+                 {&hblock[node.son2], rt::Access::InOut},
+                 {&hblock[i], rt::Access::InOut}})
+        ->annotate(node.level, node.m);
 
     for (index_t p = 0; p < ctx->npanels; ++p) {
       const index_t j0 = p * nb;
       const index_t j1 = std::min(j0 + nb, node.m);
       rt::Handle* hp = &hpanel[i][p];
       rt::Handle* hp2 = opt.extra_workspace ? &hpanel2[i][p] : hp;
-      graph.submit(K.permute,
-                   [&, ctx, j0, j1] {
-                     permute_panel(ctx->defl, ctx->qblock(v), ctx->w1(ws), ctx->w2(ws),
-                                   ctx->wdefl(ws), j0, j1);
-                   },
-                   {{&hblock[i], rt::Access::GatherV}, {hp, rt::Access::InOut}});
-      graph.submit(K.laed4,
-                   [&, ctx, i0, j0, j1] {
-                     secular_solve_panel(ctx->defl, j0, j1, d + i0, ctx->deltam(ws));
-                   },
-                   {{&hblock[i], rt::Access::GatherV}, {hp2, rt::Access::InOut}});
-      graph.submit(K.localw,
-                   [&, ctx, p, j0, j1] {
-                     zhat_local_panel(ctx->defl, ctx->deltam(ws), j0, j1,
-                                      ctx->wparts.data() + p * ctx->wparts.ld());
-                   },
-                   {{&hblock[i], rt::Access::GatherV},
-                    {hp, rt::Access::InOut},
-                    {hp2, rt::Access::InOut}});
+      graph
+          .submit(K.permute,
+                  [&, ctx, j0, j1] {
+                    permute_panel(ctx->defl, ctx->qblock(v), ctx->w1(ws), ctx->w2(ws),
+                                  ctx->wdefl(ws), j0, j1);
+                  },
+                  {{&hblock[i], rt::Access::GatherV}, {hp, rt::Access::InOut}})
+          ->annotate(node.level, node.m, p);
+      graph
+          .submit(K.laed4,
+                  [&, ctx, i0, j0, j1] {
+                    secular_solve_panel(ctx->defl, j0, j1, d + i0, ctx->deltam(ws));
+                  },
+                  {{&hblock[i], rt::Access::GatherV}, {hp2, rt::Access::InOut}})
+          ->annotate(node.level, node.m, p);
+      graph
+          .submit(K.localw,
+                  [&, ctx, p, j0, j1] {
+                    zhat_local_panel(ctx->defl, ctx->deltam(ws), j0, j1,
+                                     ctx->wparts.data() + p * ctx->wparts.ld());
+                  },
+                  {{&hblock[i], rt::Access::GatherV},
+                   {hp, rt::Access::InOut},
+                   {hp2, rt::Access::InOut}})
+          ->annotate(node.level, node.m, p);
     }
-    graph.submit(K.reducew,
-                 [&, ctx, i0] {
-                   zhat_reduce(ctx->defl, ctx->wparts.view(), ctx->npanels, ctx->zhat.data());
-                   finalize_order(*ctx, d + i0, perm.data() + i0);
-                 },
-                 {{&hblock[i], rt::Access::InOut}});
+    graph
+        .submit(K.reducew,
+                [&, ctx, i0] {
+                  zhat_reduce(ctx->defl, ctx->wparts.view(), ctx->npanels, ctx->zhat.data());
+                  finalize_order(*ctx, d + i0, perm.data() + i0);
+                },
+                {{&hblock[i], rt::Access::InOut}})
+        ->annotate(node.level, node.m);
     for (index_t p = 0; p < ctx->npanels; ++p) {
       const index_t j0 = p * nb;
       const index_t j1 = std::min(j0 + nb, node.m);
       rt::Handle* hp = &hpanel[i][p];
       rt::Handle* hp2 = opt.extra_workspace ? &hpanel2[i][p] : hp;
-      graph.submit(K.copyback,
-                   [&, ctx, j0, j1] {
-                     copyback_panel(ctx->defl, ctx->wdefl(ws), j0, j1, ctx->qblock(v));
-                   },
-                   {{&hblock[i], rt::Access::GatherV}, {hp, rt::Access::InOut}});
-      graph.submit(K.computevect,
-                   [&, ctx, j0, j1] {
-                     secular_vectors_panel(ctx->defl, ctx->deltam(ws), ctx->zhat.data(), j0,
-                                           j1, ctx->smat(ws));
-                   },
-                   {{&hblock[i], rt::Access::GatherV}, {hp2, rt::Access::InOut}});
-      graph.submit(K.updatevect,
-                   [&, ctx, j0, j1] {
-                     update_vectors_panel(ctx->defl, ctx->w1(ws), ctx->w2(ws), ctx->smat(ws),
-                                          j0, j1, ctx->qblock(v));
-                   },
-                   {{&hblock[i], rt::Access::GatherV},
-                    {hp, rt::Access::InOut},
-                    {hp2, rt::Access::InOut}});
+      graph
+          .submit(K.copyback,
+                  [&, ctx, j0, j1] {
+                    copyback_panel(ctx->defl, ctx->wdefl(ws), j0, j1, ctx->qblock(v));
+                  },
+                  {{&hblock[i], rt::Access::GatherV}, {hp, rt::Access::InOut}})
+          ->annotate(node.level, node.m, p);
+      graph
+          .submit(K.computevect,
+                  [&, ctx, j0, j1] {
+                    secular_vectors_panel(ctx->defl, ctx->deltam(ws), ctx->zhat.data(), j0,
+                                          j1, ctx->smat(ws));
+                  },
+                  {{&hblock[i], rt::Access::GatherV}, {hp2, rt::Access::InOut}})
+          ->annotate(node.level, node.m, p);
+      graph
+          .submit(K.updatevect,
+                  [&, ctx, j0, j1] {
+                    update_vectors_panel(ctx->defl, ctx->w1(ws), ctx->w2(ws), ctx->smat(ws),
+                                         j0, j1, ctx->qblock(v));
+                  },
+                  {{&hblock[i], rt::Access::GatherV},
+                   {hp, rt::Access::InOut},
+                   {hp2, rt::Access::InOut}})
+          ->annotate(node.level, node.m, p);
     }
   }
 
@@ -198,14 +216,22 @@ void stedc_taskflow(index_t n, double* d, double* e, Matrix& v, const Options& o
 
   runtime.wait_all();
 
+  const double seconds = sw.elapsed();
+  rt::Trace trace;
+  const rt::Trace* tr = nullptr;
+  if (stats || obs::trace_export_requested() || obs::report_export_requested()) {
+    trace = runtime.trace();
+    tr = &trace;
+  }
   if (stats) {
     detail::fill_stats(plan, ctxs, stats);
     stats->n = n;
-    stats->trace = runtime.trace();
-    stats->seconds = sw.elapsed();
+    stats->trace = trace;
+    stats->seconds = seconds;
     for (int w : simulate_workers) stats->simulated.push_back(rt::simulate_schedule(graph, w));
     if (opt.export_dag) stats->dag_dot = rt::export_dot(graph);
   }
+  detail::finish_report(scope, ctxs, n, opt.threads, seconds, tr, stats);
 }
 
 }  // namespace dnc::dc

@@ -41,4 +41,13 @@ std::vector<std::unique_ptr<MergeContext>> make_contexts(const Plan& plan, const
 void fill_stats(const Plan& plan, const std::vector<std::unique_ptr<MergeContext>>& ctxs,
                 SolveStats* stats);
 
+/// Observability epilogue shared by all drivers: finishes the SolveReport
+/// (counter deltas from `scope`, per-merge deflation records from the
+/// contexts, scheduler metrics from `trace` when non-null) into
+/// stats->report -- or a local report when stats is null -- and writes the
+/// $DNC_TRACE / $DNC_REPORT artifacts when those are requested.
+void finish_report(const obs::SolveScope& scope,
+                   const std::vector<std::unique_ptr<MergeContext>>& ctxs, index_t n,
+                   int threads, double seconds, const rt::Trace* trace, SolveStats* stats);
+
 }  // namespace dnc::dc::detail

@@ -4,6 +4,7 @@
 
 #include "blas/level1.hpp"
 #include "common/error.hpp"
+#include "common/timer.hpp"
 #include "lapack/lamrg.hpp"
 
 namespace dnc::dc {
@@ -30,6 +31,8 @@ void run_deflation(MergeContext& ctx, MatrixView qblock, double* d, const index_
 
   // Partial-product workspace: panels multiply into their own column.
   ctx.wparts.fill(1.0);
+
+  ctx.t_deflate_end = now_seconds();
 }
 
 void finalize_order(const MergeContext& ctx, const double* d, index_t* perm) {

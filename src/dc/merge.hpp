@@ -35,6 +35,9 @@ struct MergeContext {
   const double* beta_ptr = nullptr;
   index_t npanels = 0;
   DeflationResult defl;    ///< filled by run_deflation
+  /// Trace-clock stamp (common/timer.hpp now_seconds) taken when
+  /// run_deflation returned; feeds the Perfetto deflation counter track.
+  double t_deflate_end = 0.0;
   std::vector<double> z;
   std::vector<double> zhat;
   Matrix wparts;           ///< m x npanels partial Gu-Eisenstat products

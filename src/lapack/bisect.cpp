@@ -5,10 +5,13 @@
 
 #include "common/error.hpp"
 #include "common/machine.hpp"
+#include "obs/counters.hpp"
 
 namespace dnc::lapack {
 
 index_t sturm_count(index_t n, const double* d, const double* e, double x) {
+  obs::bump(obs::kSturmCalls);
+  obs::bump(obs::kSturmSteps, static_cast<std::uint64_t>(n));
   // LDL^T pivot recurrence with the dstebz pivmin safeguard so a zero pivot
   // cannot poison the count.
   double pivmin = lamch_safmin();

@@ -6,6 +6,7 @@
 #include "blas/simd/kernels.hpp"
 #include "common/error.hpp"
 #include "common/machine.hpp"
+#include "obs/counters.hpp"
 
 namespace dnc::lapack {
 namespace {
@@ -92,12 +93,14 @@ SecularResult laed4(index_t k, index_t i, const double* d, const double* z, doub
     res.origin = d[0];
     res.tau = rho * z[0] * z[0];
     if (delta != nullptr) delta[0] = -res.tau;
+    obs::bump_laed4(res.iterations);
     return res;
   }
   if (k == 2) {
     res.lambda = laed5(i, d, z, rho, delta);
     res.origin = d[i];
     res.tau = res.lambda - d[i];
+    obs::bump_laed4(res.iterations);
     return res;
   }
 
@@ -196,6 +199,7 @@ SecularResult laed4(index_t k, index_t i, const double* d, const double* z, doub
   res.tau = tau;
   res.lambda = res.origin + tau;
   for (index_t j = 0; j < k; ++j) delta[j] -= tau;
+  obs::bump_laed4(res.iterations);
   return res;
 }
 

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/machine.hpp"
+#include "obs/counters.hpp"
 
 namespace dnc::mrrr {
 
@@ -70,14 +71,18 @@ index_t sturm_count_ldl(const Representation& rep, double x) {
 }
 
 double bisect_ldl(const Representation& rep, index_t k, double lo, double hi, double tol) {
+  obs::bump(obs::kBisectLdlCalls);
+  std::uint64_t halvings = 0;
   while (hi - lo > tol + lamch_eps() * (std::fabs(lo) + std::fabs(hi))) {
     const double mid = 0.5 * (lo + hi);
     if (mid == lo || mid == hi) break;
+    ++halvings;
     if (sturm_count_ldl(rep, mid) > k)
       hi = mid;
     else
       lo = mid;
   }
+  obs::bump(obs::kBisectLdlSteps, halvings);
   return 0.5 * (lo + hi);
 }
 

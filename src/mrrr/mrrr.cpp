@@ -48,6 +48,7 @@ struct WorkItem {
 void mrrr_solve(index_t n, const double* d, const double* e, std::vector<double>& lam,
                 Matrix& v, const Options& opt, Stats* stats, const std::vector<int>& sim) {
   Stopwatch sw;
+  obs::SolveScope scope("mrrr");
   DNC_REQUIRE(n >= 0, "mrrr_solve: n >= 0");
   if (stats) *stats = Stats{};
   lam.assign(n, 0.0);
@@ -409,14 +410,28 @@ void mrrr_solve(index_t n, const double* d, const double* e, std::vector<double>
                {});
   runtime.wait_all();
 
+  const double seconds = sw.elapsed();
+  rt::Trace trace;
+  const rt::Trace* tr = nullptr;
+  const bool want_export = obs::trace_export_requested() || obs::report_export_requested();
+  if (stats || want_export) {
+    trace = runtime.trace();
+    tr = &trace;
+  }
   if (stats) {
     stats->n = n;
     stats->blocks = static_cast<index_t>(block_start.size()) - 1;
     stats->clusters = cluster_count;
     stats->depth_used = depth_used;
-    stats->trace = runtime.trace();
-    stats->seconds = sw.elapsed();
+    stats->trace = trace;
+    stats->seconds = seconds;
     for (int w : sim) stats->simulated.push_back(rt::simulate_schedule(graph, w));
+  }
+  if (stats || want_export) {
+    obs::SolveReport local;
+    obs::SolveReport& rep = stats ? stats->report : local;
+    scope.finish(rep, n, opt.threads, seconds, tr);
+    if (want_export) obs::export_solve_artifacts(rep, tr);
   }
 }
 

@@ -15,6 +15,7 @@
 
 #include "common/matrix.hpp"
 #include "matgen/tridiag.hpp"
+#include "obs/report.hpp"
 #include "runtime/simulator.hpp"
 #include "runtime/trace.hpp"
 
@@ -40,6 +41,10 @@ struct Stats {
   double seconds = 0.0;
   rt::Trace trace;
   std::vector<rt::SimulationResult> simulated;
+  /// Observability report (no merge records -- MRRR has no merge tree, but
+  /// the sturm/bisect-ldl counters and scheduler metrics apply). Exported
+  /// to $DNC_REPORT / $DNC_TRACE when those are set.
+  obs::SolveReport report;
 };
 
 /// Computes all eigenpairs of the tridiagonal (d, e): lam ascending, v

@@ -1,0 +1,134 @@
+#include "obs/perfetto.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/report.hpp"
+#include "runtime/trace.hpp"
+
+namespace dnc::obs {
+namespace {
+
+// Trace timestamps are seconds on a shared process epoch; trace-event ts is
+// microseconds.
+inline double us(double seconds) { return seconds * 1e6; }
+
+}  // namespace
+
+std::string perfetto_trace_json(const rt::Trace& trace, const SolveReport* report) {
+  std::string out = "[\n";
+  bool first = true;
+  const auto emit = [&](const char* obj) {
+    if (!first) out += ",\n";
+    out += obj;
+    first = false;
+  };
+  char buf[512];
+
+  // --- metadata: label the process and one thread row per worker ---
+  emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+       "\"args\":{\"name\":\"dnc solver\"}}");
+  for (int w = 0; w < trace.workers; ++w) {
+    std::snprintf(buf, sizeof buf,
+                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,"
+                  "\"args\":{\"name\":\"worker %d\"}}",
+                  w, w);
+    emit(buf);
+  }
+
+  // --- slices: one complete event per executed task, with args ---
+  std::unordered_map<std::uint64_t, const rt::TraceEvent*> by_id;
+  by_id.reserve(trace.events.size());
+  for (const auto& e : trace.events) {
+    if (e.worker < 0) continue;  // never executed
+    by_id.emplace(e.task_id, &e);
+    const std::string name =
+        (e.kind >= 0 && e.kind < static_cast<int>(trace.kind_names.size()))
+            ? rt::json_escape(trace.kind_names[e.kind])
+            : std::string("task");
+    std::string args;
+    char a[96];
+    std::snprintf(a, sizeof a, "\"task\":%llu", static_cast<unsigned long long>(e.task_id));
+    args += a;
+    if (e.t_ready > 0.0) {
+      std::snprintf(a, sizeof a, ",\"ready_wait_us\":%.3f",
+                    us(std::max(e.t_start - e.t_ready, 0.0)));
+      args += a;
+    }
+    if (e.level >= 0) {
+      std::snprintf(a, sizeof a, ",\"level\":%d", e.level);
+      args += a;
+    }
+    if (e.size >= 0) {
+      std::snprintf(a, sizeof a, ",\"size\":%ld", e.size);
+      args += a;
+    }
+    if (e.panel >= 0) {
+      std::snprintf(a, sizeof a, ",\"panel\":%ld", e.panel);
+      args += a;
+    }
+    std::snprintf(buf, sizeof buf,
+                  "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,"
+                  "\"ts\":%.3f,\"dur\":%.3f,\"args\":{%s}}",
+                  name.c_str(), e.worker, us(e.t_start), us(e.t_end - e.t_start), args.c_str());
+    emit(buf);
+  }
+
+  // --- flow events: one arrow per dependency edge between executed tasks.
+  // The start binds to the predecessor's slice at its end; the finish binds
+  // to the successor's slice at its start (bp:"e" = enclosing slice). ---
+  std::uint64_t flow_id = 0;
+  for (const auto& [pred, succ] : trace.edges) {
+    const auto pi = by_id.find(pred);
+    const auto si = by_id.find(succ);
+    if (pi == by_id.end() || si == by_id.end()) continue;
+    const rt::TraceEvent* p = pi->second;
+    const rt::TraceEvent* s = si->second;
+    ++flow_id;
+    std::snprintf(buf, sizeof buf,
+                  "{\"name\":\"dep\",\"cat\":\"dep\",\"ph\":\"s\",\"id\":%llu,"
+                  "\"pid\":1,\"tid\":%d,\"ts\":%.3f}",
+                  static_cast<unsigned long long>(flow_id), p->worker, us(p->t_end));
+    emit(buf);
+    std::snprintf(buf, sizeof buf,
+                  "{\"name\":\"dep\",\"cat\":\"dep\",\"ph\":\"f\",\"bp\":\"e\",\"id\":%llu,"
+                  "\"pid\":1,\"tid\":%d,\"ts\":%.3f}",
+                  static_cast<unsigned long long>(flow_id), s->worker, us(s->t_start));
+    emit(buf);
+  }
+
+  // --- counter track: sampled ready-queue depth ---
+  for (const auto& q : trace.queue_samples) {
+    std::snprintf(buf, sizeof buf,
+                  "{\"name\":\"ready_queue_depth\",\"ph\":\"C\",\"pid\":1,"
+                  "\"ts\":%.3f,\"args\":{\"depth\":%d}}",
+                  us(q.t), q.depth);
+    emit(buf);
+  }
+
+  // --- counter track: cumulative deflated columns, stepped at each merge's
+  // deflation finish (merges without a timestamp are skipped) ---
+  if (report) {
+    std::vector<const MergeRecord*> timed;
+    for (const auto& m : report->merges)
+      if (m.t_end > 0.0) timed.push_back(&m);
+    std::sort(timed.begin(), timed.end(),
+              [](const MergeRecord* a, const MergeRecord* b) { return a->t_end < b->t_end; });
+    long cum = 0;
+    for (const MergeRecord* m : timed) {
+      cum += m->m - m->k;
+      std::snprintf(buf, sizeof buf,
+                    "{\"name\":\"deflated_cumulative\",\"ph\":\"C\",\"pid\":1,"
+                    "\"ts\":%.3f,\"args\":{\"columns\":%ld}}",
+                    us(m->t_end), cum);
+      emit(buf);
+    }
+  }
+
+  out += "\n]\n";
+  return out;
+}
+
+}  // namespace dnc::obs

@@ -1,0 +1,240 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "common/cpu_features.hpp"
+#include "obs/perfetto.hpp"
+#include "runtime/trace.hpp"
+
+namespace dnc::obs {
+namespace {
+
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  out += buf;
+}
+
+unsigned long long ull(std::uint64_t v) { return static_cast<unsigned long long>(v); }
+
+}  // namespace
+
+std::uint64_t SolveReport::laed4_hist_total() const {
+  std::uint64_t s = 0;
+  for (int b = 0; b < kLaed4HistBuckets; ++b) s += counters[kLaed4HistFirst + b];
+  return s;
+}
+
+long SolveReport::merged_columns_total() const {
+  long s = 0;
+  for (const auto& m : merges) s += m.m;
+  return s;
+}
+
+long SolveReport::deflated_total() const {
+  long s = 0;
+  for (const auto& m : merges) s += m.m - m.k;
+  return s;
+}
+
+long SolveReport::nondeflated_total() const {
+  long s = 0;
+  for (const auto& m : merges) s += m.k;
+  return s;
+}
+
+std::string SolveReport::to_json() const {
+  std::string out = "{\n";
+  appendf(out, "  \"driver\": \"%s\",\n", rt::json_escape(driver).c_str());
+  appendf(out, "  \"n\": %ld,\n", n);
+  appendf(out, "  \"threads\": %d,\n", threads);
+  appendf(out, "  \"seconds\": %.9f,\n", seconds);
+  appendf(out, "  \"simd_isa\": \"%s\",\n", rt::json_escape(simd_isa).c_str());
+  out += "  \"counters\": {";
+  for (int c = 0; c < kNumCounters; ++c) {
+    appendf(out, "%s\n    \"%s\": %llu", c ? "," : "", counter_name(c), ull(counters[c]));
+  }
+  out += "\n  },\n";
+  appendf(out,
+          "  \"deflation\": {\n"
+          "    \"merges\": %zu,\n"
+          "    \"merged_columns\": %ld,\n"
+          "    \"nondeflated\": %ld,\n"
+          "    \"deflated\": %ld,\n"
+          "    \"deflated_fraction\": %.6f\n"
+          "  },\n",
+          merges.size(), merged_columns_total(), nondeflated_total(), deflated_total(),
+          merged_columns_total() > 0
+              ? static_cast<double>(deflated_total()) / merged_columns_total()
+              : 0.0);
+  out += "  \"merges\": [";
+  for (std::size_t i = 0; i < merges.size(); ++i) {
+    const MergeRecord& m = merges[i];
+    appendf(out,
+            "%s\n    {\"level\": %d, \"m\": %ld, \"n1\": %ld, \"k\": %ld, "
+            "\"ctot\": [%ld, %ld, %ld, %ld], \"t_end\": %.9f}",
+            i ? "," : "", m.level, m.m, m.n1, m.k, m.ctot[0], m.ctot[1], m.ctot[2], m.ctot[3],
+            m.t_end);
+  }
+  out += merges.empty() ? "],\n" : "\n  ],\n";
+  appendf(out, "  \"has_scheduler\": %s", has_scheduler ? "true" : "false");
+  if (has_scheduler) {
+    appendf(out,
+            ",\n  \"scheduler\": {\n"
+            "    \"workers\": %d,\n"
+            "    \"tasks\": %ld,\n"
+            "    \"makespan\": %.9f,\n"
+            "    \"total_busy\": %.9f,\n"
+            "    \"efficiency\": %.6f,\n"
+            "    \"avg_ready_wait\": %.9f,\n"
+            "    \"max_ready_wait\": %.9f,\n"
+            "    \"total_idle\": %.9f,\n"
+            "    \"max_queue_depth\": %d\n"
+            "  }",
+            scheduler.workers, scheduler.tasks, scheduler.makespan, scheduler.total_busy,
+            scheduler.efficiency, scheduler.avg_ready_wait, scheduler.max_ready_wait,
+            scheduler.total_idle, scheduler.max_queue_depth);
+  }
+  out += "\n}\n";
+  return out;
+}
+
+std::string SolveReport::summary_text() const {
+  std::string out;
+  appendf(out, "=== dnc solve report ===\n");
+  appendf(out, "driver        : %s\n", driver.c_str());
+  appendf(out, "n             : %ld\n", n);
+  appendf(out, "threads       : %d\n", threads);
+  appendf(out, "wall time     : %.6f s\n", seconds);
+  appendf(out, "simd kernels  : %s\n", simd_isa.c_str());
+  const long merged = merged_columns_total();
+  appendf(out, "\n-- deflation (%zu merges) --\n", merges.size());
+  appendf(out, "merged columns: %ld\n", merged);
+  appendf(out, "deflated      : %ld (%.1f%%)\n", deflated_total(),
+          merged > 0 ? 100.0 * deflated_total() / merged : 0.0);
+  appendf(out, "secular roots : %ld\n", nondeflated_total());
+  if (!merges.empty()) {
+    // Per-level rollup: the paper's observation that deflation shrinks the
+    // secular systems is easiest to read level by level.
+    int max_level = 0;
+    for (const auto& m : merges) max_level = std::max(max_level, m.level);
+    appendf(out, "%-6s %8s %10s %10s %8s\n", "level", "merges", "columns", "deflated", "defl%");
+    for (int lv = max_level; lv >= 0; --lv) {
+      long cnt = 0, cols = 0, defl = 0;
+      for (const auto& m : merges) {
+        if (m.level != lv) continue;
+        ++cnt;
+        cols += m.m;
+        defl += m.m - m.k;
+      }
+      if (cnt == 0) continue;
+      appendf(out, "%-6d %8ld %10ld %10ld %7.1f%%\n", lv, cnt, cols, defl,
+              cols > 0 ? 100.0 * defl / cols : 0.0);
+    }
+  }
+  appendf(out, "\n-- secular solver (laed4) --\n");
+  appendf(out, "calls         : %llu\n", ull(counters[kLaed4Calls]));
+  appendf(out, "iterations    : %llu (avg %.2f/call)\n", ull(counters[kLaed4Iterations]),
+          counters[kLaed4Calls] > 0
+              ? static_cast<double>(counters[kLaed4Iterations]) / counters[kLaed4Calls]
+              : 0.0);
+  static const char* kBucketLabel[kLaed4HistBuckets] = {"0", "1",   "2",   "3",
+                                                        "4", "5-6", "7-9", "10+"};
+  const std::uint64_t total = std::max<std::uint64_t>(laed4_hist_total(), 1);
+  for (int b = 0; b < kLaed4HistBuckets; ++b) {
+    const std::uint64_t v = counters[kLaed4HistFirst + b];
+    if (v == 0) continue;
+    appendf(out, "  iters %-4s : %10llu  %5.1f%%\n", kBucketLabel[b], ull(v), 100.0 * v / total);
+  }
+  appendf(out, "\n-- other kernels --\n");
+  appendf(out, "sturm counts  : %llu calls, %llu pivot steps\n", ull(counters[kSturmCalls]),
+          ull(counters[kSturmSteps]));
+  appendf(out, "ldl bisection : %llu calls, %llu halvings\n", ull(counters[kBisectLdlCalls]),
+          ull(counters[kBisectLdlSteps]));
+  appendf(out, "gemm          : %llu calls, %.3f GFLOP, %.1f MiB packed\n",
+          ull(counters[kGemmCalls]), counters[kGemmFlops] * 1e-9,
+          counters[kGemmPackedBytes] / (1024.0 * 1024.0));
+  if (has_scheduler) {
+    appendf(out, "\n-- scheduler --\n");
+    appendf(out, "workers       : %d\n", scheduler.workers);
+    appendf(out, "tasks         : %ld\n", scheduler.tasks);
+    appendf(out, "makespan      : %.6f s\n", scheduler.makespan);
+    appendf(out, "busy / eff    : %.6f s / %.1f%%\n", scheduler.total_busy,
+            100.0 * scheduler.efficiency);
+    appendf(out, "ready wait    : avg %.9f s, max %.9f s\n", scheduler.avg_ready_wait,
+            scheduler.max_ready_wait);
+    appendf(out, "worker idle   : %.6f s total\n", scheduler.total_idle);
+    appendf(out, "queue depth   : max %d\n", scheduler.max_queue_depth);
+  }
+  return out;
+}
+
+SchedulerMetrics scheduler_metrics(const rt::Trace& trace) {
+  SchedulerMetrics m;
+  m.workers = trace.workers;
+  m.makespan = trace.makespan();
+  m.total_busy = trace.total_busy();
+  m.efficiency = trace.efficiency();
+  double wait_sum = 0.0;
+  for (const auto& e : trace.events) {
+    if (e.worker < 0) continue;
+    ++m.tasks;
+    if (e.t_ready > 0.0) {
+      const double w = std::max(e.t_start - e.t_ready, 0.0);
+      wait_sum += w;
+      m.max_ready_wait = std::max(m.max_ready_wait, w);
+    }
+  }
+  m.avg_ready_wait = m.tasks > 0 ? wait_sum / m.tasks : 0.0;
+  for (double d : trace.worker_idle) m.total_idle += d;
+  for (const auto& s : trace.queue_samples) m.max_queue_depth = std::max(m.max_queue_depth, s.depth);
+  return m;
+}
+
+SolveScope::SolveScope(const char* driver) : driver_(driver), begin_(snapshot()) {}
+
+void SolveScope::finish(SolveReport& out, long n, int threads, double seconds,
+                        const rt::Trace* trace) const {
+  out.driver = driver_;
+  out.n = n;
+  out.threads = threads;
+  out.seconds = seconds;
+  if (out.simd_isa.empty()) out.simd_isa = simd_isa_name(requested_simd_isa());
+  out.counters = delta_since(begin_);
+  if (trace) {
+    out.has_scheduler = true;
+    out.scheduler = scheduler_metrics(*trace);
+  }
+}
+
+bool trace_export_requested() noexcept {
+  const char* p = std::getenv("DNC_TRACE");
+  return p && *p;
+}
+
+bool report_export_requested() noexcept {
+  const char* p = std::getenv("DNC_REPORT");
+  return p && *p;
+}
+
+void export_solve_artifacts(const SolveReport& report, const rt::Trace* trace) {
+  if (const char* path = std::getenv("DNC_TRACE"); path && *path && trace) {
+    std::ofstream f(path);
+    if (f) f << perfetto_trace_json(*trace, &report);
+  }
+  if (const char* path = std::getenv("DNC_REPORT"); path && *path) {
+    std::ofstream f(path);
+    if (f) f << report.to_json();
+    std::ofstream t(std::string(path) + ".txt");
+    if (t) t << report.summary_text();
+  }
+}
+
+}  // namespace dnc::obs

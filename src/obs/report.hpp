@@ -1,0 +1,101 @@
+// SolveReport: the per-solve observability artifact every driver fills.
+//
+// Three ingredient groups, mirroring the ISSUE's tentpole:
+//   1. algorithmic counters  -- thread-local deltas over the solve
+//      (laed4 iteration histogram, Sturm/bisection steps, GEMM flops and
+//      packed bytes), captured by SolveScope;
+//   2. per-merge deflation records -- the four dlaed2 column types for
+//      every merge of the D&C tree (the paper's Figure 4 discussion);
+//   3. scheduler metrics -- ready->start waits, queue depth, worker idle,
+//      derived from the runtime Trace.
+//
+// Export is env-gated: DNC_TRACE=<path> writes the Perfetto trace,
+// DNC_REPORT=<path> the JSON report plus <path>.txt one-page summary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/counters.hpp"
+
+namespace dnc::rt {
+struct Trace;
+}
+
+namespace dnc::obs {
+
+/// Deflation outcome of one merge, split by dlaed2 column type:
+/// ctot[0..2] are the non-deflated types 1/2/3 (top-only / both /
+/// bottom-only support), ctot[3] the deflated columns. Sum == m.
+struct MergeRecord {
+  int level = 0;  ///< merge-tree depth (root = 0)
+  long m = 0;     ///< merged size (n1 + n2)
+  long n1 = 0;    ///< first son size
+  long k = 0;     ///< non-deflated count (secular system size)
+  long ctot[4] = {0, 0, 0, 0};
+  double t_end = 0.0;  ///< trace-clock time the deflation kernel finished (0: unknown)
+};
+
+struct SchedulerMetrics {
+  int workers = 0;
+  long tasks = 0;  ///< executed tasks
+  double makespan = 0.0;
+  double total_busy = 0.0;
+  double efficiency = 0.0;
+  double avg_ready_wait = 0.0;  ///< mean ready->start latency (s)
+  double max_ready_wait = 0.0;
+  double total_idle = 0.0;  ///< summed per-worker idle (s)
+  int max_queue_depth = 0;
+};
+
+struct SolveReport {
+  std::string driver;  ///< "sequential", "taskflow", "lapack_model", ...
+  long n = 0;
+  int threads = 0;
+  double seconds = 0.0;
+  std::string simd_isa;  ///< dispatched kernel table ("scalar"/"sse2"/"avx2")
+
+  CounterArray counters{};  ///< deltas over the solve, indexed by obs::Counter
+  std::vector<MergeRecord> merges;
+
+  bool has_scheduler = false;
+  SchedulerMetrics scheduler;
+
+  std::uint64_t counter(Counter c) const { return counters[c]; }
+  /// Sum of the laed4 iteration-histogram buckets (== laed4 calls).
+  std::uint64_t laed4_hist_total() const;
+  long merged_columns_total() const;  ///< sum of m over merges
+  long deflated_total() const;        ///< sum of m - k over merges
+  long nondeflated_total() const;     ///< sum of k over merges
+
+  std::string to_json() const;
+  std::string summary_text() const;
+};
+
+/// Scheduler metrics derived from a measured Trace.
+SchedulerMetrics scheduler_metrics(const rt::Trace& trace);
+
+/// Captures the counter baseline at solve start; finish() turns the deltas
+/// plus the optional trace into a report.
+class SolveScope {
+ public:
+  explicit SolveScope(const char* driver);
+  void finish(SolveReport& out, long n, int threads, double seconds,
+              const rt::Trace* trace) const;
+
+ private:
+  const char* driver_;
+  CounterArray begin_;
+};
+
+/// True when the respective env var requests an export. Read per call so
+/// tests can setenv() mid-process; two getenv calls per solve are noise.
+bool trace_export_requested() noexcept;
+bool report_export_requested() noexcept;
+
+/// Writes $DNC_TRACE (Perfetto trace JSON, needs `trace`) and $DNC_REPORT
+/// (report JSON) + $DNC_REPORT.txt (text summary). No-op when unset.
+void export_solve_artifacts(const SolveReport& report, const rt::Trace* trace);
+
+}  // namespace dnc::obs

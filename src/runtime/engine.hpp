@@ -9,6 +9,7 @@
 
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -21,7 +22,9 @@ namespace dnc::rt {
 class Runtime {
  public:
   /// Spawns `threads` workers bound to `graph`. The graph must outlive the
-  /// runtime. Tracing is always on; it costs two clock reads per task.
+  /// runtime. Tracing is always on; it costs two clock reads per task for
+  /// the start/end stamps plus one per queue transition for the scheduler
+  /// metrics (ready stamp + queue-depth sample).
   Runtime(TaskGraph& graph, int threads);
   ~Runtime();
 
@@ -34,7 +37,9 @@ class Runtime {
 
   int threads() const { return static_cast<int>(workers_.size()); }
 
-  /// Builds the execution trace (valid after wait_all).
+  /// Builds the execution trace (valid after wait_all): per-task events
+  /// with ready stamps and annotations, dependency edges, per-worker idle
+  /// time, and the sampled ready-queue depth.
   Trace trace() const;
 
  private:
@@ -42,13 +47,17 @@ class Runtime {
   void enqueue(TaskNode* node);
 
   TaskGraph& graph_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_work_;
   std::condition_variable cv_idle_;
   std::deque<TaskNode*> ready_;
   long inflight_ = 0;  // ready + running tasks
   bool stop_ = false;
   std::vector<std::thread> workers_;
+  // --- scheduler observability (guarded by mu_ except idle_, which is
+  // written only by its owning worker and read after quiescence) ---
+  std::vector<QueueSample> queue_samples_;
+  std::vector<double> idle_;
 };
 
 /// Convenience: run a submission function to completion on `threads`

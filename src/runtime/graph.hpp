@@ -52,7 +52,21 @@ struct TaskNode {
   // --- trace ---
   double t_start = 0.0;
   double t_end = 0.0;
+  /// When the engine moved the task into the ready queue (trace clock).
+  double t_ready = 0.0;
   int worker = -1;
+  // --- observability annotations (optional; set by the submitter right
+  // after submit(), surfaced as per-event args in trace exports) ---
+  int obs_level = -1;   ///< merge-tree level of the owning node
+  long obs_size = -1;   ///< block size of the owning (sub)problem
+  long obs_panel = -1;  ///< panel index within the merge
+
+  TaskNode* annotate(int level, long size, long panel = -1) {
+    obs_level = level;
+    obs_size = size;
+    obs_panel = panel;
+    return this;
+  }
 };
 
 struct TaskDep {

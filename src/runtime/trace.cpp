@@ -9,7 +9,7 @@ double Trace::makespan() const {
   double t0 = 0.0, t1 = 0.0;
   bool first = true;
   for (const auto& e : events) {
-    if (e.worker < 0) continue;  // never executed (shouldn't happen)
+    if (e.worker < 0) continue;  // never executed
     if (first) {
       t0 = e.t_start;
       t1 = e.t_end;
@@ -24,7 +24,10 @@ double Trace::makespan() const {
 
 double Trace::total_busy() const {
   double s = 0.0;
-  for (const auto& e : events) s += e.t_end - e.t_start;
+  for (const auto& e : events) {
+    if (e.worker < 0) continue;  // consistent with makespan()
+    s += e.t_end - e.t_start;
+  }
   return s;
 }
 
@@ -37,23 +40,32 @@ double Trace::efficiency() const {
 std::vector<double> Trace::busy_by_kind() const {
   std::vector<double> acc(kind_names.size(), 0.0);
   for (const auto& e : events) {
+    if (e.worker < 0) continue;
     if (e.kind >= 0 && e.kind < static_cast<int>(acc.size())) acc[e.kind] += e.t_end - e.t_start;
   }
   return acc;
 }
 
 std::string Trace::ascii_gantt(int width) const {
-  if (events.empty() || workers <= 0) return "(empty trace)\n";
-  double t0 = events.front().t_start, t1 = events.front().t_end;
+  width = std::max(width, 1);
+  bool any = false;
+  double t0 = 0.0, t1 = 0.0;
   for (const auto& e : events) {
-    t0 = std::min(t0, e.t_start);
-    t1 = std::max(t1, e.t_end);
+    if (e.worker < 0) continue;
+    if (!any) {
+      t0 = e.t_start;
+      t1 = e.t_end;
+      any = true;
+    } else {
+      t0 = std::min(t0, e.t_start);
+      t1 = std::max(t1, e.t_end);
+    }
   }
+  if (!any || workers <= 0) return "(empty trace)\n";
   const double span = std::max(t1 - t0, 1e-12);
   // For each worker row, pick for every column the kind occupying the most
   // of that time slice.
   std::string out;
-  std::vector<double> slice(width);
   for (int w = 0; w < workers; ++w) {
     std::vector<std::vector<double>> per_kind(kind_names.size(),
                                               std::vector<double>(width, 0.0));
@@ -99,8 +111,10 @@ std::string Trace::ascii_gantt(int width) const {
 std::string Trace::kernel_summary() const {
   const auto acc = busy_by_kind();
   std::vector<long> counts(kind_names.size(), 0);
-  for (const auto& e : events)
+  for (const auto& e : events) {
+    if (e.worker < 0) continue;
     if (e.kind >= 0 && e.kind < static_cast<int>(counts.size())) ++counts[e.kind];
+  }
   const double busy = std::max(total_busy(), 1e-12);
   std::string out;
   char buf[160];
@@ -115,21 +129,61 @@ std::string Trace::kernel_summary() const {
   return out;
 }
 
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
 std::string Trace::chrome_trace_json() const {
   std::string out = "[\n";
-  char buf[256];
   bool first = true;
-  for (const auto& e : events) {
-    const char* name = (e.kind >= 0 && e.kind < static_cast<int>(kind_names.size()))
-                           ? kind_names[e.kind].c_str()
-                           : "task";
-    std::snprintf(buf, sizeof buf,
-                  "%s{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,"
-                  "\"ts\":%.3f,\"dur\":%.3f}",
-                  first ? "" : ",\n", name, e.worker, e.t_start * 1e6,
-                  (e.t_end - e.t_start) * 1e6);
-    out += buf;
+  const auto emit = [&](const std::string& obj) {
+    if (!first) out += ",\n";
+    out += obj;
     first = false;
+  };
+  char buf[256];
+  // Metadata so Perfetto / chrome://tracing label the process and workers.
+  emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+       "\"args\":{\"name\":\"dnc solver\"}}");
+  for (int w = 0; w < workers; ++w) {
+    std::snprintf(buf, sizeof buf,
+                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,"
+                  "\"args\":{\"name\":\"worker %d\"}}",
+                  w, w);
+    emit(buf);
+  }
+  for (const auto& e : events) {
+    if (e.worker < 0) continue;  // never executed: nothing to draw
+    const std::string name =
+        (e.kind >= 0 && e.kind < static_cast<int>(kind_names.size()))
+            ? json_escape(kind_names[e.kind])
+            : std::string("task");
+    std::snprintf(buf, sizeof buf,
+                  "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,"
+                  "\"ts\":%.3f,\"dur\":%.3f}",
+                  name.c_str(), e.worker, e.t_start * 1e6, (e.t_end - e.t_start) * 1e6);
+    emit(buf);
   }
   out += "\n]\n";
   return out;

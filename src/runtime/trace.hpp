@@ -1,10 +1,19 @@
 // Execution traces: per-task (worker, start, end) records plus rendering
 // helpers. The ASCII Gantt view reproduces the structure of the paper's
 // Figures 3 and 4 (per-core activity over time, coloured by kernel).
+//
+// Beyond the raw (worker, start, end) tuples a Trace carries the scheduler
+// observability captured by the engine: when each task became ready (so
+// ready->start waits are derivable), the sampled ready-queue depth, the
+// per-worker idle time, the dependency edges of the executed DAG, and the
+// optional per-task annotations (merge level / block size / panel index)
+// set by the submitter. src/obs/ turns all of this into a Perfetto trace
+// with flow events and counter tracks.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace dnc::rt {
@@ -15,6 +24,22 @@ struct TraceEvent {
   int worker;
   double t_start;
   double t_end;
+  /// When the task entered the ready queue (same clock as t_start; 0 when
+  /// the producing side predates the instrumentation, e.g. simulated
+  /// schedules).
+  double t_ready = 0.0;
+  // Submitter annotations (-1 = unset): merge-tree level, block size of the
+  // owning (sub)problem, panel index within the merge.
+  int level = -1;
+  long size = -1;
+  long panel = -1;
+};
+
+/// One sampled point of the ready-queue depth (taken on every enqueue and
+/// dequeue, timestamps on the trace clock).
+struct QueueSample {
+  double t;
+  int depth;
 };
 
 struct Trace {
@@ -22,7 +47,19 @@ struct Trace {
   std::vector<std::string> kind_names;
   std::vector<TraceEvent> events;
 
+  /// Seconds each worker spent without a task between its first ready wait
+  /// and its last executed task. Empty for simulated schedules.
+  std::vector<double> worker_idle;
+
+  /// Ready-queue depth over time. Empty for simulated schedules.
+  std::vector<QueueSample> queue_samples;
+
+  /// Dependency edges (predecessor id, successor id) of the executed DAG;
+  /// drives Perfetto flow arrows.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> edges;
+
   double makespan() const;
+  /// Total task execution time, never-executed events excluded.
   double total_busy() const;
   /// Fraction of worker-time spent executing tasks (1 = no idle time).
   double efficiency() const;
@@ -39,9 +76,16 @@ struct Trace {
   std::string kernel_summary() const;
 
   /// Chrome trace-event JSON ("chrome://tracing" / Perfetto format): one
-  /// complete event per task, worker id as tid. Works for measured traces
-  /// and for simulated schedules alike.
+  /// complete event per executed task, worker id as tid, plus
+  /// process_name/thread_name metadata so viewers label the rows. Works for
+  /// measured traces and for simulated schedules alike. For the full
+  /// Perfetto export (flow events, counter tracks, per-event args) see
+  /// obs::perfetto_trace_json.
   std::string chrome_trace_json() const;
 };
+
+/// Escapes a string for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string json_escape(const std::string& s);
 
 }  // namespace dnc::rt

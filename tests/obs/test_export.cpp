@@ -1,0 +1,203 @@
+// End-to-end export test (the CI gate of the observability layer): a small
+// taskflow solve with DNC_TRACE / DNC_REPORT set must produce a
+// syntactically valid Perfetto trace containing flow events and both
+// counter tracks, plus a JSON report and text summary.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "dc/api.hpp"
+#include "matgen/tridiag.hpp"
+
+namespace dnc {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+// Minimal JSON syntax checker: enough to catch unbalanced structure,
+// unescaped quotes, and trailing garbage without a JSON dependency.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek('}')) return true;
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!expect(':')) return false;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek('}')) return true;
+      if (!expect(',')) return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek(']')) return true;
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek(']')) return true;
+      if (!expect(',')) return false;
+    }
+  }
+  bool string() {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return false;
+        ++pos_;
+      }
+    }
+    return false;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() && (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                                s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+                                s_[pos_] == 'e' || s_[pos_] == 'E'))
+      ++pos_;
+    return pos_ > start;
+  }
+  bool literal(const char* lit) {
+    const std::size_t len = std::strlen(lit);
+    if (s_.compare(pos_, len, lit) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+  bool expect(char c) {
+    if (pos_ >= s_.size() || s_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+  bool peek(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+class ExportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Per-test-name paths: ctest runs each case as its own process, in
+    // parallel with its siblings, so shared names would race.
+    const std::string tag =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    trace_path_ = ::testing::TempDir() + "dnc_" + tag + "_trace.json";
+    report_path_ = ::testing::TempDir() + "dnc_" + tag + "_report.json";
+    std::remove(trace_path_.c_str());
+    std::remove(report_path_.c_str());
+    std::remove((report_path_ + ".txt").c_str());
+  }
+  void TearDown() override {
+    ::unsetenv("DNC_TRACE");
+    ::unsetenv("DNC_REPORT");
+  }
+
+  void run_solve(index_t n = 250) {
+    matgen::Tridiag t = matgen::table3_matrix(10, n);
+    Matrix v;
+    dc::stedc_taskflow(n, t.d.data(), t.e.data(), v, {}, nullptr, {});
+  }
+
+  std::string trace_path_, report_path_;
+};
+
+TEST_F(ExportTest, EnvUnsetWritesNothing) {
+  run_solve(100);
+  EXPECT_FALSE(std::ifstream(trace_path_).good());
+  EXPECT_FALSE(std::ifstream(report_path_).good());
+}
+
+TEST_F(ExportTest, TraceAndReportExportEvenWithoutStats) {
+  ::setenv("DNC_TRACE", trace_path_.c_str(), 1);
+  ::setenv("DNC_REPORT", report_path_.c_str(), 1);
+  run_solve();
+
+  const std::string trace = slurp(trace_path_);
+  ASSERT_FALSE(trace.empty()) << "DNC_TRACE file not written";
+  EXPECT_TRUE(JsonChecker(trace).valid()) << "trace is not valid JSON";
+  // Perfetto essentials: labelled rows, slices, flow arrows, and the two
+  // counter tracks.
+  for (const char* needle :
+       {"\"process_name\"", "\"thread_name\"", "\"ph\":\"X\"", "\"ph\":\"s\"", "\"ph\":\"f\"",
+        "\"ph\":\"C\"", "\"ready_queue_depth\"", "\"deflated_cumulative\"", "\"args\"",
+        "\"level\"", "\"ready_wait_us\""})
+    EXPECT_NE(trace.find(needle), std::string::npos) << needle;
+
+  const std::string report = slurp(report_path_);
+  ASSERT_FALSE(report.empty()) << "DNC_REPORT file not written";
+  EXPECT_TRUE(JsonChecker(report).valid()) << "report is not valid JSON";
+  for (const char* needle : {"\"driver\": \"taskflow\"", "\"laed4_calls\"", "\"merges\"",
+                             "\"ctot\"", "\"scheduler\""})
+    EXPECT_NE(report.find(needle), std::string::npos) << needle;
+
+  const std::string summary = slurp(report_path_ + ".txt");
+  ASSERT_FALSE(summary.empty()) << "text summary not written";
+  EXPECT_NE(summary.find("dnc solve report"), std::string::npos);
+  EXPECT_NE(summary.find("deflation"), std::string::npos);
+}
+
+TEST_F(ExportTest, SequentialDriverExportsReportWithoutTrace) {
+  ::setenv("DNC_REPORT", report_path_.c_str(), 1);
+  matgen::Tridiag t = matgen::table3_matrix(10, 200);
+  Matrix v;
+  dc::stedc_sequential(200, t.d.data(), t.e.data(), v, {}, nullptr);
+  const std::string report = slurp(report_path_);
+  ASSERT_FALSE(report.empty());
+  EXPECT_TRUE(JsonChecker(report).valid());
+  EXPECT_NE(report.find("\"driver\": \"sequential\""), std::string::npos);
+  EXPECT_NE(report.find("\"has_scheduler\": false"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dnc

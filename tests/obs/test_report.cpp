@@ -1,0 +1,135 @@
+#include "obs/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "blas/simd/kernels.hpp"
+#include "dc/api.hpp"
+#include "matgen/tridiag.hpp"
+
+namespace dnc {
+namespace {
+
+dc::SolveStats solve(index_t n, int mat_type,
+                     void (*driver)(index_t, double*, double*, Matrix&, const dc::Options&,
+                                    dc::SolveStats*)) {
+  matgen::Tridiag t = matgen::table3_matrix(mat_type, n);
+  Matrix v;
+  dc::SolveStats st;
+  driver(n, t.d.data(), t.e.data(), v, {}, &st);
+  return st;
+}
+
+void seq(index_t n, double* d, double* e, Matrix& v, const dc::Options& o, dc::SolveStats* s) {
+  dc::stedc_sequential(n, d, e, v, o, s);
+}
+void tf(index_t n, double* d, double* e, Matrix& v, const dc::Options& o, dc::SolveStats* s) {
+  dc::stedc_taskflow(n, d, e, v, o, s, {});
+}
+
+TEST(SolveReport, MergeRecordsSumToMergeSizes) {
+  const dc::SolveStats st = solve(257, 10, seq);
+  const obs::SolveReport& r = st.report;
+  ASSERT_EQ(static_cast<index_t>(r.merges.size()), st.merges);
+  for (const obs::MergeRecord& m : r.merges) {
+    EXPECT_EQ(m.ctot[0] + m.ctot[1] + m.ctot[2] + m.ctot[3], m.m);
+    EXPECT_EQ(m.ctot[0] + m.ctot[1] + m.ctot[2], m.k);
+    EXPECT_GT(m.n1, 0);
+    EXPECT_LT(m.n1, m.m);
+    EXPECT_GT(m.t_end, 0.0);
+  }
+  // The merge tree merges each column once per level it participates in;
+  // the root merge covers all n columns.
+  long root_m = 0;
+  for (const obs::MergeRecord& m : r.merges)
+    if (m.level == 0) root_m = m.m;
+  EXPECT_EQ(root_m, 257);
+}
+
+TEST(SolveReport, Laed4HistogramMatchesNonDeflatedCount) {
+  const dc::SolveStats st = solve(300, 10, seq);
+  const obs::SolveReport& r = st.report;
+  // One laed4 call per secular root = per non-deflated column over all
+  // merges; every call lands in exactly one histogram bucket.
+  EXPECT_EQ(static_cast<long>(r.counter(obs::kLaed4Calls)), r.nondeflated_total());
+  EXPECT_EQ(r.laed4_hist_total(), r.counter(obs::kLaed4Calls));
+  EXPECT_GT(r.nondeflated_total(), 0);
+  EXPECT_EQ(r.deflated_total() + r.nondeflated_total(), r.merged_columns_total());
+}
+
+TEST(SolveReport, SequentialAndTaskflowAgreeOnAlgorithmicContent) {
+  const dc::SolveStats a = solve(300, 10, seq);
+  const dc::SolveStats b = solve(300, 10, tf);
+  ASSERT_EQ(a.report.merges.size(), b.report.merges.size());
+  for (std::size_t i = 0; i < a.report.merges.size(); ++i) {
+    const obs::MergeRecord& ma = a.report.merges[i];
+    const obs::MergeRecord& mb = b.report.merges[i];
+    EXPECT_EQ(ma.m, mb.m);
+    EXPECT_EQ(ma.n1, mb.n1);
+    EXPECT_EQ(ma.k, mb.k);
+    for (int t = 0; t < 4; ++t) EXPECT_EQ(ma.ctot[t], mb.ctot[t]);
+  }
+  EXPECT_EQ(a.report.counter(obs::kLaed4Calls), b.report.counter(obs::kLaed4Calls));
+  EXPECT_FALSE(a.report.has_scheduler);
+  EXPECT_TRUE(b.report.has_scheduler);
+  EXPECT_GT(b.report.scheduler.tasks, 0);
+  EXPECT_GE(b.report.scheduler.max_queue_depth, 1);
+}
+
+TEST(SolveReport, ScalarAndNativeDispatchProduceSameStructure) {
+  // The deflation decisions and call counts are tolerance-driven and must
+  // not depend on which SIMD table ran the kernels (iteration counts per
+  // call may differ by rounding, so buckets are not compared).
+  dc::SolveStats native = solve(300, 10, seq);
+  dc::SolveStats scalar;
+  {
+    blas::simd::ScopedIsaOverride force(SimdIsa::Scalar);
+    scalar = solve(300, 10, seq);
+  }
+  EXPECT_EQ(scalar.report.simd_isa, "scalar");
+  ASSERT_EQ(native.report.merges.size(), scalar.report.merges.size());
+  for (std::size_t i = 0; i < native.report.merges.size(); ++i) {
+    const obs::MergeRecord& mn = native.report.merges[i];
+    const obs::MergeRecord& ms = scalar.report.merges[i];
+    EXPECT_EQ(mn.m, ms.m);
+    EXPECT_EQ(mn.n1, ms.n1);
+    EXPECT_EQ(mn.k, ms.k);
+    for (int t = 0; t < 4; ++t) EXPECT_EQ(mn.ctot[t], ms.ctot[t]);
+  }
+  EXPECT_EQ(native.report.counter(obs::kLaed4Calls),
+            scalar.report.counter(obs::kLaed4Calls));
+  EXPECT_EQ(native.report.counter(obs::kGemmCalls), scalar.report.counter(obs::kGemmCalls));
+  EXPECT_EQ(native.report.counter(obs::kGemmFlops), scalar.report.counter(obs::kGemmFlops));
+}
+
+TEST(SolveReport, SimdIsaReflectsDispatchedTable) {
+  const dc::SolveStats st = solve(100, 10, seq);
+  EXPECT_EQ(st.report.simd_isa, blas::simd::kernels().name);
+}
+
+TEST(SolveReport, JsonAndSummaryContainKeyFields) {
+  const dc::SolveStats st = solve(150, 10, tf);
+  const std::string js = st.report.to_json();
+  for (const char* key :
+       {"\"driver\": \"taskflow\"", "\"counters\"", "\"laed4_calls\"", "\"merges\"",
+        "\"ctot\"", "\"deflated_fraction\"", "\"scheduler\"", "\"max_queue_depth\""})
+    EXPECT_NE(js.find(key), std::string::npos) << key;
+  const std::string txt = st.report.summary_text();
+  for (const char* key : {"driver", "deflation", "secular solver", "scheduler"})
+    EXPECT_NE(txt.find(key), std::string::npos) << key;
+}
+
+TEST(SchedulerMetrics, DerivedFromTraceConsistently) {
+  const dc::SolveStats st = solve(300, 10, tf);
+  const obs::SchedulerMetrics m = obs::scheduler_metrics(st.trace);
+  EXPECT_EQ(m.workers, st.trace.workers);
+  EXPECT_GT(m.tasks, 0);
+  EXPECT_GT(m.makespan, 0.0);
+  EXPECT_GT(m.total_busy, 0.0);
+  EXPECT_GT(m.efficiency, 0.0);
+  EXPECT_LE(m.efficiency, 1.0 + 1e-9);
+  EXPECT_GE(m.max_ready_wait, m.avg_ready_wait);
+  EXPECT_GE(m.total_idle, 0.0);
+}
+
+}  // namespace
+}  // namespace dnc
