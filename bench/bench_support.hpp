@@ -16,6 +16,7 @@
 
 #include "blas/simd/kernels.hpp"
 #include "common/matrix.hpp"
+#include "common/version.hpp"
 #include "dc/api.hpp"
 #include "matgen/tridiag.hpp"
 
@@ -23,14 +24,17 @@ namespace dnc::bench {
 
 /// Machine/configuration metadata stamped into every BENCH_*.json so a
 /// recorded number can be traced back to the environment that produced it:
-/// thread count, the dispatched SIMD kernel table, and every DNC_* override
-/// in effect.
+/// build provenance (git commit, build type, sanitizers), thread count, the
+/// dispatched SIMD kernel table, and every DNC_* override in effect.
 inline std::vector<std::pair<std::string, std::string>> machine_metadata() {
   std::vector<std::pair<std::string, std::string>> kv;
+  kv.emplace_back("git_commit", version::kGitCommit);
+  kv.emplace_back("build_type", version::kBuildType);
+  kv.emplace_back("sanitize", version::kSanitize ? "1" : "0");
   kv.emplace_back("hardware_threads", std::to_string(std::thread::hardware_concurrency()));
   kv.emplace_back("simd_dispatch", blas::simd::kernels().name);
-  for (const char* var : {"DNC_SIMD", "DNC_BENCH_NMAX", "DNC_BENCH_FAST", "DNC_TRACE",
-                          "DNC_REPORT"}) {
+  for (const char* var : {"DNC_SIMD", "DNC_BENCH_NMAX", "DNC_BENCH_FAST", "DNC_BENCH_REPS",
+                          "DNC_TRACE", "DNC_REPORT", "OMP_NUM_THREADS"}) {
     const char* val = std::getenv(var);
     kv.emplace_back(var, val ? val : "(unset)");
   }

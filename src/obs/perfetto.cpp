@@ -38,6 +38,44 @@ std::string perfetto_trace_json(const rt::Trace& trace, const SolveReport* repor
     emit(buf);
   }
 
+  // --- dnc-specific metadata (ignored by Perfetto, consumed by
+  // obs::load_perfetto_trace): the kind table with its memory-bound flags,
+  // the per-worker idle seconds, and -- as a separate record because it can
+  // be large -- the dependency edge list. Together with the slices below
+  // this makes the export a lossless round trip of rt::Trace. ---
+  {
+    std::string meta = "{\"name\":\"dnc_meta\",\"ph\":\"M\",\"pid\":1,\"args\":{";
+    std::snprintf(buf, sizeof buf, "\"workers\":%d,\"kinds\":[", trace.workers);
+    meta += buf;
+    for (std::size_t k = 0; k < trace.kind_names.size(); ++k) {
+      const bool mb =
+          k < trace.kind_memory_bound.size() && trace.kind_memory_bound[k] != 0;
+      std::snprintf(buf, sizeof buf, "%s{\"name\":\"%s\",\"memory_bound\":%s}",
+                    k ? "," : "", rt::json_escape(trace.kind_names[k]).c_str(),
+                    mb ? "true" : "false");
+      meta += buf;
+    }
+    meta += "],\"worker_idle\":[";
+    for (std::size_t w = 0; w < trace.worker_idle.size(); ++w) {
+      std::snprintf(buf, sizeof buf, "%s%.9f", w ? "," : "", trace.worker_idle[w]);
+      meta += buf;
+    }
+    meta += "]}}";
+    emit(meta.c_str());
+  }
+  {
+    std::string meta = "{\"name\":\"dnc_edges\",\"ph\":\"M\",\"pid\":1,"
+                       "\"args\":{\"edges\":[";
+    for (std::size_t i = 0; i < trace.edges.size(); ++i) {
+      std::snprintf(buf, sizeof buf, "%s[%llu,%llu]", i ? "," : "",
+                    static_cast<unsigned long long>(trace.edges[i].first),
+                    static_cast<unsigned long long>(trace.edges[i].second));
+      meta += buf;
+    }
+    meta += "]}}";
+    emit(meta.c_str());
+  }
+
   // --- slices: one complete event per executed task, with args ---
   std::unordered_map<std::uint64_t, const rt::TraceEvent*> by_id;
   by_id.reserve(trace.events.size());

@@ -1,12 +1,14 @@
 #include "obs/report.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 
 #include "common/cpu_features.hpp"
+#include "common/version.hpp"
 #include "obs/perfetto.hpp"
 #include "runtime/trace.hpp"
 
@@ -57,6 +59,8 @@ std::string SolveReport::to_json() const {
   appendf(out, "  \"threads\": %d,\n", threads);
   appendf(out, "  \"seconds\": %.9f,\n", seconds);
   appendf(out, "  \"simd_isa\": \"%s\",\n", rt::json_escape(simd_isa).c_str());
+  appendf(out, "  \"git_commit\": \"%s\",\n", rt::json_escape(git_commit).c_str());
+  appendf(out, "  \"build_type\": \"%s\",\n", rt::json_escape(build_type).c_str());
   out += "  \"counters\": {";
   for (int c = 0; c < kNumCounters; ++c) {
     appendf(out, "%s\n    \"%s\": %llu", c ? "," : "", counter_name(c), ull(counters[c]));
@@ -114,6 +118,7 @@ std::string SolveReport::summary_text() const {
   appendf(out, "threads       : %d\n", threads);
   appendf(out, "wall time     : %.6f s\n", seconds);
   appendf(out, "simd kernels  : %s\n", simd_isa.c_str());
+  appendf(out, "revision      : %s (%s)\n", git_commit.c_str(), build_type.c_str());
   const long merged = merged_columns_total();
   appendf(out, "\n-- deflation (%zu merges) --\n", merges.size());
   appendf(out, "merged columns: %ld\n", merged);
@@ -207,6 +212,8 @@ void SolveScope::finish(SolveReport& out, long n, int threads, double seconds,
   out.threads = threads;
   out.seconds = seconds;
   if (out.simd_isa.empty()) out.simd_isa = simd_isa_name(requested_simd_isa());
+  out.git_commit = version::kGitCommit;
+  out.build_type = version::kBuildType;
   out.counters = delta_since(begin_);
   if (trace) {
     out.has_scheduler = true;
@@ -224,15 +231,37 @@ bool report_export_requested() noexcept {
   return p && *p;
 }
 
+namespace {
+// Process-wide solve-export counter (see the header's clobbering note).
+// Relaxed is enough: concurrent solves racing for the same artifact path
+// have no meaningful order anyway; each still gets a distinct suffix.
+std::atomic<unsigned> g_export_seq{0};
+}  // namespace
+
+std::string sequenced_export_path(const std::string& base, unsigned seq) {
+  if (seq == 0) return base;
+  char suffix[16];
+  std::snprintf(suffix, sizeof suffix, ".%u", seq + 1);
+  const std::size_t slash = base.find_last_of('/');
+  const std::size_t dot = base.find_last_of('.');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash))
+    return base + suffix;  // no extension: plain append
+  return base.substr(0, dot) + suffix + base.substr(dot);
+}
+
+void reset_export_sequence() noexcept { g_export_seq.store(0); }
+
 void export_solve_artifacts(const SolveReport& report, const rt::Trace* trace) {
+  const unsigned seq = g_export_seq.fetch_add(1);
   if (const char* path = std::getenv("DNC_TRACE"); path && *path && trace) {
-    std::ofstream f(path);
+    std::ofstream f(sequenced_export_path(path, seq));
     if (f) f << perfetto_trace_json(*trace, &report);
   }
   if (const char* path = std::getenv("DNC_REPORT"); path && *path) {
-    std::ofstream f(path);
+    const std::string p = sequenced_export_path(path, seq);
+    std::ofstream f(p);
     if (f) f << report.to_json();
-    std::ofstream t(std::string(path) + ".txt");
+    std::ofstream t(p + ".txt");
     if (t) t << report.summary_text();
   }
 }

@@ -54,7 +54,9 @@ struct SolveReport {
   long n = 0;
   int threads = 0;
   double seconds = 0.0;
-  std::string simd_isa;  ///< dispatched kernel table ("scalar"/"sse2"/"avx2")
+  std::string simd_isa;    ///< dispatched kernel table ("scalar"/"sse2"/"avx2")
+  std::string git_commit;  ///< configure-time revision (version::kGitCommit)
+  std::string build_type;  ///< CMAKE_BUILD_TYPE the binary was built with
 
   CounterArray counters{};  ///< deltas over the solve, indexed by obs::Counter
   std::vector<MergeRecord> merges;
@@ -96,6 +98,24 @@ bool report_export_requested() noexcept;
 
 /// Writes $DNC_TRACE (Perfetto trace JSON, needs `trace`) and $DNC_REPORT
 /// (report JSON) + $DNC_REPORT.txt (text summary). No-op when unset.
+///
+/// A process that solves several times (every bench does) must not clobber
+/// the artifact of an earlier solve: the first export of the process uses
+/// the configured path verbatim, every later one gets a sequence suffix
+/// before the extension -- "trace.json", then "trace.2.json",
+/// "trace.3.json", ... The counter is shared by DNC_TRACE and DNC_REPORT so
+/// the trace and report of one solve always carry the same suffix.
 void export_solve_artifacts(const SolveReport& report, const rt::Trace* trace);
+
+/// Path the `seq`-th export (0-based) writes for the configured `base`:
+/// seq 0 -> base, seq k -> base with ".k+1" inserted before the extension
+/// ("report.json" -> "report.2.json"; extensionless paths get a plain
+/// suffix appended). Exposed for tests.
+std::string sequenced_export_path(const std::string& base, unsigned seq);
+
+/// Resets the process-wide export sequence so the next export uses the
+/// plain path again. Tests that re-point DNC_TRACE/DNC_REPORT per case and
+/// expect the unsuffixed file must call this in their setup.
+void reset_export_sequence() noexcept;
 
 }  // namespace dnc::obs

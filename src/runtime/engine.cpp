@@ -103,7 +103,10 @@ Trace Runtime::trace() const {
     t.events.push_back(e);
     for (std::uint64_t p : node->pred_ids) t.edges.emplace_back(p, node->id);
   }
-  for (const TaskKind& k : graph_.kinds()) t.kind_names.push_back(k.name);
+  for (const TaskKind& k : graph_.kinds()) {
+    t.kind_names.push_back(k.name);
+    t.kind_memory_bound.push_back(k.memory_bound ? 1 : 0);
+  }
   t.worker_idle = idle_;
   {
     std::lock_guard<std::mutex> lk(mu_);

@@ -73,7 +73,10 @@ SimulationResult simulate_schedule(const TaskGraph& graph, int workers,
     if (remaining[i] == 0) ready.push(i);
 
   res.schedule.workers = workers;
-  for (const TaskKind& k : graph.kinds()) res.schedule.kind_names.push_back(k.name);
+  for (const TaskKind& k : graph.kinds()) {
+    res.schedule.kind_names.push_back(k.name);
+    res.schedule.kind_memory_bound.push_back(k.memory_bound ? 1 : 0);
+  }
   std::vector<int> free_workers(workers);
   for (int w = 0; w < workers; ++w) free_workers[w] = workers - 1 - w;
 

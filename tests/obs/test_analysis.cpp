@@ -1,0 +1,197 @@
+// Trace analytics tests: critical path / parallelism profile / span law on
+// a hand-built DAG with known answers, agreement with rt::simulate_schedule
+// on real solver traces, and the Perfetto export -> trace_io round trip.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "dc/api.hpp"
+#include "matgen/tridiag.hpp"
+#include "obs/analysis.hpp"
+#include "obs/perfetto.hpp"
+#include "obs/trace_io.hpp"
+#include "runtime/simulator.hpp"
+#include "runtime/trace.hpp"
+
+namespace dnc {
+namespace {
+
+rt::TraceEvent ev(std::uint64_t id, int kind, int worker, double t0, double t1,
+                  double t_ready = 0.0) {
+  rt::TraceEvent e;
+  e.task_id = id;
+  e.kind = kind;
+  e.worker = worker;
+  e.t_start = t0;
+  e.t_end = t1;
+  e.t_ready = t_ready;
+  return e;
+}
+
+/// Six-task diamond with a tail: 1(A,1s) and 2(A,2s) feed 3(B,3s) and
+/// 4(B,1s) respectively, both feed 5(A,2s), which feeds 6(B,0.5s).
+/// Critical path 1->3->5->6 = 6.5 s; T1 = 9.5 s.
+rt::Trace diamond_trace() {
+  rt::Trace t;
+  t.workers = 2;
+  t.kind_names = {"A", "B"};
+  t.kind_memory_bound = {0, 0};
+  t.events.push_back(ev(1, 0, 0, 0.0, 1.0));
+  t.events.push_back(ev(2, 0, 1, 0.0, 2.0));
+  t.events.push_back(ev(3, 1, 0, 1.0, 4.0, 1.0));
+  t.events.push_back(ev(4, 1, 1, 2.0, 3.0, 2.0));
+  t.events.push_back(ev(5, 0, 0, 4.0, 6.0, 4.0));
+  t.events.push_back(ev(6, 1, 0, 6.0, 6.5, 6.0));
+  t.edges = {{1, 3}, {2, 4}, {3, 5}, {4, 5}, {5, 6}};
+  return t;
+}
+
+TEST(CriticalPath, HandBuiltDagHasKnownSpan) {
+  const rt::Trace t = diamond_trace();
+  const obs::CriticalPath cp = obs::critical_path(t);
+  EXPECT_DOUBLE_EQ(cp.length, 6.5);
+  EXPECT_DOUBLE_EQ(cp.total_work, 9.5);
+  ASSERT_EQ(cp.chain.size(), 4u);
+  EXPECT_EQ(t.events[cp.chain[0]].task_id, 1u);
+  EXPECT_EQ(t.events[cp.chain[1]].task_id, 3u);
+  EXPECT_EQ(t.events[cp.chain[2]].task_id, 5u);
+  EXPECT_EQ(t.events[cp.chain[3]].task_id, 6u);
+  ASSERT_EQ(cp.time_by_kind.size(), 2u);
+  EXPECT_DOUBLE_EQ(cp.time_by_kind[0], 3.0);  // A: 1.0 + 2.0
+  EXPECT_DOUBLE_EQ(cp.time_by_kind[1], 3.5);  // B: 3.0 + 0.5
+  const std::string rendered = cp.render(t);
+  EXPECT_NE(rendered.find("critical path"), std::string::npos);
+  EXPECT_NE(rendered.find('A'), std::string::npos);
+}
+
+TEST(CriticalPath, EdgesToUnknownTasksAreIgnored) {
+  rt::Trace t = diamond_trace();
+  t.edges.push_back({99, 1});  // predecessor never executed
+  t.edges.push_back({6, 100});
+  const obs::CriticalPath cp = obs::critical_path(t);
+  EXPECT_DOUBLE_EQ(cp.length, 6.5);
+}
+
+TEST(CriticalPath, EmptyTraceYieldsZero) {
+  const obs::CriticalPath cp = obs::critical_path(rt::Trace{});
+  EXPECT_EQ(cp.length, 0.0);
+  EXPECT_TRUE(cp.chain.empty());
+}
+
+TEST(SpanLaw, BoundsMatchHandBuiltDag) {
+  const obs::SpanLaw law = obs::span_law(diamond_trace());
+  EXPECT_DOUBLE_EQ(law.t1, 9.5);
+  EXPECT_DOUBLE_EQ(law.t_inf, 6.5);
+  EXPECT_NEAR(law.parallelism, 9.5 / 6.5, 1e-15);
+  EXPECT_DOUBLE_EQ(law.lower_bound(1), 9.5);
+  EXPECT_DOUBLE_EQ(law.lower_bound(4), 6.5);   // span-dominated
+  EXPECT_DOUBLE_EQ(law.upper_bound(2), 9.5 / 2 + 6.5);
+  EXPECT_NEAR(law.predicted_speedup(2), 9.5 / 6.5, 1e-15);  // capped by span
+}
+
+TEST(ParallelismProfile, HandBuiltDagStepFunction) {
+  const obs::ParallelismProfile p = obs::parallelism_profile(diamond_trace());
+  EXPECT_EQ(p.max_running, 2);
+  EXPECT_DOUBLE_EQ(p.t0, 0.0);
+  EXPECT_DOUBLE_EQ(p.t1, 6.5);
+  // Integral of the running count over time == total busy time.
+  EXPECT_NEAR(p.running_integral, 9.5, 1e-12);
+  EXPECT_NEAR(p.avg_running, 9.5 / 6.5, 1e-12);
+  const std::string art = p.ascii(60, 8);
+  EXPECT_FALSE(art.empty());
+  EXPECT_FALSE(p.to_json().empty());
+}
+
+TEST(ReplayTrace, MatchesHandComputedSchedule) {
+  const rt::Trace t = diamond_trace();
+  // One worker: FIFO order 1,2,3,4,5,6 back to back.
+  const rt::SimulationResult r1 = obs::replay_trace(t, 1);
+  EXPECT_DOUBLE_EQ(r1.makespan, 9.5);
+  // Two workers: 1 and 2 in parallel, 3 at 1.0-4.0, 4 at 2.0-3.0, 5 at
+  // 4.0-6.0, 6 at 6.0-6.5 -- the span.
+  const rt::SimulationResult r2 = obs::replay_trace(t, 2);
+  EXPECT_DOUBLE_EQ(r2.makespan, 6.5);
+  EXPECT_DOUBLE_EQ(r2.critical_path, 6.5);
+}
+
+class SolveTraceTest : public ::testing::Test {
+ protected:
+  static constexpr index_t kN = 300;
+  void SetUp() override {
+    matgen::Tridiag t = matgen::table3_matrix(4, kN);
+    Matrix v;
+    dc::Options opt;
+    opt.threads = 2;
+    dc::stedc_taskflow(kN, t.d.data(), t.e.data(), v, opt, &stats_, {1, 2, 4, 16});
+  }
+  dc::SolveStats stats_;
+};
+
+TEST_F(SolveTraceTest, CriticalPathAgreesWithSimulator) {
+  const obs::CriticalPath cp = obs::critical_path(stats_.trace);
+  ASSERT_FALSE(stats_.simulated.empty());
+  // Same duration arithmetic as the simulator -> agreement to rounding.
+  EXPECT_NEAR(cp.length, stats_.simulated[0].critical_path, 1e-9);
+  EXPECT_NEAR(cp.total_work, stats_.trace.total_busy(), 1e-9);
+  EXPECT_GT(cp.chain.size(), 4u);
+  // The chain must be a dependency chain: execution-ordered, distinct tasks.
+  for (std::size_t i = 1; i < cp.chain.size(); ++i)
+    EXPECT_LE(stats_.trace.events[cp.chain[i - 1]].t_end,
+              stats_.trace.events[cp.chain[i]].t_end);
+}
+
+TEST_F(SolveTraceTest, ReplayMatchesSimulatorAtEveryWorkerCount) {
+  const int counts[] = {1, 2, 4, 16};
+  ASSERT_EQ(stats_.simulated.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    const rt::SimulationResult replay = obs::replay_trace(stats_.trace, counts[i]);
+    EXPECT_NEAR(replay.makespan, stats_.simulated[i].makespan, 1e-12)
+        << "workers=" << counts[i];
+    EXPECT_NEAR(replay.critical_path, stats_.simulated[i].critical_path, 1e-12);
+  }
+}
+
+TEST_F(SolveTraceTest, ProfileIntegralEqualsBusyTime) {
+  const obs::ParallelismProfile p = obs::parallelism_profile(stats_.trace);
+  EXPECT_NEAR(p.running_integral, stats_.trace.total_busy(),
+              1e-9 * std::max(1.0, stats_.trace.total_busy()));
+  EXPECT_GE(p.max_running, 1);
+  EXPECT_LE(p.max_running, stats_.trace.workers);
+  EXPECT_GE(p.max_ready, 0);
+}
+
+TEST_F(SolveTraceTest, PerfettoRoundTripPreservesAnalysis) {
+  const std::string json = obs::perfetto_trace_json(stats_.trace, &stats_.report);
+  rt::Trace loaded;
+  std::string err;
+  ASSERT_TRUE(obs::load_perfetto_trace(json, loaded, &err)) << err;
+  EXPECT_EQ(loaded.workers, stats_.trace.workers);
+  EXPECT_EQ(loaded.events.size(), stats_.trace.events.size());
+  EXPECT_EQ(loaded.edges.size(), stats_.trace.edges.size());
+  EXPECT_EQ(loaded.kind_names, stats_.trace.kind_names);
+
+  // Timestamps quantize to 1 ns in the export; analysis results must agree
+  // to that precision.
+  const obs::CriticalPath cp0 = obs::critical_path(stats_.trace);
+  const obs::CriticalPath cp1 = obs::critical_path(loaded);
+  EXPECT_NEAR(cp1.length, cp0.length, 1e-6);
+  EXPECT_NEAR(cp1.total_work, cp0.total_work, 1e-6);
+  EXPECT_EQ(cp1.chain.size(), cp0.chain.size());
+
+  const rt::SimulationResult r0 = obs::replay_trace(stats_.trace, 4);
+  const rt::SimulationResult r1 = obs::replay_trace(loaded, 4);
+  EXPECT_NEAR(r1.makespan, r0.makespan, 1e-6);
+}
+
+TEST(TraceIo, RejectsGarbage) {
+  rt::Trace t;
+  std::string err;
+  EXPECT_FALSE(obs::load_perfetto_trace("not json", t, &err));
+  EXPECT_FALSE(err.empty());
+  EXPECT_FALSE(obs::load_perfetto_trace("{\"traceEvents\": []}", t, &err));
+  EXPECT_FALSE(obs::load_perfetto_trace_file("/nonexistent/trace.json", t, &err));
+}
+
+}  // namespace
+}  // namespace dnc

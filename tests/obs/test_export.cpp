@@ -14,6 +14,7 @@
 
 #include "dc/api.hpp"
 #include "matgen/tridiag.hpp"
+#include "obs/report.hpp"
 
 namespace dnc {
 namespace {
@@ -137,6 +138,11 @@ class ExportTest : public ::testing::Test {
     std::remove(trace_path_.c_str());
     std::remove(report_path_.c_str());
     std::remove((report_path_ + ".txt").c_str());
+    // The export path gets a sequence suffix after the first export of the
+    // process; when several cases share one process (the *_scalar_dispatch
+    // ctest entries run the whole binary) each case must start at seq 0 to
+    // find its file at the configured path.
+    obs::reset_export_sequence();
   }
   void TearDown() override {
     ::unsetenv("DNC_TRACE");
@@ -185,6 +191,46 @@ TEST_F(ExportTest, TraceAndReportExportEvenWithoutStats) {
   ASSERT_FALSE(summary.empty()) << "text summary not written";
   EXPECT_NE(summary.find("dnc solve report"), std::string::npos);
   EXPECT_NE(summary.find("deflation"), std::string::npos);
+}
+
+TEST(SequencedExportPath, SuffixScheme) {
+  EXPECT_EQ(obs::sequenced_export_path("trace.json", 0), "trace.json");
+  EXPECT_EQ(obs::sequenced_export_path("trace.json", 1), "trace.2.json");
+  EXPECT_EQ(obs::sequenced_export_path("trace.json", 9), "trace.10.json");
+  EXPECT_EQ(obs::sequenced_export_path("/tmp/out/report.json", 2), "/tmp/out/report.3.json");
+  // A dot in a directory name must not be mistaken for an extension.
+  EXPECT_EQ(obs::sequenced_export_path("/tmp/v1.2/trace", 1), "/tmp/v1.2/trace.2");
+  EXPECT_EQ(obs::sequenced_export_path("trace", 1), "trace.2");
+}
+
+TEST_F(ExportTest, SecondSolveOfProcessGetsSequenceSuffix) {
+  ::setenv("DNC_TRACE", trace_path_.c_str(), 1);
+  ::setenv("DNC_REPORT", report_path_.c_str(), 1);
+  run_solve(120);
+  run_solve(140);
+  run_solve(160);
+
+  // First export at the configured paths, later ones suffixed -- no solve
+  // clobbers an earlier artifact.
+  for (const std::string& base : {trace_path_, report_path_}) {
+    EXPECT_TRUE(std::ifstream(base).good()) << base;
+    for (unsigned seq : {1u, 2u}) {
+      const std::string p = obs::sequenced_export_path(base, seq);
+      EXPECT_TRUE(std::ifstream(p).good()) << p;
+      EXPECT_TRUE(JsonChecker(slurp(p)).valid()) << p;
+    }
+  }
+  // Trace and report of one solve share the counter, so .2/.3 pair up.
+  EXPECT_TRUE(
+      std::ifstream(obs::sequenced_export_path(report_path_, 2) + ".txt").good());
+
+  // reset_export_sequence starts over: the next export reuses (and may
+  // overwrite) the plain path.
+  obs::reset_export_sequence();
+  std::remove(trace_path_.c_str());
+  run_solve(120);
+  EXPECT_TRUE(std::ifstream(trace_path_).good());
+  EXPECT_FALSE(std::ifstream(obs::sequenced_export_path(trace_path_, 3)).good());
 }
 
 TEST_F(ExportTest, SequentialDriverExportsReportWithoutTrace) {

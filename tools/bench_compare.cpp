@@ -1,0 +1,97 @@
+// bench_compare: the perf-regression gate CLI.
+//
+//   bench_compare baseline.json current.json [--threshold 0.10] [--stat median|min]
+//
+// Loads two BENCH_solver.json artifacts (bench/bench_solver), matches
+// entries by (driver, family, n) and classifies each ratio against the
+// noise threshold. Exit codes: 0 = no regression, 1 = regression found,
+// 2 = usage or unreadable artifact. ctest's tier-2 gate and CI call this.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "obs/benchcmp.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <baseline.json> <current.json> [--threshold T] [--stat median|min] "
+               "[--min-time S] [--quiet]\n"
+               "  T is a fraction: 0.10 flags entries slower than 1.10x baseline (default)\n"
+               "  S in seconds: entries faster than S on both sides never gate (default 0)\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string base_path, cur_path;
+  double threshold = 0.10;
+  double min_time = 0.0;
+  dnc::obs::BenchStat stat = dnc::obs::BenchStat::kMedian;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--threshold") {
+      if (++i >= argc) { usage(argv[0]); return 2; }
+      threshold = std::atof(argv[i]);
+      if (threshold <= 0.0) {
+        std::fprintf(stderr, "invalid threshold '%s'\n", argv[i]);
+        return 2;
+      }
+    } else if (flag == "--stat") {
+      if (++i >= argc) { usage(argv[0]); return 2; }
+      if (std::strcmp(argv[i], "median") == 0)
+        stat = dnc::obs::BenchStat::kMedian;
+      else if (std::strcmp(argv[i], "min") == 0)
+        stat = dnc::obs::BenchStat::kMin;
+      else {
+        std::fprintf(stderr, "unknown stat '%s'\n", argv[i]);
+        return 2;
+      }
+    } else if (flag == "--min-time") {
+      if (++i >= argc) { usage(argv[0]); return 2; }
+      min_time = std::atof(argv[i]);
+      if (min_time < 0.0) {
+        std::fprintf(stderr, "invalid min-time '%s'\n", argv[i]);
+        return 2;
+      }
+    } else if (flag == "--quiet") {
+      quiet = true;
+    } else if (!flag.empty() && flag[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      usage(argv[0]);
+      return 2;
+    } else if (base_path.empty()) {
+      base_path = flag;
+    } else if (cur_path.empty()) {
+      cur_path = flag;
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (base_path.empty() || cur_path.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  dnc::obs::BenchArtifact base, cur;
+  std::string err;
+  if (!dnc::obs::load_bench_artifact(base_path, base, &err)) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return 2;
+  }
+  if (!dnc::obs::load_bench_artifact(cur_path, cur, &err)) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return 2;
+  }
+
+  const dnc::obs::CompareResult res =
+      dnc::obs::compare_bench_artifacts(base, cur, threshold, stat, min_time);
+  if (!quiet) std::fputs(res.render(threshold).c_str(), stdout);
+  return res.gate_passed() ? 0 : 1;
+}

@@ -1,0 +1,282 @@
+// dnc_trace: trace analytics CLI.
+//
+// Answers "where did the time go and what would more cores buy" from a
+// single measured solve -- the paper's Fig. 5 scalability-shape analysis
+// reproduced from a one-core measurement. Two sources:
+//
+//   dnc_trace --n 1000 --type 4            run a solve in-process
+//   dnc_trace --load trace.json            analyse a $DNC_TRACE export
+//
+// Output: per-kernel time split, the critical path (ordered chain +
+// per-kind attribution, cross-checked against rt::simulate_schedule when
+// solving in-process), the work/span law, a what-if replay sweep over
+// worker counts, the parallelism profile (ASCII), and -- in solve mode with
+// --nb-sweep -- the panel-width granularity trade-off. --json dumps the
+// same analysis machine-readably.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/version.hpp"
+#include "dc/api.hpp"
+#include "matgen/tridiag.hpp"
+#include "mrrr/mrrr.hpp"
+#include "obs/analysis.hpp"
+#include "obs/trace_io.hpp"
+#include "runtime/trace.hpp"
+
+namespace {
+
+using namespace dnc;
+
+struct Args {
+  std::string load;          ///< trace file; empty = solve in-process
+  std::string driver = "taskflow";
+  int type = 4;
+  long n = 1000;
+  long minpart = 0;  ///< 0 = scaled default
+  long nb = 0;
+  std::vector<int> workers{1, 2, 4, 8, 16, 32};
+  bool nb_sweep = false;
+  std::string json_out;
+  int profile_width = 100;
+};
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [--load trace.json | --driver taskflow|lapack_model|scalapack_model|mrrr]\n"
+      "          [--type 1..15] [--n N] [--minpart M] [--nb NB]\n"
+      "          [--workers 1,2,4,8,16,32] [--nb-sweep] [--json out.json]\n"
+      "          [--profile-width W]\n",
+      argv0);
+}
+
+std::vector<int> parse_int_list(const std::string& s) {
+  std::vector<int> out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    out.push_back(std::atoi(s.c_str() + pos));
+    const std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+bool parse_args(int argc, char** argv, Args& a) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (flag == "--load") {
+      const char* v = next();
+      if (!v) return false;
+      a.load = v;
+    } else if (flag == "--driver") {
+      const char* v = next();
+      if (!v) return false;
+      a.driver = v;
+    } else if (flag == "--type") {
+      const char* v = next();
+      if (!v) return false;
+      a.type = std::atoi(v);
+    } else if (flag == "--n") {
+      const char* v = next();
+      if (!v) return false;
+      a.n = std::atol(v);
+    } else if (flag == "--minpart") {
+      const char* v = next();
+      if (!v) return false;
+      a.minpart = std::atol(v);
+    } else if (flag == "--nb") {
+      const char* v = next();
+      if (!v) return false;
+      a.nb = std::atol(v);
+    } else if (flag == "--workers") {
+      const char* v = next();
+      if (!v) return false;
+      a.workers = parse_int_list(v);
+      if (a.workers.empty()) return false;
+    } else if (flag == "--nb-sweep") {
+      a.nb_sweep = true;
+    } else if (flag == "--json") {
+      const char* v = next();
+      if (!v) return false;
+      a.json_out = v;
+    } else if (flag == "--profile-width") {
+      const char* v = next();
+      if (!v) return false;
+      a.profile_width = std::atoi(v);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+dc::Options solve_options(const Args& a) {
+  dc::Options opt;
+  opt.threads = 1;  // measure durations without timesharing noise
+  opt.minpart = a.minpart > 0 ? a.minpart : std::max<index_t>(48, a.n / 16);
+  opt.nb = a.nb > 0 ? a.nb : std::max<index_t>(48, a.n / 12);
+  return opt;
+}
+
+/// Runs the requested driver, returns its trace and (D&C drivers) the
+/// simulator cross-check results at the requested worker counts.
+bool run_solver(const Args& a, rt::Trace& trace, std::vector<rt::SimulationResult>& simulated) {
+  matgen::Tridiag t = matgen::table3_matrix(a.type, a.n);
+  Matrix v;
+  const dc::Options opt = solve_options(a);
+  if (a.driver == "mrrr") {
+    mrrr::Options mopt;
+    mopt.threads = 1;
+    mrrr::Stats st;
+    std::vector<double> lam;
+    mrrr_solve(a.n, t.d.data(), t.e.data(), lam, v, mopt, &st, a.workers);
+    trace = st.trace;
+    simulated = st.simulated;
+    return true;
+  }
+  dc::SolveStats st;
+  std::vector<double> d = t.d, e = t.e;
+  if (a.driver == "taskflow")
+    dc::stedc_taskflow(a.n, d.data(), e.data(), v, opt, &st, a.workers);
+  else if (a.driver == "lapack_model")
+    dc::stedc_lapack_model(a.n, d.data(), e.data(), v, opt, &st, a.workers);
+  else if (a.driver == "scalapack_model")
+    dc::stedc_scalapack_model(a.n, d.data(), e.data(), v, opt, &st, a.workers);
+  else {
+    std::fprintf(stderr,
+                 "unknown driver '%s' (sequential has no trace; pick a runtime-backed one)\n",
+                 a.driver.c_str());
+    return false;
+  }
+  trace = st.trace;
+  simulated = st.simulated;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args a;
+  if (!parse_args(argc, argv, a)) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  rt::Trace trace;
+  std::vector<rt::SimulationResult> simulated;
+  if (!a.load.empty()) {
+    std::string err;
+    if (!obs::load_perfetto_trace_file(a.load, trace, &err)) {
+      std::fprintf(stderr, "failed to load %s: %s\n", a.load.c_str(), err.c_str());
+      return 2;
+    }
+    std::printf("==== dnc_trace: %s ====\n", a.load.c_str());
+  } else {
+    if (!run_solver(a, trace, simulated)) return 2;
+    std::printf("==== dnc_trace: %s solve, type %d, n=%ld ====\n", a.driver.c_str(), a.type,
+                a.n);
+  }
+  std::printf("[build] %s (%s)\n\n", version::kGitCommit, version::kBuildType);
+
+  // --- per-kernel split of the measured run ---
+  std::printf("-- kernel time split --\n%s\n", trace.kernel_summary().c_str());
+
+  // --- critical path ---
+  const obs::CriticalPath cp = obs::critical_path(trace);
+  std::printf("-- critical path --\n%s", cp.render(trace).c_str());
+  if (!simulated.empty()) {
+    const double delta = std::abs(cp.length - simulated[0].critical_path);
+    std::printf("cross-check vs rt::simulate_schedule: %.9e s vs %.9e s, |delta| = %.3e s\n",
+                cp.length, simulated[0].critical_path, delta);
+  }
+  std::printf("\n");
+
+  // --- span law + what-if sweep ---
+  const obs::SpanLaw law = obs::span_law(trace);
+  std::printf("-- work/span law --\nT1 = %.6f s, Tinf = %.6f s, parallelism = %.2f\n\n",
+              law.t1, law.t_inf, law.parallelism);
+  std::printf("-- what-if: replay on P virtual workers (bandwidth-aware FIFO replay) --\n");
+  std::printf("%8s %12s %9s %9s %11s %9s\n", "workers", "makespan(s)", "speedup", "eff",
+              "span-bound", "sim-delta");
+  std::vector<rt::SimulationResult> replays;
+  for (std::size_t i = 0; i < a.workers.size(); ++i) {
+    const int w = a.workers[i];
+    const rt::SimulationResult r = obs::replay_trace(trace, w);
+    replays.push_back(r);
+    std::printf("%8d %12.6f %9.2f %8.1f%% %11.2f", w, r.makespan,
+                r.makespan > 0.0 ? replays[0].makespan / r.makespan : 0.0, 100.0 * r.efficiency,
+                law.predicted_speedup(w));
+    if (i < simulated.size())
+      std::printf(" %9.2e", std::abs(r.makespan - simulated[i].makespan));
+    std::printf("\n");
+  }
+  std::printf("(speedup is vs the P=%d replay; span-bound is T1/max(T1/P, Tinf);\n"
+              " sim-delta compares against rt::simulate_schedule where available)\n\n",
+              a.workers[0]);
+
+  // --- parallelism profile ---
+  const obs::ParallelismProfile prof = obs::parallelism_profile(trace);
+  std::printf("-- parallelism profile --\n%s\n", prof.ascii(a.profile_width).c_str());
+
+  // --- optional nb sweep: the granularity trade-off (solve mode only) ---
+  if (a.nb_sweep && a.load.empty() && a.driver != "mrrr") {
+    std::printf("-- what-if: panel width nb (re-solving, simulated 16 workers) --\n");
+    std::printf("%8s %12s %12s %9s\n", "nb", "T1(s)", "Tinf(s)", "speedup16");
+    for (long div : {4, 6, 8, 12, 16, 24, 32}) {
+      Args anb = a;
+      anb.nb = std::max<long>(16, a.n / div);
+      anb.workers = {16};
+      rt::Trace tnb;
+      std::vector<rt::SimulationResult> snb;
+      if (!run_solver(anb, tnb, snb)) break;
+      const obs::SpanLaw lnb = obs::span_law(tnb);
+      const rt::SimulationResult r1 = obs::replay_trace(tnb, 1);
+      const rt::SimulationResult r16 = obs::replay_trace(tnb, 16);
+      std::printf("%8ld %12.6f %12.6f %9.2f\n", anb.nb, lnb.t1, lnb.t_inf,
+                  r16.makespan > 0.0 ? r1.makespan / r16.makespan : 0.0);
+    }
+    std::printf("\n");
+  }
+
+  // --- machine-readable dump ---
+  if (!a.json_out.empty()) {
+    std::string js = "{\n";
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "  \"source\": \"%s\",\n  \"git_commit\": \"%s\",\n"
+                  "  \"t1\": %.9f,\n  \"t_inf\": %.9f,\n  \"parallelism\": %.6f,\n",
+                  a.load.empty() ? a.driver.c_str() : a.load.c_str(), version::kGitCommit,
+                  law.t1, law.t_inf, law.parallelism);
+    js += buf;
+    js += "  \"critical_path_kinds\": {";
+    bool first = true;
+    for (std::size_t k = 0; k < cp.time_by_kind.size(); ++k) {
+      if (cp.time_by_kind[k] <= 0.0) continue;
+      std::snprintf(buf, sizeof buf, "%s\n    \"%s\": %.9f", first ? "" : ",",
+                    rt::json_escape(trace.kind_names[k]).c_str(), cp.time_by_kind[k]);
+      js += buf;
+      first = false;
+    }
+    js += "\n  },\n  \"what_if\": [";
+    for (std::size_t i = 0; i < replays.size(); ++i) {
+      std::snprintf(buf, sizeof buf,
+                    "%s\n    {\"workers\": %d, \"makespan\": %.9f, \"efficiency\": %.6f}",
+                    i ? "," : "", a.workers[i], replays[i].makespan, replays[i].efficiency);
+      js += buf;
+    }
+    js += "\n  ],\n  \"profile\": ";
+    js += prof.to_json();
+    js += "}\n";
+    std::ofstream f(a.json_out);
+    f << js;
+    std::printf("wrote %s\n", a.json_out.c_str());
+  }
+  return 0;
+}
