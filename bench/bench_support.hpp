@@ -19,6 +19,7 @@
 #include "common/version.hpp"
 #include "dc/api.hpp"
 #include "matgen/tridiag.hpp"
+#include "runtime/sched.hpp"
 
 namespace dnc::bench {
 
@@ -33,8 +34,9 @@ inline std::vector<std::pair<std::string, std::string>> machine_metadata() {
   kv.emplace_back("sanitize", version::kSanitize ? "1" : "0");
   kv.emplace_back("hardware_threads", std::to_string(std::thread::hardware_concurrency()));
   kv.emplace_back("simd_dispatch", blas::simd::kernels().name);
-  for (const char* var : {"DNC_SIMD", "DNC_BENCH_NMAX", "DNC_BENCH_FAST", "DNC_BENCH_REPS",
-                          "DNC_TRACE", "DNC_REPORT", "OMP_NUM_THREADS"}) {
+  kv.emplace_back("sched", rt::sched_policy_name(rt::default_sched_policy()));
+  for (const char* var : {"DNC_SIMD", "DNC_SCHED", "DNC_BENCH_NMAX", "DNC_BENCH_FAST",
+                          "DNC_BENCH_REPS", "DNC_TRACE", "DNC_REPORT", "OMP_NUM_THREADS"}) {
     const char* val = std::getenv(var);
     kv.emplace_back(var, val ? val : "(unset)");
   }

@@ -45,7 +45,7 @@ void stedc_lapack_model(index_t n, double* d, double* e, Matrix& v, const Option
   rt::Handle hseq("sequential-flow");  // everything chains through this
 
   double orgnrm = 0.0;
-  rt::Runtime runtime(graph, opt.threads);
+  rt::Runtime runtime(graph, opt.threads, opt.sched);
   const auto chain = [&](rt::KindId kind, std::function<void()> fn) {
     graph.submit(kind, std::move(fn), {{&hseq, rt::Access::InOut}});
   };

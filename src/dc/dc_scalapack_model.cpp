@@ -48,7 +48,7 @@ void stedc_scalapack_model(index_t n, double* d, double* e, Matrix& v, const Opt
   std::vector<rt::Handle> hnode(plan.nodes.size());
 
   double orgnrm = 0.0;
-  rt::Runtime runtime(graph, opt.threads);
+  rt::Runtime runtime(graph, opt.threads, opt.sched);
 
   graph.submit(K.scale, [&, n] { orgnrm = detail::scale_problem(n, d, e); },
                {{&hbar, rt::Access::InOut}});
@@ -71,7 +71,8 @@ void stedc_scalapack_model(index_t n, double* d, double* e, Matrix& v, const Opt
       if (node.leaf()) {
         graph.submit(K.stedc,
                      [&, node] { detail::solve_leaf(node, d, e, v, perm.data()); },
-                     {{&hbar, rt::Access::In}, {&hnode[i], rt::Access::InOut}});
+                     {{&hbar, rt::Access::In}, {&hnode[i], rt::Access::InOut}},
+                     detail::task_priority(node.level, false));
         continue;
       }
       MergeContext* ctx = ctxs[i].get();
@@ -85,7 +86,8 @@ void stedc_scalapack_model(index_t n, double* d, double* e, Matrix& v, const Opt
                    {{&hbar, rt::Access::In},
                     {&hnode[node.son1], rt::Access::InOut},
                     {&hnode[node.son2], rt::Access::InOut},
-                    {&hnode[i], rt::Access::InOut}});
+                    {&hnode[i], rt::Access::InOut}},
+                   detail::task_priority(node.level, true));
       // pdlaed3 distributes secular equations and the permutation copies
       // over the process grid: fan out, then an allreduce-like join.
       for (index_t p = 0; p < ctx->npanels; ++p) {
@@ -96,25 +98,29 @@ void stedc_scalapack_model(index_t n, double* d, double* e, Matrix& v, const Opt
                        permute_panel(ctx->defl, ctx->qblock(v), ctx->w1(ws), ctx->w2(ws),
                                      ctx->wdefl(ws), j0, j1);
                      },
-                     {{&hnode[i], rt::Access::GatherV}});
+                     {{&hnode[i], rt::Access::GatherV}},
+                     detail::task_priority(node.level, false));
         graph.submit(K.laed4,
                      [&, ctx, i0, j0, j1] {
                        secular_solve_panel(ctx->defl, j0, j1, d + i0, ctx->deltam(ws));
                      },
-                     {{&hnode[i], rt::Access::GatherV}});
+                     {{&hnode[i], rt::Access::GatherV}},
+                     detail::task_priority(node.level, false));
       }
       graph.submit(K.localw,
                    [&, ctx] {
                      zhat_local_panel(ctx->defl, ctx->deltam(ws), 0, ctx->node.m,
                                       ctx->wparts.data());
                    },
-                   {{&hnode[i], rt::Access::InOut}});
+                   {{&hnode[i], rt::Access::InOut}},
+                   detail::task_priority(node.level, false));
       graph.submit(K.reducew,
                    [&, ctx, i0] {
                      zhat_reduce(ctx->defl, ctx->wparts.view(), 1, ctx->zhat.data());
                      finalize_order(*ctx, d + i0, perm.data() + i0);
                    },
-                   {{&hnode[i], rt::Access::InOut}});
+                   {{&hnode[i], rt::Access::InOut}},
+                   detail::task_priority(node.level, true));
       for (index_t p = 0; p < ctx->npanels; ++p) {
         const index_t j0 = p * nb;
         const index_t j1 = std::min(j0 + nb, node.m);
@@ -122,16 +128,19 @@ void stedc_scalapack_model(index_t n, double* d, double* e, Matrix& v, const Opt
                      [&, ctx, j0, j1] {
                        copyback_panel(ctx->defl, ctx->wdefl(ws), j0, j1, ctx->qblock(v));
                      },
-                     {{&hnode[i], rt::Access::GatherV}});
+                     {{&hnode[i], rt::Access::GatherV}},
+                     detail::task_priority(node.level, false));
         graph.submit(K.computevect,
                      [&, ctx, j0, j1] {
                        secular_vectors_panel(ctx->defl, ctx->deltam(ws), ctx->zhat.data(), j0,
                                              j1, ctx->smat(ws));
                      },
-                     {{&hnode[i], rt::Access::GatherV}});
+                     {{&hnode[i], rt::Access::GatherV}},
+                     detail::task_priority(node.level, false));
       }
       // Join before the distributed GEMM (pdgemm starts in lockstep).
-      graph.submit(K.reducew, [] {}, {{&hnode[i], rt::Access::InOut}});
+      graph.submit(K.reducew, [] {}, {{&hnode[i], rt::Access::InOut}},
+                   detail::task_priority(node.level, true));
       for (index_t p = 0; p < ctx->npanels; ++p) {
         const index_t j0 = p * nb;
         const index_t j1 = std::min(j0 + nb, node.m);
@@ -140,7 +149,8 @@ void stedc_scalapack_model(index_t n, double* d, double* e, Matrix& v, const Opt
                        update_vectors_panel(ctx->defl, ctx->w1(ws), ctx->w2(ws),
                                             ctx->smat(ws), j0, j1, ctx->qblock(v));
                      },
-                     {{&hnode[i], rt::Access::GatherV}});
+                     {{&hnode[i], rt::Access::GatherV}},
+                     detail::task_priority(node.level, false));
       }
     }
     // Level barrier: the data redistribution between tree levels

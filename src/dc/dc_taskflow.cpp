@@ -68,7 +68,7 @@ void stedc_taskflow(index_t n, double* d, double* e, Matrix& v, const Options& o
   double orgnrm = 0.0;
   std::vector<double> dsorted(n);
 
-  rt::Runtime runtime(graph, opt.threads);
+  rt::Runtime runtime(graph, opt.threads, opt.sched);
 
   // --- prologue ---
   graph.submit(K.scale, [&, n] { orgnrm = detail::scale_problem(n, d, e); },
@@ -92,7 +92,8 @@ void stedc_taskflow(index_t n, double* d, double* e, Matrix& v, const Options& o
     if (node.leaf()) {
       graph
           .submit(K.stedc, [&, node] { detail::solve_leaf(node, d, e, v, perm.data()); },
-                  {{&hT, rt::Access::In}, {&hblock[i], rt::Access::InOut}})
+                  {{&hT, rt::Access::In}, {&hblock[i], rt::Access::InOut}},
+                  detail::task_priority(node.level, false))
           ->annotate(node.level, node.m);
       continue;
     }
@@ -106,7 +107,8 @@ void stedc_taskflow(index_t n, double* d, double* e, Matrix& v, const Options& o
                 },
                 {{&hblock[node.son1], rt::Access::InOut},
                  {&hblock[node.son2], rt::Access::InOut},
-                 {&hblock[i], rt::Access::InOut}})
+                 {&hblock[i], rt::Access::InOut}},
+                detail::task_priority(node.level, true))
         ->annotate(node.level, node.m);
 
     for (index_t p = 0; p < ctx->npanels; ++p) {
@@ -120,14 +122,16 @@ void stedc_taskflow(index_t n, double* d, double* e, Matrix& v, const Options& o
                     permute_panel(ctx->defl, ctx->qblock(v), ctx->w1(ws), ctx->w2(ws),
                                   ctx->wdefl(ws), j0, j1);
                   },
-                  {{&hblock[i], rt::Access::GatherV}, {hp, rt::Access::InOut}})
+                  {{&hblock[i], rt::Access::GatherV}, {hp, rt::Access::InOut}},
+                  detail::task_priority(node.level, false))
           ->annotate(node.level, node.m, p);
       graph
           .submit(K.laed4,
                   [&, ctx, i0, j0, j1] {
                     secular_solve_panel(ctx->defl, j0, j1, d + i0, ctx->deltam(ws));
                   },
-                  {{&hblock[i], rt::Access::GatherV}, {hp2, rt::Access::InOut}})
+                  {{&hblock[i], rt::Access::GatherV}, {hp2, rt::Access::InOut}},
+                  detail::task_priority(node.level, false))
           ->annotate(node.level, node.m, p);
       graph
           .submit(K.localw,
@@ -137,7 +141,8 @@ void stedc_taskflow(index_t n, double* d, double* e, Matrix& v, const Options& o
                   },
                   {{&hblock[i], rt::Access::GatherV},
                    {hp, rt::Access::InOut},
-                   {hp2, rt::Access::InOut}})
+                   {hp2, rt::Access::InOut}},
+                  detail::task_priority(node.level, false))
           ->annotate(node.level, node.m, p);
     }
     graph
@@ -146,7 +151,8 @@ void stedc_taskflow(index_t n, double* d, double* e, Matrix& v, const Options& o
                   zhat_reduce(ctx->defl, ctx->wparts.view(), ctx->npanels, ctx->zhat.data());
                   finalize_order(*ctx, d + i0, perm.data() + i0);
                 },
-                {{&hblock[i], rt::Access::InOut}})
+                {{&hblock[i], rt::Access::InOut}},
+                detail::task_priority(node.level, true))
         ->annotate(node.level, node.m);
     for (index_t p = 0; p < ctx->npanels; ++p) {
       const index_t j0 = p * nb;
@@ -158,7 +164,8 @@ void stedc_taskflow(index_t n, double* d, double* e, Matrix& v, const Options& o
                   [&, ctx, j0, j1] {
                     copyback_panel(ctx->defl, ctx->wdefl(ws), j0, j1, ctx->qblock(v));
                   },
-                  {{&hblock[i], rt::Access::GatherV}, {hp, rt::Access::InOut}})
+                  {{&hblock[i], rt::Access::GatherV}, {hp, rt::Access::InOut}},
+                  detail::task_priority(node.level, false))
           ->annotate(node.level, node.m, p);
       graph
           .submit(K.computevect,
@@ -166,7 +173,8 @@ void stedc_taskflow(index_t n, double* d, double* e, Matrix& v, const Options& o
                     secular_vectors_panel(ctx->defl, ctx->deltam(ws), ctx->zhat.data(), j0,
                                           j1, ctx->smat(ws));
                   },
-                  {{&hblock[i], rt::Access::GatherV}, {hp2, rt::Access::InOut}})
+                  {{&hblock[i], rt::Access::GatherV}, {hp2, rt::Access::InOut}},
+                  detail::task_priority(node.level, false))
           ->annotate(node.level, node.m, p);
       graph
           .submit(K.updatevect,
@@ -176,7 +184,8 @@ void stedc_taskflow(index_t n, double* d, double* e, Matrix& v, const Options& o
                   },
                   {{&hblock[i], rt::Access::GatherV},
                    {hp, rt::Access::InOut},
-                   {hp2, rt::Access::InOut}})
+                   {hp2, rt::Access::InOut}},
+                  detail::task_priority(node.level, false))
           ->annotate(node.level, node.m, p);
     }
   }

@@ -9,6 +9,18 @@
 
 namespace dnc::dc::detail {
 
+/// Scheduling priority of a D&C task: deeper merge-tree levels outrank
+/// shallower ones (leaves are deepest, the root is level 0) so subtrees
+/// retire and unlock their joins early, and within a level the join
+/// kernels (Deflate, ReduceW -- the serial bottleneck of every merge)
+/// outrank the panel fan-out so the critical path drains first. The result
+/// fits the scheduler's [0, 63] priority buckets.
+inline int task_priority(int level, bool join) {
+  if (level < 0) level = 0;
+  if (level > 30) level = 30;
+  return 2 * level + (join ? 1 : 0);
+}
+
 /// Trivial sizes handled without the machinery. Returns true if done.
 bool solve_trivial(index_t n, double* d, double* e, Matrix& v);
 

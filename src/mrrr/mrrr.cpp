@@ -90,7 +90,7 @@ void mrrr_solve(index_t n, const double* d, const double* e, std::vector<double>
 
   rt::TaskGraph graph;
   const MrrrKinds K(graph);
-  rt::Runtime runtime(graph, opt.threads);
+  rt::Runtime runtime(graph, opt.threads, opt.sched);
 
   std::mutex next_mu;
   std::vector<std::shared_ptr<rt::Handle>> block_handles;
@@ -259,7 +259,7 @@ void mrrr_solve(index_t n, const double* d, const double* e, std::vector<double>
                   blas::copy(bn, z.data(), v.data() + boff + (g0 + j) * v.ld());
                 }
               },
-              {});
+              {}, 2 * std::min(item.depth, 30));
         } else {
           // Cluster: shift to a new representation near the cluster and
           // refine the members against it.
@@ -332,7 +332,9 @@ void mrrr_solve(index_t n, const double* d, const double* e, std::vector<double>
                 std::lock_guard<std::mutex> lk(next_mu);
                 next.push_back(std::move(childitem));
               },
-              {});
+              // Clusters gate the next representation level, so they
+              // outrank same-depth singleton extraction.
+              {}, 2 * std::min(item.depth, 30) + 1);
           ++cluster_count;
         }
         s = t + 1;

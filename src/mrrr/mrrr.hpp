@@ -16,6 +16,7 @@
 #include "common/matrix.hpp"
 #include "matgen/tridiag.hpp"
 #include "obs/report.hpp"
+#include "runtime/sched.hpp"
 #include "runtime/simulator.hpp"
 #include "runtime/trace.hpp"
 
@@ -23,6 +24,9 @@ namespace dnc::mrrr {
 
 struct Options {
   int threads = 4;
+  /// Runtime scheduling policy (work-stealing by default; DNC_SCHED
+  /// overrides the default at construction).
+  rt::SchedPolicy sched = rt::default_sched_policy();
   /// Relative gap below which neighbouring eigenvalues form a cluster.
   double gaptol = 1.0e-3;
   /// Maximum representation-tree depth; clusters still unresolved at this

@@ -285,7 +285,7 @@ SpanLaw span_law(const rt::Trace& trace) {
 }
 
 rt::SimulationResult replay_trace(const rt::Trace& trace, int workers,
-                                  const rt::MachineModel& model) {
+                                  const rt::MachineModel& model, rt::SimPolicy policy) {
   DNC_REQUIRE(workers >= 1, "replay_trace: workers >= 1");
   const std::size_t n = trace.events.size();
   rt::SimulationResult res;
@@ -306,8 +306,9 @@ rt::SimulationResult replay_trace(const rt::Trace& trace, int workers,
   res.critical_path = critical_path(trace).length;
 
   // From here on the code is rt::simulate_schedule's scheduling loop,
-  // verbatim on trace indices: FIFO ready queue seeded in event order,
-  // bandwidth factor applied at task start from the instantaneous count.
+  // verbatim on trace indices: ready queue seeded in event order with the
+  // same (priority desc, arrival asc) discipline, bandwidth factor applied
+  // at task start from the instantaneous count.
   const int total_streams = std::min(workers, model.sockets * model.bw_streams_per_socket);
 
   struct Running {
@@ -319,10 +320,26 @@ rt::SimulationResult replay_trace(const rt::Trace& trace, int workers,
     bool operator()(const Running& a, const Running& b) const { return a.finish > b.finish; }
   };
   std::priority_queue<Running, std::vector<Running>, Later> running;
-  std::queue<std::size_t> ready;
+  struct ReadyEntry {
+    int prio;
+    std::uint64_t seq;
+    std::size_t task;
+  };
+  struct ReadyOrder {
+    bool operator()(const ReadyEntry& a, const ReadyEntry& b) const {
+      if (a.prio != b.prio) return a.prio < b.prio;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<ReadyEntry, std::vector<ReadyEntry>, ReadyOrder> ready;
+  std::uint64_t ready_seq = 0;
+  const auto push_ready = [&](std::size_t i) {
+    const int prio = policy == rt::SimPolicy::Priority ? trace.events[i].priority : 0;
+    ready.push({prio, ready_seq++, i});
+  };
   std::vector<int> remaining(adj.npred);
   for (std::size_t i = 0; i < n; ++i)
-    if (remaining[i] == 0) ready.push(i);
+    if (remaining[i] == 0) push_ready(i);
 
   res.schedule.workers = workers;
   res.schedule.kind_names = trace.kind_names;
@@ -336,7 +353,7 @@ rt::SimulationResult replay_trace(const rt::Trace& trace, int workers,
   std::size_t completed = 0;
   while (completed < n) {
     while (idle_workers > 0 && !ready.empty()) {
-      const std::size_t t = ready.front();
+      const std::size_t t = ready.top().task;
       ready.pop();
       --idle_workers;
       double d = dur[t];
@@ -349,8 +366,9 @@ rt::SimulationResult replay_trace(const rt::Trace& trace, int workers,
       const int w = free_workers.back();
       free_workers.pop_back();
       running.push({clock + d, t, w});
-      res.schedule.events.push_back(rt::TraceEvent{trace.events[t].task_id,
-                                                   trace.events[t].kind, w, clock, clock + d});
+      rt::TraceEvent ev{trace.events[t].task_id, trace.events[t].kind, w, clock, clock + d};
+      ev.priority = trace.events[t].priority;
+      res.schedule.events.push_back(ev);
     }
     DNC_REQUIRE(!running.empty(), "replay_trace: deadlock (cyclic edge set?)");
     const Running r = running.top();
@@ -361,7 +379,7 @@ rt::SimulationResult replay_trace(const rt::Trace& trace, int workers,
     if (membound[r.task]) --running_membound;
     ++completed;
     for (std::size_t s : adj.succ[r.task]) {
-      if (--remaining[s] == 0) ready.push(s);
+      if (--remaining[s] == 0) push_ready(s);
     }
   }
   res.makespan = clock;

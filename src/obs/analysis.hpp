@@ -14,10 +14,11 @@
 //                          at every instant;
 //   * span_law          -- T1, T-inf, average parallelism, and the
 //                          work/span bounds on P-worker makespan (Brent);
-//   * replay_trace      -- FIFO list-scheduling replay on P virtual
-//                          workers, equivalent to rt::simulate_schedule but
-//                          driven by the Trace alone, so it also works on
-//                          traces loaded from disk (tools/dnc_trace).
+//   * replay_trace      -- priority-aware list-scheduling replay on P
+//                          virtual workers, equivalent to
+//                          rt::simulate_schedule but driven by the Trace
+//                          alone, so it also works on traces loaded from
+//                          disk (tools/dnc_trace).
 //
 // All quantities use the same durations as rt::simulate_schedule
 // (max(0, t_end - t_start), never-executed events contribute zero work), so
@@ -101,12 +102,15 @@ struct SpanLaw {
 
 SpanLaw span_law(const rt::Trace& trace);
 
-/// Replays the traced DAG on `workers` virtual cores under FIFO list
-/// scheduling with the simulator's bandwidth-sharing model (memory-bound
-/// kinds from Trace::kind_memory_bound). Identical policy and arithmetic to
+/// Replays the traced DAG on `workers` virtual cores under priority-aware
+/// list scheduling (rt::SimPolicy; priorities from TraceEvent::priority)
+/// with the simulator's bandwidth-sharing model (memory-bound kinds from
+/// Trace::kind_memory_bound). Identical policy and arithmetic to
 /// rt::simulate_schedule -- the cross-check tests assert equality -- but
-/// requiring only the Trace, so what-if sweeps work on loaded traces.
+/// requiring only the Trace, so what-if sweeps work on loaded traces,
+/// including what-if-the-scheduler-ignored-priorities (SimPolicy::Fifo).
 rt::SimulationResult replay_trace(const rt::Trace& trace, int workers,
-                                  const rt::MachineModel& model = rt::MachineModel{});
+                                  const rt::MachineModel& model = rt::MachineModel{},
+                                  rt::SimPolicy policy = rt::SimPolicy::Priority);
 
 }  // namespace dnc::obs

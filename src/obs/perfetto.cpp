@@ -60,7 +60,26 @@ std::string perfetto_trace_json(const rt::Trace& trace, const SolveReport* repor
       std::snprintf(buf, sizeof buf, "%s%.9f", w ? "," : "", trace.worker_idle[w]);
       meta += buf;
     }
-    meta += "]}}";
+    meta += "]";
+    if (!trace.sched_policy.empty()) {
+      std::snprintf(buf, sizeof buf, ",\"sched_policy\":\"%s\",\"queue_depth_peak\":%d",
+                    rt::json_escape(trace.sched_policy).c_str(), trace.queue_depth_peak);
+      meta += buf;
+    }
+    if (!trace.sched_counters.empty()) {
+      meta += ",\"sched_counters\":[";
+      for (std::size_t w = 0; w < trace.sched_counters.size(); ++w) {
+        const rt::WorkerSchedCounters& c = trace.sched_counters[w];
+        std::snprintf(buf, sizeof buf,
+                      "%s{\"executed\":%ld,\"local_pops\":%ld,\"steals\":%ld,"
+                      "\"steal_attempts\":%ld,\"failed_steals\":%ld,\"placed\":%ld}",
+                      w ? "," : "", c.executed, c.local_pops, c.steals, c.steal_attempts,
+                      c.failed_steals, c.placed);
+        meta += buf;
+      }
+      meta += "]";
+    }
+    meta += "}}";
     emit(meta.c_str());
   }
   {
@@ -107,6 +126,10 @@ std::string perfetto_trace_json(const rt::Trace& trace, const SolveReport* repor
       std::snprintf(a, sizeof a, ",\"panel\":%ld", e.panel);
       args += a;
     }
+    if (e.priority != 0) {
+      std::snprintf(a, sizeof a, ",\"prio\":%d", e.priority);
+      args += a;
+    }
     std::snprintf(buf, sizeof buf,
                   "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,"
                   "\"ts\":%.3f,\"dur\":%.3f,\"args\":{%s}}",
@@ -143,6 +166,15 @@ std::string perfetto_trace_json(const rt::Trace& trace, const SolveReport* repor
                   "{\"name\":\"ready_queue_depth\",\"ph\":\"C\",\"pid\":1,"
                   "\"ts\":%.3f,\"args\":{\"depth\":%d}}",
                   us(q.t), q.depth);
+    emit(buf);
+  }
+
+  // --- counter track: cumulative successful steals (steal policy only) ---
+  for (const auto& s : trace.steal_samples) {
+    std::snprintf(buf, sizeof buf,
+                  "{\"name\":\"steals_cumulative\",\"ph\":\"C\",\"pid\":1,"
+                  "\"ts\":%.3f,\"args\":{\"steals\":%d}}",
+                  us(s.t), s.depth);
     emit(buf);
   }
 

@@ -100,11 +100,21 @@ std::string SolveReport::to_json() const {
             "    \"avg_ready_wait\": %.9f,\n"
             "    \"max_ready_wait\": %.9f,\n"
             "    \"total_idle\": %.9f,\n"
-            "    \"max_queue_depth\": %d\n"
+            "    \"max_queue_depth\": %d,\n"
+            "    \"policy\": \"%s\",\n"
+            "    \"steals\": %ld,\n"
+            "    \"steal_attempts\": %ld,\n"
+            "    \"failed_steals\": %ld,\n"
+            "    \"local_pops\": %ld,\n"
+            "    \"placed_max\": %ld,\n"
+            "    \"placed_min\": %ld\n"
             "  }",
             scheduler.workers, scheduler.tasks, scheduler.makespan, scheduler.total_busy,
             scheduler.efficiency, scheduler.avg_ready_wait, scheduler.max_ready_wait,
-            scheduler.total_idle, scheduler.max_queue_depth);
+            scheduler.total_idle, scheduler.max_queue_depth,
+            rt::json_escape(scheduler.policy).c_str(), scheduler.steals,
+            scheduler.steal_attempts, scheduler.failed_steals, scheduler.local_pops,
+            scheduler.placed_max, scheduler.placed_min);
   }
   out += "\n}\n";
   return out;
@@ -177,6 +187,16 @@ std::string SolveReport::summary_text() const {
             scheduler.max_ready_wait);
     appendf(out, "worker idle   : %.6f s total\n", scheduler.total_idle);
     appendf(out, "queue depth   : max %d\n", scheduler.max_queue_depth);
+    if (!scheduler.policy.empty()) {
+      appendf(out, "policy        : %s\n", scheduler.policy.c_str());
+      if (scheduler.policy == "steal") {
+        appendf(out, "steals        : %ld ok / %ld attempts / %ld dry scans\n",
+                scheduler.steals, scheduler.steal_attempts, scheduler.failed_steals);
+        appendf(out, "local pops    : %ld\n", scheduler.local_pops);
+        appendf(out, "placement     : %ld..%ld per worker (submitter round-robin)\n",
+                scheduler.placed_min, scheduler.placed_max);
+      }
+    }
   }
   return out;
 }
@@ -199,7 +219,23 @@ SchedulerMetrics scheduler_metrics(const rt::Trace& trace) {
   }
   m.avg_ready_wait = m.tasks > 0 ? wait_sum / m.tasks : 0.0;
   for (double d : trace.worker_idle) m.total_idle += d;
+  // queue_samples may be decimated; queue_depth_peak is the exact maximum
+  // (0 on traces predating it, so the max over both stays correct).
   for (const auto& s : trace.queue_samples) m.max_queue_depth = std::max(m.max_queue_depth, s.depth);
+  m.max_queue_depth = std::max(m.max_queue_depth, trace.queue_depth_peak);
+  m.policy = trace.sched_policy;
+  if (!trace.sched_counters.empty()) {
+    m.placed_max = trace.sched_counters.front().placed;
+    m.placed_min = trace.sched_counters.front().placed;
+    for (const auto& c : trace.sched_counters) {
+      m.steals += c.steals;
+      m.steal_attempts += c.steal_attempts;
+      m.failed_steals += c.failed_steals;
+      m.local_pops += c.local_pops;
+      m.placed_max = std::max(m.placed_max, c.placed);
+      m.placed_min = std::min(m.placed_min, c.placed);
+    }
+  }
   return m;
 }
 

@@ -47,6 +47,14 @@ struct SchedulerMetrics {
   double max_ready_wait = 0.0;
   double total_idle = 0.0;  ///< summed per-worker idle (s)
   int max_queue_depth = 0;
+  // --- scheduling-policy observability (PR 4) ---
+  std::string policy;       ///< "central" / "steal" ("" = unknown/old trace)
+  long steals = 0;          ///< successful steals, summed over workers
+  long steal_attempts = 0;  ///< victim probes, summed over workers
+  long failed_steals = 0;   ///< empty full scans, summed over workers
+  long local_pops = 0;      ///< own-deque pops, summed over workers
+  long placed_max = 0;      ///< most submitter placements on one worker
+  long placed_min = 0;      ///< fewest submitter placements on one worker
 };
 
 struct SolveReport {

@@ -65,6 +65,21 @@ bool load_perfetto_trace(const std::string& json_text, rt::Trace& out, std::stri
         if (const json::Value* idle = args->find("worker_idle"); idle && idle->is_array()) {
           for (const json::Value& v : idle->array) out.worker_idle.push_back(v.number_or(0.0));
         }
+        out.sched_policy = args->member_string("sched_policy", out.sched_policy);
+        out.queue_depth_peak =
+            static_cast<int>(args->member_number("queue_depth_peak", out.queue_depth_peak));
+        if (const json::Value* sc = args->find("sched_counters"); sc && sc->is_array()) {
+          for (const json::Value& c : sc->array) {
+            rt::WorkerSchedCounters wc;
+            wc.executed = static_cast<long>(c.member_number("executed", 0.0));
+            wc.local_pops = static_cast<long>(c.member_number("local_pops", 0.0));
+            wc.steals = static_cast<long>(c.member_number("steals", 0.0));
+            wc.steal_attempts = static_cast<long>(c.member_number("steal_attempts", 0.0));
+            wc.failed_steals = static_cast<long>(c.member_number("failed_steals", 0.0));
+            wc.placed = static_cast<long>(c.member_number("placed", 0.0));
+            out.sched_counters.push_back(wc);
+          }
+        }
       } else if (name == "dnc_edges") {
         const json::Value* args = ev.find("args");
         const json::Value* edges = args ? args->find("edges") : nullptr;
@@ -78,11 +93,16 @@ bool load_perfetto_trace(const std::string& json_text, rt::Trace& out, std::stri
       continue;
     }
     if (ph == "C") {
-      if (name != "ready_queue_depth") continue;
       const json::Value* args = ev.find("args");
-      out.queue_samples.push_back(
-          {sec(ev.member_number("ts", 0.0)),
-           args ? static_cast<int>(args->member_number("depth", 0.0)) : 0});
+      if (name == "ready_queue_depth") {
+        out.queue_samples.push_back(
+            {sec(ev.member_number("ts", 0.0)),
+             args ? static_cast<int>(args->member_number("depth", 0.0)) : 0});
+      } else if (name == "steals_cumulative") {
+        out.steal_samples.push_back(
+            {sec(ev.member_number("ts", 0.0)),
+             args ? static_cast<int>(args->member_number("steals", 0.0)) : 0});
+      }
       continue;
     }
     if (ph != "X") continue;  // flow events are re-derivable from dnc_edges
@@ -99,6 +119,7 @@ bool load_perfetto_trace(const std::string& json_text, rt::Trace& out, std::stri
       te.level = static_cast<int>(args->member_number("level", -1.0));
       te.size = static_cast<long>(args->member_number("size", -1.0));
       te.panel = static_cast<long>(args->member_number("panel", -1.0));
+      te.priority = static_cast<int>(args->member_number("prio", 0.0));
     }
     if (args == nullptr || args->find("task") == nullptr) te.task_id = synth_id++;
     out.events.push_back(te);

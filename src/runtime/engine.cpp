@@ -1,89 +1,21 @@
 #include "runtime/engine.hpp"
 
-#include "common/error.hpp"
-#include "common/timer.hpp"
+#include "runtime/scheduler.hpp"
 
 namespace dnc::rt {
 
-Runtime::Runtime(TaskGraph& graph, int threads) : graph_(graph) {
-  DNC_REQUIRE(threads >= 1, "Runtime needs at least one worker");
-  queue_samples_.reserve(256);
-  idle_.assign(threads, 0.0);
-  graph_.on_ready = [this](TaskNode* n) { enqueue(n); };
-  workers_.reserve(threads);
-  for (int i = 0; i < threads; ++i) workers_.emplace_back([this, i] { worker_loop(i); });
-}
+Runtime::Runtime(TaskGraph& graph, int threads, SchedPolicy policy)
+    : sched_(Scheduler::make(policy, graph, threads)) {}
 
-Runtime::~Runtime() {
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    stop_ = true;
-  }
-  cv_work_.notify_all();
-  for (auto& w : workers_) w.join();
-  graph_.on_ready = nullptr;
-}
+Runtime::~Runtime() = default;
 
-void Runtime::enqueue(TaskNode* node) {
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    node->t_ready = now_seconds();
-    ready_.push_back(node);
-    queue_samples_.push_back({node->t_ready, static_cast<int>(ready_.size())});
-    ++inflight_;
-  }
-  cv_work_.notify_one();
-}
+void Runtime::wait_all() { sched_->wait_all(); }
 
-void Runtime::worker_loop(int worker_id) {
-  // Idle accounting: everything between "done with the previous task" (or
-  // thread start) and "starting the next task" counts as idle. The marks
-  // reuse the trace timestamps, so this adds no clock reads on the task
-  // path.
-  double idle_mark = now_seconds();
-  for (;;) {
-    TaskNode* node = nullptr;
-    {
-      std::unique_lock<std::mutex> lk(mu_);
-      cv_work_.wait(lk, [&] { return stop_ || !ready_.empty(); });
-      if (ready_.empty()) {
-        if (stop_) return;
-        continue;
-      }
-      node = ready_.front();
-      ready_.pop_front();
-      queue_samples_.push_back({now_seconds(), static_cast<int>(ready_.size())});
-    }
-    node->worker = worker_id;
-    node->t_start = now_seconds();
-    idle_[worker_id] += node->t_start - idle_mark;
-    if (node->fn) node->fn();
-    node->t_end = now_seconds();
-    idle_mark = node->t_end;
-    const std::vector<TaskNode*> newly_ready = graph_.complete(node);
-    bool became_idle;
-    {
-      std::lock_guard<std::mutex> lk(mu_);
-      if (!newly_ready.empty()) {
-        const double tnow = now_seconds();
-        for (TaskNode* r : newly_ready) {
-          r->t_ready = tnow;
-          ready_.push_back(r);
-          ++inflight_;
-        }
-        queue_samples_.push_back({tnow, static_cast<int>(ready_.size())});
-      }
-      became_idle = (--inflight_ == 0);
-    }
-    if (!newly_ready.empty()) cv_work_.notify_all();
-    if (became_idle) cv_idle_.notify_all();
-  }
-}
+int Runtime::threads() const { return sched_->threads(); }
 
-void Runtime::wait_all() {
-  std::unique_lock<std::mutex> lk(mu_);
-  cv_idle_.wait(lk, [&] { return inflight_ == 0; });
-}
+SchedPolicy Runtime::policy() const { return sched_->policy(); }
+
+Trace Runtime::trace() const { return sched_->trace(); }
 
 Trace run_taskflow(TaskGraph& graph, int threads,
                    const std::function<void(TaskGraph&)>& submitter) {
@@ -91,28 +23,6 @@ Trace run_taskflow(TaskGraph& graph, int threads,
   submitter(graph);
   rt.wait_all();
   return rt.trace();
-}
-
-Trace Runtime::trace() const {
-  Trace t;
-  t.workers = threads();
-  for (const auto& node : graph_.nodes()) {
-    TraceEvent e{node->id,      node->kind,     node->worker,   node->t_start,
-                 node->t_end,   node->t_ready,  node->obs_level, node->obs_size,
-                 node->obs_panel};
-    t.events.push_back(e);
-    for (std::uint64_t p : node->pred_ids) t.edges.emplace_back(p, node->id);
-  }
-  for (const TaskKind& k : graph_.kinds()) {
-    t.kind_names.push_back(k.name);
-    t.kind_memory_bound.push_back(k.memory_bound ? 1 : 0);
-  }
-  t.worker_idle = idle_;
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    t.queue_samples = queue_samples_;
-  }
-  return t;
 }
 
 }  // namespace dnc::rt

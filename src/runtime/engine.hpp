@@ -1,31 +1,35 @@
 // Out-of-order task execution engine over a TaskGraph.
 //
-// Workers pull ready tasks from a shared queue; completion releases
+// Workers pull ready tasks from the scheduler; completion releases
 // successors. The master thread keeps submitting while workers execute, so
 // the "sequential" portion of the algorithm (task submission, the join
 // kernels) overlaps with useful work -- the core claim of the paper's
 // parallelisation strategy.
+//
+// Runtime is a thin facade over the pluggable scheduler (see
+// runtime/scheduler.hpp): SchedPolicy::Steal (per-worker deques + work
+// stealing, the default) or SchedPolicy::Central (the original single
+// shared queue). The DNC_SCHED environment variable picks the default.
 #pragma once
 
-#include <condition_variable>
-#include <deque>
 #include <functional>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include <memory>
 
 #include "runtime/graph.hpp"
+#include "runtime/sched.hpp"
 #include "runtime/trace.hpp"
 
 namespace dnc::rt {
+
+class Scheduler;
 
 class Runtime {
  public:
   /// Spawns `threads` workers bound to `graph`. The graph must outlive the
   /// runtime. Tracing is always on; it costs two clock reads per task for
   /// the start/end stamps plus one per queue transition for the scheduler
-  /// metrics (ready stamp + queue-depth sample).
-  Runtime(TaskGraph& graph, int threads);
+  /// metrics (ready stamp + decimated queue-depth sample).
+  Runtime(TaskGraph& graph, int threads, SchedPolicy policy = default_sched_policy());
   ~Runtime();
 
   Runtime(const Runtime&) = delete;
@@ -35,29 +39,17 @@ class Runtime {
   /// times (submission can resume afterwards).
   void wait_all();
 
-  int threads() const { return static_cast<int>(workers_.size()); }
+  int threads() const;
+  SchedPolicy policy() const;
 
   /// Builds the execution trace (valid after wait_all): per-task events
-  /// with ready stamps and annotations, dependency edges, per-worker idle
-  /// time, and the sampled ready-queue depth.
+  /// with ready stamps, priorities and annotations, dependency edges,
+  /// per-worker idle time and scheduler counters, and the sampled
+  /// ready-queue depth.
   Trace trace() const;
 
  private:
-  void worker_loop(int worker_id);
-  void enqueue(TaskNode* node);
-
-  TaskGraph& graph_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_work_;
-  std::condition_variable cv_idle_;
-  std::deque<TaskNode*> ready_;
-  long inflight_ = 0;  // ready + running tasks
-  bool stop_ = false;
-  std::vector<std::thread> workers_;
-  // --- scheduler observability (guarded by mu_ except idle_, which is
-  // written only by its owning worker and read after quiescence) ---
-  std::vector<QueueSample> queue_samples_;
-  std::vector<double> idle_;
+  std::unique_ptr<Scheduler> sched_;
 };
 
 /// Convenience: run a submission function to completion on `threads`

@@ -30,12 +30,13 @@ KindId TaskGraph::register_kind(const std::string& name, bool memory_bound,
 }
 
 TaskNode* TaskGraph::submit(KindId kind, std::function<void()> fn,
-                            const std::vector<TaskDep>& deps) {
+                            const std::vector<TaskDep>& deps, int priority) {
   DNC_REQUIRE(kind >= 0 && kind < static_cast<KindId>(kinds_.size()), "unknown task kind");
   nodes_.push_back(std::make_unique<TaskNode>());
   TaskNode* node = nodes_.back().get();
   node->id = next_id_++;
   node->kind = kind;
+  node->priority = priority;
   node->fn = std::move(fn);
   // Self-guard keeps the task from becoming ready while predecessors are
   // still being wired.

@@ -41,6 +41,11 @@ using KindId = int;
 struct TaskNode {
   std::uint64_t id = 0;
   KindId kind = 0;
+  /// Scheduling priority: higher runs first among ready tasks, FIFO within
+  /// equal priority. Fixed at submission (a task can become ready inside
+  /// submit(), so a post-submit setter would be a race). Both engine
+  /// policies and the simulator honor it.
+  int priority = 0;
   std::function<void()> fn;
   // --- scheduling state ---
   std::atomic<long> unsatisfied{0};
@@ -90,8 +95,11 @@ class TaskGraph {
 
   /// Submits a task accessing the given handles. Returns the node, already
   /// wired to its predecessors; the caller (Runtime) is notified through
-  /// the ready callback when the task may run.
-  TaskNode* submit(KindId kind, std::function<void()> fn, const std::vector<TaskDep>& deps);
+  /// the ready callback when the task may run. `priority` orders ready
+  /// tasks (higher first) and must be passed here rather than set after the
+  /// fact: a dependency-free task fires on_ready before submit() returns.
+  TaskNode* submit(KindId kind, std::function<void()> fn, const std::vector<TaskDep>& deps,
+                   int priority = 0);
 
   /// Called by the engine when a task finishes: marks it done and returns
   /// the successors that became ready.

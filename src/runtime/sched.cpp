@@ -1,0 +1,35 @@
+#include "runtime/sched.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace dnc::rt {
+
+const char* sched_policy_name(SchedPolicy p) noexcept {
+  switch (p) {
+    case SchedPolicy::Central: return "central";
+    case SchedPolicy::Steal: return "steal";
+  }
+  return "?";
+}
+
+bool parse_sched_policy(const char* s, SchedPolicy& out) noexcept {
+  if (s == nullptr) return false;
+  if (std::strcmp(s, "central") == 0) {
+    out = SchedPolicy::Central;
+    return true;
+  }
+  if (std::strcmp(s, "steal") == 0) {
+    out = SchedPolicy::Steal;
+    return true;
+  }
+  return false;
+}
+
+SchedPolicy default_sched_policy() noexcept {
+  SchedPolicy p = SchedPolicy::Steal;
+  parse_sched_policy(std::getenv("DNC_SCHED"), p);
+  return p;
+}
+
+}  // namespace dnc::rt

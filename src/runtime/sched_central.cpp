@@ -1,0 +1,58 @@
+// SchedPolicy::Central: the original single-queue engine, upgraded from a
+// plain FIFO deque to a priority-bucketed queue. One mutex guards the
+// queue; workers sleep on one condition variable. Kept as the baseline the
+// work-stealing scheduler is benchmarked and gated against.
+#include "runtime/scheduler.hpp"
+
+namespace dnc::rt {
+
+namespace {
+
+class CentralScheduler final : public Scheduler {
+ public:
+  CentralScheduler(TaskGraph& graph, int threads)
+      : Scheduler(graph, threads, SchedPolicy::Central) {
+    start();
+  }
+
+  ~CentralScheduler() override { stop_workers(); }
+
+ protected:
+  void push_ready(TaskNode* node, int /*worker*/) override {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      queue_.push(node);
+    }
+    cv_work_.notify_one();
+  }
+
+  TaskNode* acquire(int /*worker*/) override {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_work_.wait(lk, [&] { return stop_.load(std::memory_order_relaxed) || !queue_.empty(); });
+    // Priority-FIFO drain: highest bucket, oldest first. On stop the queue
+    // is drained before workers exit (matches the pre-seam engine).
+    TaskNode* node = queue_.pop_oldest();
+    if (node != nullptr) took();
+    return node;
+  }
+
+  void wake_all() override {
+    // Empty critical section: a worker between its predicate check and the
+    // actual wait holds mu_, so taking it here orders the notify after.
+    { std::lock_guard<std::mutex> lk(mu_); }
+    cv_work_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  PrioDeque queue_;
+};
+
+}  // namespace
+
+std::unique_ptr<Scheduler> make_central_scheduler(TaskGraph& graph, int threads) {
+  return std::make_unique<CentralScheduler>(graph, threads);
+}
+
+}  // namespace dnc::rt

@@ -1,0 +1,167 @@
+// SchedPolicy::Steal: per-worker bounded priority deques with work
+// stealing (the default policy).
+//
+// Placement: a worker releasing successors pushes them onto its own deque
+// (locality -- the data the successor reads is warm in that worker's
+// cache); pushes from the submitting thread are spread round-robin across
+// the deques. A deque holds at most kDequeCap tasks; beyond that pushes
+// spill to a shared overflow queue so the bound holds without dropping
+// work.
+//
+// Acquisition: own deque newest-first (LIFO keeps a worker on the subtree
+// it just expanded), then the overflow queue, then a steal cycle over the
+// other deques oldest-first (FIFO steals take the victim's coldest, most
+// independent work). Priority dominates recency everywhere: every pop
+// takes from the highest non-empty priority bucket.
+//
+// Idle path: after a failed full scan a worker backs off with
+// exponentially growing yield bursts, then parks on a condition variable.
+// The sleep handshake is the flag-and-check protocol: a producer pushes,
+// bumps queued_ (seq_cst), then reads sleepers_; a consumer bumps
+// sleepers_ (seq_cst), then re-reads queued_ in the cv predicate under
+// sleep_mu_. The seq_cst total order guarantees at least one side sees the
+// other -- either the producer observes the sleeper and notifies (under
+// sleep_mu_, so the notify cannot fall between predicate check and wait),
+// or the consumer observes the queued task and does not sleep.
+//
+// Stop: stop_ is only honored after a failed full scan with queued_ == 0,
+// so destruction drains remaining tasks exactly like the central policy.
+#include <thread>
+
+#include "runtime/scheduler.hpp"
+
+namespace dnc::rt {
+
+namespace {
+
+constexpr std::size_t kDequeCap = 4096;  // per-worker bound before spilling
+constexpr int kSpinRounds = 6;           // backoff doublings before sleeping
+
+struct alignas(64) WorkerQueue {
+  std::mutex mu;
+  PrioDeque q;
+};
+
+class StealScheduler final : public Scheduler {
+ public:
+  StealScheduler(TaskGraph& graph, int threads)
+      : Scheduler(graph, threads, SchedPolicy::Steal),
+        queues_(std::make_unique<WorkerQueue[]>(threads)),
+        nqueues_(threads) {
+    start();
+  }
+
+  ~StealScheduler() override { stop_workers(); }
+
+ protected:
+  void push_ready(TaskNode* node, int worker) override {
+    const int target =
+        worker >= 0 ? worker
+                    : static_cast<int>(rr_.fetch_add(1, std::memory_order_relaxed) % nqueues_);
+    bool spilled = false;
+    {
+      std::lock_guard<std::mutex> lk(queues_[target].mu);
+      if (queues_[target].q.size() < kDequeCap) {
+        queues_[target].q.push(node);
+      } else {
+        spilled = true;
+      }
+    }
+    if (spilled) {
+      std::lock_guard<std::mutex> lk(overflow_mu_);
+      overflow_.push(node);
+    } else if (worker < 0) {
+      counters_[target].placed.fetch_add(1, std::memory_order_relaxed);
+    }
+    queued_.fetch_add(1, std::memory_order_seq_cst);
+    if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+      { std::lock_guard<std::mutex> lk(sleep_mu_); }
+      cv_sleep_.notify_one();
+    }
+  }
+
+  TaskNode* acquire(int worker) override {
+    int spins = 0;
+    for (;;) {
+      // 1. Own deque, newest first.
+      TaskNode* node = nullptr;
+      {
+        std::lock_guard<std::mutex> lk(queues_[worker].mu);
+        node = queues_[worker].q.pop_newest();
+      }
+      if (node != nullptr) {
+        counters_[worker].local_pops.fetch_add(1, std::memory_order_relaxed);
+        return take(node);
+      }
+      // 2. Shared overflow, oldest first.
+      {
+        std::lock_guard<std::mutex> lk(overflow_mu_);
+        node = overflow_.pop_oldest();
+      }
+      if (node != nullptr) return take(node);
+      // 3. Steal cycle over the other deques, oldest first.
+      for (int k = 1; k < nqueues_; ++k) {
+        const int victim = (worker + k) % nqueues_;
+        counters_[worker].steal_attempts.fetch_add(1, std::memory_order_relaxed);
+        {
+          std::lock_guard<std::mutex> lk(queues_[victim].mu);
+          node = queues_[victim].q.pop_oldest();
+        }
+        if (node != nullptr) {
+          counters_[worker].steals.fetch_add(1, std::memory_order_relaxed);
+          record_steal();
+          return take(node);
+        }
+      }
+      counters_[worker].failed_steals.fetch_add(1, std::memory_order_relaxed);
+      if (queued_.load(std::memory_order_seq_cst) > 0) continue;  // raced with a push
+      // Stop only after a failed full scan so destruction drains the queues.
+      if (stop_.load(std::memory_order_seq_cst)) return nullptr;
+      if (spins < kSpinRounds) {
+        for (int i = 0; i < (1 << spins); ++i) std::this_thread::yield();
+        ++spins;
+        continue;
+      }
+      sleepers_.fetch_add(1, std::memory_order_seq_cst);
+      {
+        std::unique_lock<std::mutex> lk(sleep_mu_);
+        cv_sleep_.wait(lk, [&] {
+          return stop_.load(std::memory_order_relaxed) ||
+                 queued_.load(std::memory_order_seq_cst) > 0;
+        });
+      }
+      sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+      spins = 0;
+    }
+  }
+
+  void wake_all() override {
+    { std::lock_guard<std::mutex> lk(sleep_mu_); }
+    cv_sleep_.notify_all();
+  }
+
+ private:
+  TaskNode* take(TaskNode* node) {
+    queued_.fetch_sub(1, std::memory_order_seq_cst);
+    took();
+    return node;
+  }
+
+  std::unique_ptr<WorkerQueue[]> queues_;
+  int nqueues_;
+  std::atomic<unsigned> rr_{0};
+  std::mutex overflow_mu_;
+  PrioDeque overflow_;
+  std::atomic<long> queued_{0};  // pushed - taken, the sleep predicate
+  std::atomic<int> sleepers_{0};
+  std::mutex sleep_mu_;
+  std::condition_variable cv_sleep_;
+};
+
+}  // namespace
+
+std::unique_ptr<Scheduler> make_steal_scheduler(TaskGraph& graph, int threads) {
+  return std::make_unique<StealScheduler>(graph, threads);
+}
+
+}  // namespace dnc::rt

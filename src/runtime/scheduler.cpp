@@ -1,0 +1,210 @@
+#include "runtime/scheduler.hpp"
+
+#include <bit>
+#include <cassert>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace dnc::rt {
+
+namespace {
+/// Worker id of the current thread (-1 on non-worker threads). Lets
+/// enqueue() attribute pushes to the releasing worker even when they come
+/// through graph.on_ready -- e.g. the MRRR driver submits tasks from inside
+/// task bodies, and those should land on the submitting worker's deque.
+thread_local int tls_worker_id = -1;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PrioDeque
+
+void PrioDeque::push(TaskNode* node) {
+  int p = node->priority;
+  if (p < 0) p = 0;
+  if (p >= kBuckets) p = kBuckets - 1;
+  buckets_[p].push_back(node);
+  mask_ |= (std::uint64_t{1} << p);
+  ++size_;
+}
+
+TaskNode* PrioDeque::pop_newest() {
+  if (mask_ == 0) return nullptr;
+  const int p = 63 - std::countl_zero(mask_);
+  TaskNode* node = buckets_[p].back();
+  buckets_[p].pop_back();
+  if (buckets_[p].empty()) mask_ &= ~(std::uint64_t{1} << p);
+  --size_;
+  return node;
+}
+
+TaskNode* PrioDeque::pop_oldest() {
+  if (mask_ == 0) return nullptr;
+  const int p = 63 - std::countl_zero(mask_);
+  TaskNode* node = buckets_[p].front();
+  buckets_[p].pop_front();
+  if (buckets_[p].empty()) mask_ &= ~(std::uint64_t{1} << p);
+  --size_;
+  return node;
+}
+
+// ---------------------------------------------------------------------------
+// SampledSeries
+
+void SampledSeries::push(double t, int depth) {
+  const unsigned long long tick = tick_.fetch_add(1, std::memory_order_relaxed);
+  const unsigned long long stride = stride_.load(std::memory_order_relaxed);
+  if (tick % stride != 0) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (data_.empty()) data_.reserve(256);
+  data_.push_back({t, depth});
+  if (data_.size() >= cap_) {
+    // Keep every other sample; future ticks thin out by the doubled stride.
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < data_.size(); r += 2) data_[w++] = data_[r];
+    data_.resize(w);
+    stride_.store(stride * 2, std::memory_order_relaxed);
+  }
+}
+
+std::vector<QueueSample> SampledSeries::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return data_;
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler
+
+std::unique_ptr<Scheduler> Scheduler::make(SchedPolicy policy, TaskGraph& graph, int threads) {
+  switch (policy) {
+    case SchedPolicy::Central: return make_central_scheduler(graph, threads);
+    case SchedPolicy::Steal: return make_steal_scheduler(graph, threads);
+  }
+  return make_steal_scheduler(graph, threads);
+}
+
+Scheduler::Scheduler(TaskGraph& graph, int threads, SchedPolicy policy)
+    : graph_(graph), policy_(policy), thread_count_(threads) {
+  DNC_REQUIRE(threads >= 1, "Runtime needs at least one worker");
+  idle_.assign(threads, 0.0);
+  counters_ = std::make_unique<AtomicWorkerCounters[]>(threads);
+}
+
+Scheduler::~Scheduler() {
+  // stop_workers() must have run from the derived destructor: workers call
+  // virtual hooks, which are gone by the time this destructor executes.
+  assert(workers_.empty() && "Scheduler subclass destructor must call stop_workers()");
+}
+
+void Scheduler::start() {
+  graph_.on_ready = [this](TaskNode* n) { enqueue(n, tls_worker_id); };
+  workers_.reserve(thread_count_);
+  for (int i = 0; i < thread_count_; ++i) workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+void Scheduler::stop_workers() {
+  stop_.store(true, std::memory_order_seq_cst);
+  wake_all();
+  for (auto& w : workers_) w.join();
+  workers_.clear();
+  graph_.on_ready = nullptr;
+}
+
+void Scheduler::enqueue(TaskNode* node, int worker) {
+  node->t_ready = now_seconds();
+  // inflight_ rises before the task is visible to any worker; see the
+  // quiescence argument in the header.
+  inflight_.fetch_add(1, std::memory_order_relaxed);
+  ready_count_.fetch_add(1, std::memory_order_relaxed);
+  push_ready(node, worker);
+  sample_depth();
+}
+
+void Scheduler::took() {
+  ready_count_.fetch_sub(1, std::memory_order_relaxed);
+  sample_depth();
+}
+
+void Scheduler::sample_depth() {
+  long d = ready_count_.load(std::memory_order_relaxed);
+  if (d < 0) d = 0;
+  int cur = depth_peak_.load(std::memory_order_relaxed);
+  while (static_cast<int>(d) > cur &&
+         !depth_peak_.compare_exchange_weak(cur, static_cast<int>(d),
+                                            std::memory_order_relaxed)) {
+  }
+  queue_series_.push(now_seconds(), static_cast<int>(d));
+}
+
+void Scheduler::record_steal() {
+  const long n = total_steals_.fetch_add(1, std::memory_order_relaxed) + 1;
+  steal_series_.push(now_seconds(), static_cast<int>(n));
+}
+
+void Scheduler::worker_loop(int worker_id) {
+  tls_worker_id = worker_id;
+  // Idle accounting: everything between "done with the previous task" (or
+  // thread start) and "starting the next task" counts as idle. The marks
+  // reuse the trace timestamps, so this adds no clock reads on the task
+  // path.
+  double idle_mark = now_seconds();
+  for (;;) {
+    TaskNode* node = acquire(worker_id);
+    if (node == nullptr) return;
+    node->worker = worker_id;
+    node->t_start = now_seconds();
+    idle_[worker_id] += node->t_start - idle_mark;
+    if (node->fn) node->fn();
+    node->t_end = now_seconds();
+    idle_mark = node->t_end;
+    counters_[worker_id].executed.fetch_add(1, std::memory_order_relaxed);
+    const std::vector<TaskNode*> newly_ready = graph_.complete(node);
+    // Successors enter inflight_ before this task leaves it, so inflight_
+    // never dips to zero while work remains.
+    for (TaskNode* r : newly_ready) enqueue(r, worker_id);
+    if (inflight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lk(idle_mu_);  // notify under the waiter's mutex
+      cv_idle_.notify_all();
+    }
+  }
+}
+
+void Scheduler::wait_all() {
+  std::unique_lock<std::mutex> lk(idle_mu_);
+  cv_idle_.wait(lk, [&] { return inflight_.load(std::memory_order_acquire) == 0; });
+}
+
+Trace Scheduler::trace() const {
+  Trace t;
+  t.workers = threads();
+  t.sched_policy = sched_policy_name(policy_);
+  for (const auto& node : graph_.nodes()) {
+    TraceEvent e{node->id,       node->kind,     node->worker,    node->t_start,
+                 node->t_end,    node->t_ready,  node->obs_level, node->obs_size,
+                 node->obs_panel, node->priority};
+    t.events.push_back(e);
+    for (std::uint64_t p : node->pred_ids) t.edges.emplace_back(p, node->id);
+  }
+  for (const TaskKind& k : graph_.kinds()) {
+    t.kind_names.push_back(k.name);
+    t.kind_memory_bound.push_back(k.memory_bound ? 1 : 0);
+  }
+  t.worker_idle = idle_;
+  t.queue_samples = queue_series_.snapshot();
+  t.steal_samples = steal_series_.snapshot();
+  t.queue_depth_peak = depth_peak_.load(std::memory_order_relaxed);
+  t.sched_counters.resize(threads());
+  for (int w = 0; w < threads(); ++w) {
+    const AtomicWorkerCounters& c = counters_[w];
+    WorkerSchedCounters& out = t.sched_counters[w];
+    out.executed = c.executed.load(std::memory_order_relaxed);
+    out.local_pops = c.local_pops.load(std::memory_order_relaxed);
+    out.steals = c.steals.load(std::memory_order_relaxed);
+    out.steal_attempts = c.steal_attempts.load(std::memory_order_relaxed);
+    out.failed_steals = c.failed_steals.load(std::memory_order_relaxed);
+    out.placed = c.placed.load(std::memory_order_relaxed);
+  }
+  return t;
+}
+
+}  // namespace dnc::rt

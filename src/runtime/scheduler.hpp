@@ -1,0 +1,186 @@
+// Scheduler architecture behind rt::Runtime.
+//
+// A Scheduler owns the worker threads and the ready-task storage for one
+// TaskGraph. The base class implements everything policy-independent --
+// the run/complete/release cycle, quiescence tracking for wait_all(), idle
+// accounting, per-worker counters, decimated queue-depth sampling, and
+// trace assembly -- while the two concrete policies (sched_central.cpp,
+// sched_steal.cpp) only decide where ready tasks are stored and how a
+// worker acquires its next one:
+//
+//   CentralScheduler  one mutex + condition variable around a single
+//                     PrioDeque (the original engine, with priorities);
+//   StealScheduler    one bounded PrioDeque per worker (mutex each), a
+//                     global overflow queue, round-robin placement for
+//                     submitter-side pushes, own-deque placement for
+//                     worker-side pushes, LIFO owner pop / FIFO steal, and
+//                     an exponential-backoff + sleep idle path.
+//
+// Quiescence argument (both policies): `inflight_` counts ready + running
+// tasks and is incremented *before* a task becomes visible to any worker
+// and decremented only *after* its newly-ready successors have been
+// enqueued (each incrementing inflight_ first). Hence inflight_ can only
+// reach zero when no task is queued, running, or about to be queued by a
+// running task, and the decrement-to-zero side notifies cv_idle_ while
+// holding the waiter's mutex -- wait_all() cannot miss the wakeup.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/graph.hpp"
+#include "runtime/sched.hpp"
+#include "runtime/trace.hpp"
+
+namespace dnc::rt {
+
+/// Priority-bucketed task queue: 64 FIFO buckets plus an occupancy bitmask
+/// so the highest non-empty priority is found in O(1). Priorities outside
+/// [0, 63] are clamped. Not thread-safe; callers hold their own mutex
+/// (mutex-per-deque is the design point -- no lock-free heroics).
+class PrioDeque {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void push(TaskNode* node);
+  /// Highest priority, newest within it (owner-side LIFO pop).
+  TaskNode* pop_newest();
+  /// Highest priority, oldest within it (FIFO drain / thief-side steal).
+  TaskNode* pop_oldest();
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+ private:
+  std::array<std::deque<TaskNode*>, kBuckets> buckets_;
+  std::uint64_t mask_ = 0;  // bit p set <=> buckets_[p] non-empty
+  std::size_t size_ = 0;
+};
+
+/// Bounded, self-decimating time series. Keeps 1-in-stride samples; when
+/// the buffer reaches `cap` it drops every other retained sample and
+/// doubles the stride, so memory stays O(cap) for arbitrarily long runs
+/// while the kept samples remain uniformly spread. An atomic tick
+/// prefilter rejects off-stride samples without taking the mutex, so on
+/// long runs the common case is lock-free.
+class SampledSeries {
+ public:
+  explicit SampledSeries(std::size_t cap = 8192) : cap_(cap) {}
+
+  void push(double t, int depth);
+  std::vector<QueueSample> snapshot() const;
+  /// Current decimation stride (1 until the first overflow).
+  unsigned long long stride() const { return stride_.load(std::memory_order_relaxed); }
+
+ private:
+  std::size_t cap_;
+  std::atomic<unsigned long long> tick_{0};
+  std::atomic<unsigned long long> stride_{1};
+  mutable std::mutex mu_;
+  std::vector<QueueSample> data_;
+};
+
+/// Policy-independent scheduler core; see file comment. Concrete policies
+/// implement the four storage hooks. Lifecycle contract for derived
+/// classes: call start() at the end of the constructor and stop_workers()
+/// at the start of the destructor (workers call the virtual hooks, so they
+/// must be joined while the derived object is still alive).
+class Scheduler {
+ public:
+  virtual ~Scheduler();
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Creates the scheduler for `policy` and wires graph.on_ready to it.
+  static std::unique_ptr<Scheduler> make(SchedPolicy policy, TaskGraph& graph, int threads);
+
+  /// Blocks until every submitted task has executed; reusable.
+  void wait_all();
+
+  int threads() const { return static_cast<int>(workers_.size()); }
+  SchedPolicy policy() const { return policy_; }
+
+  /// Builds the execution trace (valid after wait_all()).
+  Trace trace() const;
+
+ protected:
+  Scheduler(TaskGraph& graph, int threads, SchedPolicy policy);
+
+  /// Spawns the workers and hooks graph.on_ready. Call from derived ctor.
+  void start();
+  /// Requests stop, wakes everyone, joins. Call from derived dtor.
+  void stop_workers();
+
+  // --- policy hooks ---
+  /// Stores a ready task. `worker` is the pushing worker id, or -1 when the
+  /// push comes from the submitting thread.
+  virtual void push_ready(TaskNode* node, int worker) = 0;
+  /// Blocks until a task is available (returns it) or stop was requested
+  /// and nothing is left to drain (returns nullptr). Implementations call
+  /// took() after removing a task from storage.
+  virtual TaskNode* acquire(int worker) = 0;
+  /// Wakes every blocked worker (stop_ is already set). Must take the
+  /// sleep mutex (empty critical section suffices) before notifying so a
+  /// worker between predicate check and wait cannot miss it.
+  virtual void wake_all() = 0;
+
+  /// Bookkeeping when a task leaves ready storage: decrements the ready
+  /// count and samples the queue depth.
+  void took();
+
+  // Shared state readable by policies.
+  std::atomic<bool> stop_{false};
+  /// Ready-but-not-taken tasks across all storage; the steal policy's
+  /// sleep predicate ("is there anything to find?") and the depth series.
+  std::atomic<long> ready_count_{0};
+
+  /// Per-worker counters; relaxed atomics because idle thieves bump
+  /// steal_attempts concurrently with trace() reads.
+  struct AtomicWorkerCounters {
+    std::atomic<long> executed{0};
+    std::atomic<long> local_pops{0};
+    std::atomic<long> steals{0};
+    std::atomic<long> steal_attempts{0};
+    std::atomic<long> failed_steals{0};
+    std::atomic<long> placed{0};
+  };
+  std::unique_ptr<AtomicWorkerCounters[]> counters_;
+
+  /// Records one successful steal into the cumulative steal series.
+  void record_steal();
+
+ private:
+  void worker_loop(int worker_id);
+  /// Stamps t_ready, raises inflight_/ready_count_, stores via push_ready.
+  void enqueue(TaskNode* node, int worker);
+  void sample_depth();
+
+  TaskGraph& graph_;
+  SchedPolicy policy_;
+  std::atomic<long> inflight_{0};  // ready + running tasks
+  std::mutex idle_mu_;
+  std::condition_variable cv_idle_;
+  std::vector<std::thread> workers_;
+  int thread_count_ = 0;
+
+  std::vector<double> idle_;  // written only by the owning worker
+  SampledSeries queue_series_;
+  SampledSeries steal_series_;
+  std::atomic<long> total_steals_{0};
+  std::atomic<int> depth_peak_{0};
+};
+
+/// Policy factories (defined in sched_central.cpp / sched_steal.cpp);
+/// normally reached through Scheduler::make.
+std::unique_ptr<Scheduler> make_central_scheduler(TaskGraph& graph, int threads);
+std::unique_ptr<Scheduler> make_steal_scheduler(TaskGraph& graph, int threads);
+
+}  // namespace dnc::rt

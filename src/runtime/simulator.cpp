@@ -9,7 +9,7 @@
 namespace dnc::rt {
 
 SimulationResult simulate_schedule(const TaskGraph& graph, int workers,
-                                   const MachineModel& model) {
+                                   const MachineModel& model, SimPolicy policy) {
   DNC_REQUIRE(workers >= 1, "simulate_schedule: workers >= 1");
   const auto& nodes = graph.nodes();
   const std::size_t n = nodes.size();
@@ -67,10 +67,29 @@ SimulationResult simulate_schedule(const TaskGraph& graph, int workers,
     bool operator()(const Running& a, const Running& b) const { return a.finish > b.finish; }
   };
   std::priority_queue<Running, std::vector<Running>, Later> running;
-  std::queue<std::size_t> ready;  // FIFO, matching the engine's queue
+  // Ready set: (priority desc, arrival seq asc), so SimPolicy::Priority is
+  // FIFO within equal priority and degenerates to plain FIFO when every
+  // priority is zero; SimPolicy::Fifo forces priority 0 for all entries.
+  struct ReadyEntry {
+    int prio;
+    std::uint64_t seq;
+    std::size_t task;
+  };
+  struct ReadyOrder {
+    bool operator()(const ReadyEntry& a, const ReadyEntry& b) const {
+      if (a.prio != b.prio) return a.prio < b.prio;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<ReadyEntry, std::vector<ReadyEntry>, ReadyOrder> ready;
+  std::uint64_t ready_seq = 0;
+  const auto push_ready = [&](std::size_t i) {
+    const int prio = policy == SimPolicy::Priority ? nodes[i]->priority : 0;
+    ready.push({prio, ready_seq++, i});
+  };
   std::vector<int> remaining(npred.begin(), npred.end());
   for (std::size_t i = 0; i < n; ++i)
-    if (remaining[i] == 0) ready.push(i);
+    if (remaining[i] == 0) push_ready(i);
 
   res.schedule.workers = workers;
   for (const TaskKind& k : graph.kinds()) {
@@ -87,7 +106,7 @@ SimulationResult simulate_schedule(const TaskGraph& graph, int workers,
   while (completed < n) {
     // Launch as many ready tasks as there are idle workers.
     while (idle_workers > 0 && !ready.empty()) {
-      const std::size_t t = ready.front();
+      const std::size_t t = ready.top().task;
       ready.pop();
       --idle_workers;
       double d = dur[t];
@@ -100,8 +119,9 @@ SimulationResult simulate_schedule(const TaskGraph& graph, int workers,
       const int w = free_workers.back();
       free_workers.pop_back();
       running.push({clock + d, t, w});
-      res.schedule.events.push_back(
-          TraceEvent{nodes[t]->id, nodes[t]->kind, w, clock, clock + d});
+      TraceEvent ev{nodes[t]->id, nodes[t]->kind, w, clock, clock + d};
+      ev.priority = nodes[t]->priority;
+      res.schedule.events.push_back(ev);
     }
     DNC_REQUIRE(!running.empty(), "simulate_schedule: deadlock (cyclic graph?)");
     const Running r = running.top();
@@ -112,7 +132,7 @@ SimulationResult simulate_schedule(const TaskGraph& graph, int workers,
     if (membound[r.task]) --running_membound;
     ++completed;
     for (std::size_t s : succ[r.task]) {
-      if (--remaining[s] == 0) ready.push(s);
+      if (--remaining[s] == 0) push_ready(s);
     }
   }
   res.makespan = clock;

@@ -27,6 +27,17 @@ struct MachineModel {
   int bw_streams_per_socket = 4;
 };
 
+/// Ready-queue discipline of the simulated list scheduler. Priority (the
+/// default) mirrors the engine: among ready tasks the highest
+/// TaskNode::priority launches first, FIFO within equal priority -- on a
+/// graph with all-zero priorities it is bit-for-bit identical to Fifo.
+/// Fifo ignores priorities (the pre-seam engine), kept for what-if
+/// comparisons of the scheduling policy itself.
+enum class SimPolicy {
+  Fifo,
+  Priority,
+};
+
 struct SimulationResult {
   double makespan = 0.0;
   double total_work = 0.0;      ///< sum of task durations (1-thread makespan)
@@ -39,10 +50,12 @@ struct SimulationResult {
 };
 
 /// Replays the completed graph (durations = measured t_end - t_start) on
-/// `workers` virtual cores using FIFO list scheduling (the engine's policy).
-/// Memory-bound kinds are slowed by the bandwidth-sharing factor of the
-/// machine model; compute-bound kinds keep their measured duration.
+/// `workers` virtual cores using priority-aware list scheduling (the
+/// engine's policy; see SimPolicy). Memory-bound kinds are slowed by the
+/// bandwidth-sharing factor of the machine model; compute-bound kinds keep
+/// their measured duration.
 SimulationResult simulate_schedule(const TaskGraph& graph, int workers,
-                                   const MachineModel& model = MachineModel{});
+                                   const MachineModel& model = MachineModel{},
+                                   SimPolicy policy = SimPolicy::Priority);
 
 }  // namespace dnc::rt

@@ -33,6 +33,9 @@ struct TraceEvent {
   int level = -1;
   long size = -1;
   long panel = -1;
+  /// Scheduling priority the task ran with (higher drains first). Kept last
+  /// so positional aggregate initialisation of older code stays valid.
+  int priority = 0;
 };
 
 /// One sampled point of the ready-queue depth (taken on every enqueue and
@@ -40,6 +43,18 @@ struct TraceEvent {
 struct QueueSample {
   double t;
   int depth;
+};
+
+/// Per-worker scheduler counters, snapshotted into the trace when the run
+/// finishes. `executed` counts tasks the worker ran; the acquisition-path
+/// counters are only non-zero under the stealing scheduler.
+struct WorkerSchedCounters {
+  long executed = 0;       ///< tasks run by this worker
+  long local_pops = 0;     ///< tasks taken from the worker's own deque
+  long steals = 0;         ///< tasks stolen from another worker's deque
+  long steal_attempts = 0; ///< victim deques probed (hit or miss)
+  long failed_steals = 0;  ///< full victim scans that found nothing
+  long placed = 0;         ///< ready tasks the submitter placed on this deque
 };
 
 struct Trace {
@@ -57,8 +72,25 @@ struct Trace {
   /// and its last executed task. Empty for simulated schedules.
   std::vector<double> worker_idle;
 
-  /// Ready-queue depth over time. Empty for simulated schedules.
+  /// Ready-queue depth over time. Decimated to a bounded number of samples
+  /// (uniform subsampling) on long runs; use queue_depth_peak for the exact
+  /// maximum. Empty for simulated schedules.
   std::vector<QueueSample> queue_samples;
+
+  /// Exact peak of the aggregate ready-queue depth, tracked independently
+  /// of the (decimated) samples. 0 for simulated schedules.
+  int queue_depth_peak = 0;
+
+  /// Scheduling policy that produced the trace ("central" / "steal");
+  /// empty for simulated schedules and traces predating the seam.
+  std::string sched_policy;
+
+  /// Per-worker scheduler counters (empty for simulated schedules).
+  std::vector<WorkerSchedCounters> sched_counters;
+
+  /// Cumulative successful-steal count over time (steal policy only);
+  /// decimated like queue_samples. Drives the Perfetto steals counter track.
+  std::vector<QueueSample> steal_samples;
 
   /// Dependency edges (predecessor id, successor id) of the executed DAG;
   /// drives Perfetto flow arrows.

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <unordered_map>
 #include <vector>
 
 #include "dc/api.hpp"
@@ -182,6 +183,44 @@ TEST_F(SolveTraceTest, PerfettoRoundTripPreservesAnalysis) {
   const rt::SimulationResult r0 = obs::replay_trace(stats_.trace, 4);
   const rt::SimulationResult r1 = obs::replay_trace(loaded, 4);
   EXPECT_NEAR(r1.makespan, r0.makespan, 1e-6);
+}
+
+TEST_F(SolveTraceTest, PerfettoRoundTripPreservesSchedulerMetadata) {
+  // The scheduler seam's observability -- policy name, exact queue-depth
+  // peak, per-worker counters, steal counter track, per-task priorities --
+  // must survive export + reload, whatever policy produced the trace.
+  ASSERT_FALSE(stats_.trace.sched_policy.empty());
+  const std::string json = obs::perfetto_trace_json(stats_.trace, &stats_.report);
+  rt::Trace loaded;
+  std::string err;
+  ASSERT_TRUE(obs::load_perfetto_trace(json, loaded, &err)) << err;
+
+  EXPECT_EQ(loaded.sched_policy, stats_.trace.sched_policy);
+  EXPECT_EQ(loaded.queue_depth_peak, stats_.trace.queue_depth_peak);
+  ASSERT_EQ(loaded.sched_counters.size(), stats_.trace.sched_counters.size());
+  for (std::size_t w = 0; w < loaded.sched_counters.size(); ++w) {
+    const rt::WorkerSchedCounters& a = loaded.sched_counters[w];
+    const rt::WorkerSchedCounters& b = stats_.trace.sched_counters[w];
+    EXPECT_EQ(a.executed, b.executed) << "worker " << w;
+    EXPECT_EQ(a.local_pops, b.local_pops) << "worker " << w;
+    EXPECT_EQ(a.steals, b.steals) << "worker " << w;
+    EXPECT_EQ(a.steal_attempts, b.steal_attempts) << "worker " << w;
+    EXPECT_EQ(a.failed_steals, b.failed_steals) << "worker " << w;
+    EXPECT_EQ(a.placed, b.placed) << "worker " << w;
+  }
+  EXPECT_EQ(loaded.steal_samples.size(), stats_.trace.steal_samples.size());
+
+  std::unordered_map<std::uint64_t, int> prio;
+  for (const auto& e : stats_.trace.events) prio[e.task_id] = e.priority;
+  bool any_nonzero = false;
+  for (const auto& e : loaded.events) {
+    ASSERT_TRUE(prio.count(e.task_id));
+    EXPECT_EQ(e.priority, prio[e.task_id]) << "task " << e.task_id;
+    any_nonzero = any_nonzero || e.priority != 0;
+  }
+  // The taskflow driver annotates joins/levels, so priorities are not all
+  // trivially zero and the check above is not vacuous.
+  EXPECT_TRUE(any_nonzero);
 }
 
 TEST(TraceIo, RejectsGarbage) {

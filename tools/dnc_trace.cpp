@@ -26,6 +26,7 @@
 #include "mrrr/mrrr.hpp"
 #include "obs/analysis.hpp"
 #include "obs/trace_io.hpp"
+#include "runtime/sched.hpp"
 #include "runtime/trace.hpp"
 
 namespace {
@@ -43,6 +44,8 @@ struct Args {
   bool nb_sweep = false;
   std::string json_out;
   int profile_width = 100;
+  /// Engine policy for in-process solves ("" = default / $DNC_SCHED).
+  std::string sched;
 };
 
 void usage(const char* argv0) {
@@ -50,7 +53,7 @@ void usage(const char* argv0) {
       "usage: %s [--load trace.json | --driver taskflow|lapack_model|scalapack_model|mrrr]\n"
       "          [--type 1..15] [--n N] [--minpart M] [--nb NB]\n"
       "          [--workers 1,2,4,8,16,32] [--nb-sweep] [--json out.json]\n"
-      "          [--profile-width W]\n",
+      "          [--profile-width W] [--sched central|steal]\n",
       argv0);
 }
 
@@ -109,6 +112,11 @@ bool parse_args(int argc, char** argv, Args& a) {
       const char* v = next();
       if (!v) return false;
       a.profile_width = std::atoi(v);
+    } else if (flag == "--sched") {
+      const char* v = next();
+      rt::SchedPolicy p;
+      if (!v || !rt::parse_sched_policy(v, p)) return false;
+      a.sched = v;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -122,6 +130,7 @@ dc::Options solve_options(const Args& a) {
   opt.threads = 1;  // measure durations without timesharing noise
   opt.minpart = a.minpart > 0 ? a.minpart : std::max<index_t>(48, a.n / 16);
   opt.nb = a.nb > 0 ? a.nb : std::max<index_t>(48, a.n / 12);
+  if (!a.sched.empty()) rt::parse_sched_policy(a.sched.c_str(), opt.sched);
   return opt;
 }
 
@@ -134,6 +143,7 @@ bool run_solver(const Args& a, rt::Trace& trace, std::vector<rt::SimulationResul
   if (a.driver == "mrrr") {
     mrrr::Options mopt;
     mopt.threads = 1;
+    if (!a.sched.empty()) rt::parse_sched_policy(a.sched.c_str(), mopt.sched);
     mrrr::Stats st;
     std::vector<double> lam;
     mrrr_solve(a.n, t.d.data(), t.e.data(), lam, v, mopt, &st, a.workers);
@@ -185,6 +195,25 @@ int main(int argc, char** argv) {
   }
   std::printf("[build] %s (%s)\n\n", version::kGitCommit, version::kBuildType);
 
+  // --- scheduler policy of the measured run ---
+  if (!trace.sched_policy.empty()) {
+    std::printf("-- scheduler --\npolicy: %s, peak ready-queue depth %d\n",
+                trace.sched_policy.c_str(), trace.queue_depth_peak);
+    if (!trace.sched_counters.empty()) {
+      long steals = 0, attempts = 0, failed = 0, local = 0;
+      for (const auto& c : trace.sched_counters) {
+        steals += c.steals;
+        attempts += c.steal_attempts;
+        failed += c.failed_steals;
+        local += c.local_pops;
+      }
+      if (attempts > 0 || steals > 0)
+        std::printf("steals: %ld ok / %ld attempts / %ld dry scans, local pops: %ld\n",
+                    steals, attempts, failed, local);
+    }
+    std::printf("\n");
+  }
+
   // --- per-kernel split of the measured run ---
   std::printf("-- kernel time split --\n%s\n", trace.kernel_summary().c_str());
 
@@ -221,6 +250,24 @@ int main(int argc, char** argv) {
               " sim-delta compares against rt::simulate_schedule where available)\n\n",
               a.workers[0]);
 
+  // --- what-if: scheduling policy. Replays the same DAG with priorities
+  // honoured vs ignored (plain FIFO), showing what the priority annotations
+  // buy at each worker count. ---
+  std::printf("-- what-if: priority-aware vs FIFO list scheduling --\n");
+  std::printf("%8s %14s %14s %9s\n", "workers", "priority(s)", "fifo(s)", "gain");
+  std::vector<double> fifo_makespans;
+  for (std::size_t i = 0; i < a.workers.size(); ++i) {
+    const int w = a.workers[i];
+    const rt::SimulationResult rf =
+        obs::replay_trace(trace, w, rt::MachineModel{}, rt::SimPolicy::Fifo);
+    fifo_makespans.push_back(rf.makespan);
+    const double pri = replays[i].makespan;
+    std::printf("%8d %14.6f %14.6f %+8.2f%%\n", w, pri, rf.makespan,
+                pri > 0.0 ? 100.0 * (rf.makespan - pri) / pri : 0.0);
+  }
+  std::printf("(gain is FIFO makespan relative to the priority replay; positive\n"
+              " means the priority annotations shorten the schedule)\n\n");
+
   // --- parallelism profile ---
   const obs::ParallelismProfile prof = obs::parallelism_profile(trace);
   std::printf("-- parallelism profile --\n%s\n", prof.ascii(a.profile_width).c_str());
@@ -251,9 +298,11 @@ int main(int argc, char** argv) {
     char buf[256];
     std::snprintf(buf, sizeof buf,
                   "  \"source\": \"%s\",\n  \"git_commit\": \"%s\",\n"
+                  "  \"sched_policy\": \"%s\",\n"
                   "  \"t1\": %.9f,\n  \"t_inf\": %.9f,\n  \"parallelism\": %.6f,\n",
                   a.load.empty() ? a.driver.c_str() : a.load.c_str(), version::kGitCommit,
-                  law.t1, law.t_inf, law.parallelism);
+                  rt::json_escape(trace.sched_policy).c_str(), law.t1, law.t_inf,
+                  law.parallelism);
     js += buf;
     js += "  \"critical_path_kinds\": {";
     bool first = true;
@@ -267,8 +316,10 @@ int main(int argc, char** argv) {
     js += "\n  },\n  \"what_if\": [";
     for (std::size_t i = 0; i < replays.size(); ++i) {
       std::snprintf(buf, sizeof buf,
-                    "%s\n    {\"workers\": %d, \"makespan\": %.9f, \"efficiency\": %.6f}",
-                    i ? "," : "", a.workers[i], replays[i].makespan, replays[i].efficiency);
+                    "%s\n    {\"workers\": %d, \"makespan\": %.9f, \"efficiency\": %.6f, "
+                    "\"makespan_fifo\": %.9f}",
+                    i ? "," : "", a.workers[i], replays[i].makespan, replays[i].efficiency,
+                    fifo_makespans[i]);
       js += buf;
     }
     js += "\n  ],\n  \"profile\": ";
