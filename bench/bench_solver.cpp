@@ -109,9 +109,14 @@ void append_entry(std::string& js, bool& first_entry, const char* driver, const 
   js += buf;
   std::snprintf(buf, sizeof buf,
                 "     \"report\": {\"deflated_fraction\": %.6f, \"laed4_calls\": %llu, "
-                "\"laed4_iters_per_call\": %.3f, \"gemm_gflop\": %.6f}}",
+                "\"laed4_iters_per_call\": %.3f, \"gemm_gflop\": %.6f,\n"
+                "                \"workspace_bytes\": %llu, \"context_bytes\": %llu, "
+                "\"rss_hwm_bytes\": %llu}}",
                 deflated_fraction, static_cast<unsigned long long>(laed4), iters_per_call,
-                static_cast<double>(rep.counter(obs::kGemmFlops)) * 1e-9);
+                static_cast<double>(rep.counter(obs::kGemmFlops)) * 1e-9,
+                static_cast<unsigned long long>(rep.memory.workspace_bytes),
+                static_cast<unsigned long long>(rep.memory.context_bytes),
+                static_cast<unsigned long long>(rep.memory.rss_hwm_bytes));
   js += buf;
 }
 

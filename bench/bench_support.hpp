@@ -35,8 +35,9 @@ inline std::vector<std::pair<std::string, std::string>> machine_metadata() {
   kv.emplace_back("hardware_threads", std::to_string(std::thread::hardware_concurrency()));
   kv.emplace_back("simd_dispatch", blas::simd::kernels().name);
   kv.emplace_back("sched", rt::sched_policy_name(rt::default_sched_policy()));
-  for (const char* var : {"DNC_SIMD", "DNC_SCHED", "DNC_BENCH_NMAX", "DNC_BENCH_FAST",
-                          "DNC_BENCH_REPS", "DNC_TRACE", "DNC_REPORT", "OMP_NUM_THREADS"}) {
+  for (const char* var : {"DNC_SIMD", "DNC_SCHED", "DNC_HWC", "DNC_BENCH_NMAX",
+                          "DNC_BENCH_FAST", "DNC_BENCH_REPS", "DNC_TRACE", "DNC_REPORT",
+                          "OMP_NUM_THREADS"}) {
     const char* val = std::getenv(var);
     kv.emplace_back(var, val ? val : "(unset)");
   }

@@ -101,6 +101,19 @@ void finish_report(const obs::SolveScope& scope,
   // overrides included); the scope would otherwise fall back to the env.
   rep.simd_isa = blas::simd::kernels().name;
   scope.finish(rep, n, threads, seconds, trace);
+  // Workspace telemetry: the solve-wide scratch (Workspace: n x n qwork +
+  // 2n x n xwork), the n x n eigenvector output, and the per-merge contexts
+  // (z + zhat + the m x npanels partial-product matrix each).
+  rep.memory.workspace_bytes =
+      3u * static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n) * sizeof(double);
+  rep.memory.output_bytes =
+      static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n) * sizeof(double);
+  for (const auto& ctx : ctxs) {
+    if (!ctx) continue;
+    const std::uint64_t m = static_cast<std::uint64_t>(ctx->node.m);
+    rep.memory.context_bytes +=
+        (2u * m + m * static_cast<std::uint64_t>(ctx->npanels)) * sizeof(double);
+  }
   for (const auto& ctx : ctxs) {
     if (!ctx) continue;
     obs::MergeRecord mr;

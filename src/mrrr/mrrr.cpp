@@ -433,6 +433,14 @@ void mrrr_solve(index_t n, const double* d, const double* e, std::vector<double>
     obs::SolveReport local;
     obs::SolveReport& rep = stats ? stats->report : local;
     scope.finish(rep, n, opt.threads, seconds, tr);
+    // Workspace telemetry: the final sort task's n x n scratch matrix plus
+    // its n-vector of reordered eigenvalues; the n x n eigenvector output;
+    // the per-solve eigenvalue/work arrays (lam + the per-block d/l copies
+    // are O(n) and folded into context_bytes).
+    const std::uint64_t nn = static_cast<std::uint64_t>(n);
+    rep.memory.workspace_bytes = (nn * nn + nn) * sizeof(double);
+    rep.memory.output_bytes = nn * nn * sizeof(double);
+    rep.memory.context_bytes = 3u * nn * sizeof(double);
     if (want_export) obs::export_solve_artifacts(rep, tr);
   }
 }

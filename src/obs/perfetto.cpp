@@ -27,16 +27,11 @@ std::string perfetto_trace_json(const rt::Trace& trace, const SolveReport* repor
   };
   char buf[512];
 
-  // --- metadata: label the process and one thread row per worker ---
-  emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
-       "\"args\":{\"name\":\"dnc solver\"}}");
-  for (int w = 0; w < trace.workers; ++w) {
-    std::snprintf(buf, sizeof buf,
-                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,"
-                  "\"args\":{\"name\":\"worker %d\"}}",
-                  w, w);
-    emit(buf);
-  }
+  // --- metadata: label the process and one thread row per worker. Shared
+  // with Trace::chrome_trace_json so every export call (including the
+  // sequence-suffixed trace.2.json files) carries exactly one
+  // self-contained process-metadata prologue. ---
+  emit(rt::chrome_metadata_json(trace.workers).c_str());
 
   // --- dnc-specific metadata (ignored by Perfetto, consumed by
   // obs::load_perfetto_trace): the kind table with its memory-bound flags,
@@ -78,6 +73,45 @@ std::string perfetto_trace_json(const rt::Trace& trace, const SolveReport* repor
         meta += buf;
       }
       meta += "]";
+    }
+    if (!trace.hwc_backend.empty()) {
+      std::snprintf(buf, sizeof buf, ",\"hwc_backend\":\"%s\",\"hwc_slots\":[",
+                    rt::json_escape(trace.hwc_backend).c_str());
+      meta += buf;
+      for (std::size_t s = 0; s < trace.hwc_slot_names.size(); ++s) {
+        std::snprintf(buf, sizeof buf, "%s\"%s\"", s ? "," : "",
+                      rt::json_escape(trace.hwc_slot_names[s]).c_str());
+        meta += buf;
+      }
+      meta += "]";
+    }
+    // Named solve-wide scalars (GEMM FLOP / packed-byte totals, ...): taken
+    // from the trace when it already carries them (a reloaded trace does),
+    // topped up from the report's counters on a live export. These are what
+    // lets `dnc_trace --roofline` work on a bare trace file.
+    {
+      std::vector<std::pair<std::string, double>> mc = trace.meta_counters;
+      const auto have = [&](const char* name) {
+        for (const auto& [k, v] : mc)
+          if (k == name) return true;
+        return false;
+      };
+      if (report) {
+        if (!have("gemm_flops"))
+          mc.emplace_back("gemm_flops", static_cast<double>(report->counter(kGemmFlops)));
+        if (!have("gemm_packed_bytes"))
+          mc.emplace_back("gemm_packed_bytes",
+                          static_cast<double>(report->counter(kGemmPackedBytes)));
+      }
+      if (!mc.empty()) {
+        meta += ",\"meta_counters\":{";
+        for (std::size_t i = 0; i < mc.size(); ++i) {
+          std::snprintf(buf, sizeof buf, "%s\"%s\":%.9g", i ? "," : "",
+                        rt::json_escape(mc[i].first).c_str(), mc[i].second);
+          meta += buf;
+        }
+        meta += "}";
+      }
     }
     meta += "}}";
     emit(meta.c_str());
@@ -130,6 +164,15 @@ std::string perfetto_trace_json(const rt::Trace& trace, const SolveReport* repor
       std::snprintf(a, sizeof a, ",\"prio\":%d", e.priority);
       args += a;
     }
+    if (!trace.hwc_backend.empty()) {
+      char h[128];
+      std::snprintf(h, sizeof h, ",\"hwc\":[%llu,%llu,%llu,%llu]",
+                    static_cast<unsigned long long>(e.hwc[0]),
+                    static_cast<unsigned long long>(e.hwc[1]),
+                    static_cast<unsigned long long>(e.hwc[2]),
+                    static_cast<unsigned long long>(e.hwc[3]));
+      args += h;
+    }
     std::snprintf(buf, sizeof buf,
                   "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,"
                   "\"ts\":%.3f,\"dur\":%.3f,\"args\":{%s}}",
@@ -176,6 +219,31 @@ std::string perfetto_trace_json(const rt::Trace& trace, const SolveReport* repor
                   "\"ts\":%.3f,\"args\":{\"steals\":%d}}",
                   us(s.t), s.depth);
     emit(buf);
+  }
+
+  // --- counter tracks: cumulative hardware-counter totals, one track per
+  // slot, stepped at each task's end (hwc runs only) ---
+  if (!trace.hwc_backend.empty()) {
+    std::vector<const rt::TraceEvent*> done;
+    for (const auto& e : trace.events)
+      if (e.worker >= 0) done.push_back(&e);
+    std::sort(done.begin(), done.end(),
+              [](const rt::TraceEvent* a, const rt::TraceEvent* b) { return a->t_end < b->t_end; });
+    for (int s = 0; s < rt::kHwcSlots; ++s) {
+      const std::string slot = s < static_cast<int>(trace.hwc_slot_names.size())
+                                   ? trace.hwc_slot_names[s]
+                                   : "slot" + std::to_string(s);
+      std::uint64_t cum = 0;
+      for (const rt::TraceEvent* e : done) {
+        cum += e->hwc[s];
+        std::snprintf(buf, sizeof buf,
+                      "{\"name\":\"hwc_%s_cumulative\",\"ph\":\"C\",\"pid\":1,"
+                      "\"ts\":%.3f,\"args\":{\"%s\":%llu}}",
+                      rt::json_escape(slot).c_str(), us(e->t_end),
+                      rt::json_escape(slot).c_str(), static_cast<unsigned long long>(cum));
+        emit(buf);
+      }
+    }
   }
 
   // --- counter track: cumulative deflated columns, stepped at each merge's

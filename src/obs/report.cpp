@@ -88,6 +88,32 @@ std::string SolveReport::to_json() const {
             m.t_end);
   }
   out += merges.empty() ? "],\n" : "\n  ],\n";
+  appendf(out,
+          "  \"memory\": {\n"
+          "    \"workspace_bytes\": %llu,\n"
+          "    \"context_bytes\": %llu,\n"
+          "    \"output_bytes\": %llu,\n"
+          "    \"rss_hwm_bytes\": %llu,\n"
+          "    \"rss_hwm_delta_bytes\": %llu\n"
+          "  },\n",
+          ull(memory.workspace_bytes), ull(memory.context_bytes), ull(memory.output_bytes),
+          ull(memory.rss_hwm_bytes), ull(memory.rss_hwm_delta_bytes));
+  if (!hwc_backend.empty()) {
+    appendf(out, "  \"hwc\": {\n    \"backend\": \"%s\",\n    \"slots\": [",
+            rt::json_escape(hwc_backend).c_str());
+    for (std::size_t s = 0; s < hwc_slot_names.size(); ++s)
+      appendf(out, "%s\"%s\"", s ? ", " : "", rt::json_escape(hwc_slot_names[s]).c_str());
+    out += "],\n    \"kinds\": [";
+    for (std::size_t i = 0; i < kind_hwc.size(); ++i) {
+      const KindHwcTotals& k = kind_hwc[i];
+      appendf(out,
+              "%s\n      {\"kind\": \"%s\", \"tasks\": %ld, \"seconds\": %.9f, "
+              "\"hwc\": [%llu, %llu, %llu, %llu]}",
+              i ? "," : "", rt::json_escape(k.kind).c_str(), k.tasks, k.seconds,
+              ull(k.hwc[0]), ull(k.hwc[1]), ull(k.hwc[2]), ull(k.hwc[3]));
+    }
+    out += kind_hwc.empty() ? "]\n  },\n" : "\n    ]\n  },\n";
+  }
   appendf(out, "  \"has_scheduler\": %s", has_scheduler ? "true" : "false");
   if (has_scheduler) {
     appendf(out,
@@ -176,6 +202,30 @@ std::string SolveReport::summary_text() const {
   appendf(out, "gemm          : %llu calls, %.3f GFLOP, %.1f MiB packed\n",
           ull(counters[kGemmCalls]), counters[kGemmFlops] * 1e-9,
           counters[kGemmPackedBytes] / (1024.0 * 1024.0));
+  const auto mib = [](std::uint64_t b) { return b / (1024.0 * 1024.0); };
+  appendf(out, "\n-- memory --\n");
+  appendf(out, "workspace     : %.1f MiB scratch, %.1f MiB contexts, %.1f MiB output\n",
+          mib(memory.workspace_bytes), mib(memory.context_bytes), mib(memory.output_bytes));
+  if (memory.rss_hwm_bytes > 0)
+    appendf(out, "peak rss      : %.1f MiB (grew %.1f MiB during solve)\n",
+            mib(memory.rss_hwm_bytes), mib(memory.rss_hwm_delta_bytes));
+  if (!hwc_backend.empty()) {
+    appendf(out, "\n-- hardware counters (%s backend) --\n", hwc_backend.c_str());
+    appendf(out, "%-22s %8s %11s", "kind", "tasks", "time(s)");
+    for (const std::string& s : hwc_slot_names) appendf(out, " %14s", s.c_str());
+    if (hwc_backend == "perf") appendf(out, " %6s %6s", "IPC", "miss%");
+    out += "\n";
+    for (const KindHwcTotals& k : kind_hwc) {
+      appendf(out, "%-22s %8ld %11.6f", k.kind.c_str(), k.tasks, k.seconds);
+      for (int s = 0; s < rt::kHwcSlots; ++s) appendf(out, " %14llu", ull(k.hwc[s]));
+      if (hwc_backend == "perf") {
+        appendf(out, " %6.2f %5.1f%%",
+                k.hwc[0] > 0 ? static_cast<double>(k.hwc[1]) / k.hwc[0] : 0.0,
+                k.hwc[3] > 0 ? 100.0 * k.hwc[2] / k.hwc[3] : 0.0);
+      }
+      out += "\n";
+    }
+  }
   if (has_scheduler) {
     appendf(out, "\n-- scheduler --\n");
     appendf(out, "workers       : %d\n", scheduler.workers);
@@ -239,7 +289,8 @@ SchedulerMetrics scheduler_metrics(const rt::Trace& trace) {
   return m;
 }
 
-SolveScope::SolveScope(const char* driver) : driver_(driver), begin_(snapshot()) {}
+SolveScope::SolveScope(const char* driver)
+    : driver_(driver), begin_(snapshot()), rss_hwm_begin_(current_peak_rss_bytes()) {}
 
 void SolveScope::finish(SolveReport& out, long n, int threads, double seconds,
                         const rt::Trace* trace) const {
@@ -251,9 +302,18 @@ void SolveScope::finish(SolveReport& out, long n, int threads, double seconds,
   out.git_commit = version::kGitCommit;
   out.build_type = version::kBuildType;
   out.counters = delta_since(begin_);
+  out.memory.rss_hwm_bytes = current_peak_rss_bytes();
+  out.memory.rss_hwm_delta_bytes = out.memory.rss_hwm_bytes > rss_hwm_begin_
+                                       ? out.memory.rss_hwm_bytes - rss_hwm_begin_
+                                       : 0;
   if (trace) {
     out.has_scheduler = true;
     out.scheduler = scheduler_metrics(*trace);
+    if (!trace->hwc_backend.empty()) {
+      out.hwc_backend = trace->hwc_backend;
+      out.hwc_slot_names = trace->hwc_slot_names;
+      out.kind_hwc = kind_hwc_totals(*trace);
+    }
   }
 }
 

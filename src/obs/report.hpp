@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "obs/counters.hpp"
+#include "obs/hwc.hpp"
 
 namespace dnc::rt {
 struct Trace;
@@ -72,6 +73,24 @@ struct SolveReport {
   bool has_scheduler = false;
   SchedulerMetrics scheduler;
 
+  // --- hardware-counter attribution (DNC_HWC; empty backend = off) ---
+  std::string hwc_backend;                  ///< "perf" / "rusage" / ""
+  std::vector<std::string> hwc_slot_names;  ///< slot meanings, in order
+  std::vector<KindHwcTotals> kind_hwc;      ///< per-task-kind counter sums
+
+  /// Workspace memory telemetry: what the solve allocated (driver scratch,
+  /// per-merge contexts, the eigenvector output) plus the process peak-RSS
+  /// high-water mark and its growth over the solve. Byte totals are exact
+  /// sums of the driver's allocation sizes; the RSS figures come from the
+  /// kernel (VmHWM) and are 0 when unavailable.
+  struct MemoryMetrics {
+    std::uint64_t workspace_bytes = 0;      ///< driver scratch (qwork/xwork, ...)
+    std::uint64_t context_bytes = 0;        ///< per-merge contexts (z, zhat, wparts)
+    std::uint64_t output_bytes = 0;         ///< eigenvector matrix
+    std::uint64_t rss_hwm_bytes = 0;        ///< process peak RSS at solve end
+    std::uint64_t rss_hwm_delta_bytes = 0;  ///< HWM growth over the solve
+  } memory;
+
   std::uint64_t counter(Counter c) const { return counters[c]; }
   /// Sum of the laed4 iteration-histogram buckets (== laed4 calls).
   std::uint64_t laed4_hist_total() const;
@@ -97,6 +116,7 @@ class SolveScope {
  private:
   const char* driver_;
   CounterArray begin_;
+  std::uint64_t rss_hwm_begin_ = 0;  ///< peak RSS when the solve started
 };
 
 /// True when the respective env var requests an export. Read per call so

@@ -80,6 +80,15 @@ bool load_perfetto_trace(const std::string& json_text, rt::Trace& out, std::stri
             out.sched_counters.push_back(wc);
           }
         }
+        out.hwc_backend = args->member_string("hwc_backend", out.hwc_backend);
+        if (const json::Value* hs = args->find("hwc_slots"); hs && hs->is_array()) {
+          for (const json::Value& s : hs->array)
+            out.hwc_slot_names.push_back(s.string_or(""));
+        }
+        if (const json::Value* mc = args->find("meta_counters"); mc && mc->is_object()) {
+          for (const auto& [key, val] : mc->object)
+            out.meta_counters.emplace_back(key, val.number_or(0.0));
+        }
       } else if (name == "dnc_edges") {
         const json::Value* args = ev.find("args");
         const json::Value* edges = args ? args->find("edges") : nullptr;
@@ -120,6 +129,10 @@ bool load_perfetto_trace(const std::string& json_text, rt::Trace& out, std::stri
       te.size = static_cast<long>(args->member_number("size", -1.0));
       te.panel = static_cast<long>(args->member_number("panel", -1.0));
       te.priority = static_cast<int>(args->member_number("prio", 0.0));
+      if (const json::Value* h = args->find("hwc"); h && h->is_array()) {
+        for (int s = 0; s < rt::kHwcSlots && s < static_cast<int>(h->array.size()); ++s)
+          te.hwc[s] = static_cast<std::uint64_t>(h->array[s].number_or(0.0));
+      }
     }
     if (args == nullptr || args->find("task") == nullptr) te.task_id = synth_id++;
     out.events.push_back(te);

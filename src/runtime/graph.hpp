@@ -65,6 +65,10 @@ struct TaskNode {
   int obs_level = -1;   ///< merge-tree level of the owning node
   long obs_size = -1;   ///< block size of the owning (sub)problem
   long obs_panel = -1;  ///< panel index within the merge
+  /// Hardware-counter deltas sampled around fn() by the executing worker
+  /// (obs::ThreadHwc); all zero when DNC_HWC sampling is off. Written only
+  /// by the executing worker, read by trace() after wait_all().
+  std::uint64_t hwc[4] = {0, 0, 0, 0};
 
   TaskNode* annotate(int level, long size, long panel = -1) {
     obs_level = level;

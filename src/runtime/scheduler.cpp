@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "obs/hwc.hpp"
 
 namespace dnc::rt {
 
@@ -143,6 +144,15 @@ void Scheduler::record_steal() {
 
 void Scheduler::worker_loop(int worker_id) {
   tls_worker_id = worker_id;
+  // Per-thread hardware-counter sampler (DNC_HWC). Inactive (one branch per
+  // task, no reads) unless requested; when active, every task body is
+  // bracketed by two counter reads -- rdpmc (no syscall) or one grouped
+  // read() under the perf backend, getrusage under the software fallback --
+  // and the deltas land on the node like its timestamps.
+  obs::ThreadHwc hwc;
+  const bool sampling = hwc.active();
+  if (sampling) hwc_active_.store(true, std::memory_order_relaxed);
+  std::uint64_t c0[kHwcSlots], c1[kHwcSlots];
   // Idle accounting: everything between "done with the previous task" (or
   // thread start) and "starting the next task" counts as idle. The marks
   // reuse the trace timestamps, so this adds no clock reads on the task
@@ -154,7 +164,12 @@ void Scheduler::worker_loop(int worker_id) {
     node->worker = worker_id;
     node->t_start = now_seconds();
     idle_[worker_id] += node->t_start - idle_mark;
+    if (sampling) hwc.read(c0);
     if (node->fn) node->fn();
+    if (sampling) {
+      hwc.read(c1);
+      for (int i = 0; i < kHwcSlots; ++i) node->hwc[i] = c1[i] - c0[i];
+    }
     node->t_end = now_seconds();
     idle_mark = node->t_end;
     counters_[worker_id].executed.fetch_add(1, std::memory_order_relaxed);
@@ -178,12 +193,20 @@ Trace Scheduler::trace() const {
   Trace t;
   t.workers = threads();
   t.sched_policy = sched_policy_name(policy_);
+  const bool hwc = hwc_active_.load(std::memory_order_relaxed);
   for (const auto& node : graph_.nodes()) {
     TraceEvent e{node->id,       node->kind,     node->worker,    node->t_start,
                  node->t_end,    node->t_ready,  node->obs_level, node->obs_size,
                  node->obs_panel, node->priority};
+    if (hwc)
+      for (int i = 0; i < kHwcSlots; ++i) e.hwc[i] = node->hwc[i];
     t.events.push_back(e);
     for (std::uint64_t p : node->pred_ids) t.edges.emplace_back(p, node->id);
+  }
+  if (hwc) {
+    const obs::HwcBackend b = obs::hwc_active_backend();
+    t.hwc_backend = obs::hwc_backend_name(b);
+    for (int i = 0; i < kHwcSlots; ++i) t.hwc_slot_names.push_back(obs::hwc_slot_name(b, i));
   }
   for (const TaskKind& k : graph_.kinds()) {
     t.kind_names.push_back(k.name);

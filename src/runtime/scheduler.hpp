@@ -176,6 +176,9 @@ class Scheduler {
   SampledSeries steal_series_;
   std::atomic<long> total_steals_{0};
   std::atomic<int> depth_peak_{0};
+  /// Set by any worker whose obs::ThreadHwc sampled at least one task;
+  /// trace() stamps the backend name onto the Trace when set.
+  std::atomic<bool> hwc_active_{false};
 };
 
 /// Policy factories (defined in sched_central.cpp / sched_steal.cpp);

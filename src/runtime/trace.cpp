@@ -154,6 +154,30 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+double Trace::meta_counter(const std::string& name) const {
+  for (const auto& [k, v] : meta_counters)
+    if (k == name) return v;
+  return 0.0;
+}
+
+std::string chrome_metadata_json(int workers) {
+  // One process_name block per export call -- this helper is the single
+  // source of the metadata prologue for both exporters, so sequence exports
+  // (trace.2.json, ...) each carry exactly one self-contained copy.
+  std::string out =
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+      "\"args\":{\"name\":\"dnc solver\"}}";
+  char buf[160];
+  for (int w = 0; w < workers; ++w) {
+    std::snprintf(buf, sizeof buf,
+                  ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,"
+                  "\"args\":{\"name\":\"worker %d\"}}",
+                  w, w);
+    out += buf;
+  }
+  return out;
+}
+
 std::string Trace::chrome_trace_json() const {
   std::string out = "[\n";
   bool first = true;
@@ -164,15 +188,7 @@ std::string Trace::chrome_trace_json() const {
   };
   char buf[256];
   // Metadata so Perfetto / chrome://tracing label the process and workers.
-  emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
-       "\"args\":{\"name\":\"dnc solver\"}}");
-  for (int w = 0; w < workers; ++w) {
-    std::snprintf(buf, sizeof buf,
-                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,"
-                  "\"args\":{\"name\":\"worker %d\"}}",
-                  w, w);
-    emit(buf);
-  }
+  emit(chrome_metadata_json(workers));
   for (const auto& e : events) {
     if (e.worker < 0) continue;  // never executed: nothing to draw
     const std::string name =

@@ -11,12 +11,20 @@
 // with flow events and counter tracks.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
 
 namespace dnc::rt {
+
+/// Number of per-task hardware-counter slots carried on every TraceEvent.
+/// What each slot means depends on the backend that sampled it (see
+/// Trace::hwc_backend / hwc_slot_names): the perf backend fills
+/// {cycles, instructions, llc_misses, llc_references}; the rusage fallback
+/// fills {minor_faults, major_faults, vol_ctx_switches, invol_ctx_switches}.
+inline constexpr int kHwcSlots = 4;
 
 struct TraceEvent {
   std::uint64_t task_id;
@@ -34,8 +42,12 @@ struct TraceEvent {
   long size = -1;
   long panel = -1;
   /// Scheduling priority the task ran with (higher drains first). Kept last
-  /// so positional aggregate initialisation of older code stays valid.
+  /// among the positionally-initialised fields so aggregate initialisation
+  /// of older code stays valid.
   int priority = 0;
+  /// Hardware-counter deltas sampled around the task body (all zero when
+  /// sampling was off; interpret via Trace::hwc_backend / hwc_slot_names).
+  std::array<std::uint64_t, kHwcSlots> hwc{};
 };
 
 /// One sampled point of the ready-queue depth (taken on every enqueue and
@@ -96,6 +108,22 @@ struct Trace {
   /// drives Perfetto flow arrows.
   std::vector<std::pair<std::uint64_t, std::uint64_t>> edges;
 
+  /// Backend that filled TraceEvent::hwc ("perf" / "rusage"); empty when
+  /// hardware-counter sampling was off for the run.
+  std::string hwc_backend;
+
+  /// Human-readable names of the kHwcSlots counter slots, in slot order.
+  /// Empty when sampling was off.
+  std::vector<std::string> hwc_slot_names;
+
+  /// Named scalar metadata riding with the trace (e.g. the solve-wide
+  /// "gemm_flops" / "gemm_packed_bytes" totals a roofline needs). Written by
+  /// the exporter, reloaded by trace_io, so analyses work on loaded traces.
+  std::vector<std::pair<std::string, double>> meta_counters;
+
+  /// Looks up a meta counter by name; returns 0 when absent.
+  double meta_counter(const std::string& name) const;
+
   double makespan() const;
   /// Total task execution time, never-executed events excluded.
   double total_busy() const;
@@ -125,5 +153,12 @@ struct Trace {
 /// Escapes a string for embedding inside a JSON string literal (quotes,
 /// backslashes, control characters).
 std::string json_escape(const std::string& s);
+
+/// The process_name / thread_name metadata records shared by
+/// Trace::chrome_trace_json and obs::perfetto_trace_json, joined by ",\n".
+/// Exactly one process_name block and one thread row per worker -- every
+/// export call (including sequence-suffixed trace.2.json files) gets one
+/// self-contained metadata prologue.
+std::string chrome_metadata_json(int workers);
 
 }  // namespace dnc::rt

@@ -5,6 +5,10 @@
 #include <thread>
 #include <vector>
 
+#include "runtime/engine.hpp"
+#include "runtime/sched.hpp"
+#include "runtime/scheduler.hpp"
+
 namespace dnc::obs {
 namespace {
 
@@ -52,6 +56,30 @@ TEST(Counters, SurvivesThreadExit) {
   for (auto& t : ts) t.join();
   const CounterArray d = delta_since(before);
   EXPECT_EQ(d[kGemmFlops], 4u * 1000u * 2u);
+}
+
+TEST(Counters, SurvivesStealWorkerThreadExit) {
+  // Same guarantee as SurvivesThreadExit, but for the threads that matter in
+  // production: work-stealing scheduler workers. Counts bumped inside tasks
+  // must remain visible after the Runtime has joined its workers (and their
+  // thread_local blocks were destroyed).
+  const CounterArray before = snapshot();
+  {
+    rt::TaskGraph g;
+    rt::Runtime run(g, 4, rt::SchedPolicy::Steal);
+    rt::Handle h;
+    for (int i = 0; i < 64; ++i)
+      g.submit(0,
+               [] {
+                 bump(kGemmCalls, 1);
+                 bump(kGemmFlops, 128);
+               },
+               {{&h, rt::Access::GatherV}});
+    run.wait_all();
+  }  // ~Runtime joins the workers here
+  const CounterArray d = delta_since(before);
+  EXPECT_EQ(d[kGemmCalls], 64u);
+  EXPECT_EQ(d[kGemmFlops], 64u * 128u);
 }
 
 TEST(Counters, NamesAreStableSnakeCase) {

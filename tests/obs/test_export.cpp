@@ -234,6 +234,29 @@ TEST_F(ExportTest, SecondSolveOfProcessGetsSequenceSuffix) {
   EXPECT_FALSE(std::ifstream(obs::sequenced_export_path(trace_path_, 3)).good());
 }
 
+TEST_F(ExportTest, SequenceExportsCarryExactlyOneMetadataPrologue) {
+  // Regression: the exporter used to emit the process_name/thread_name
+  // metadata from two code paths, so a sequence file (trace.2.json) could
+  // end up with duplicate metadata blocks and confuse standalone loading
+  // in Perfetto. Every export -- first or suffixed -- must contain exactly
+  // one process_name record and one thread_name per worker.
+  ::setenv("DNC_TRACE", trace_path_.c_str(), 1);
+  run_solve(140);
+  run_solve(140);
+  for (unsigned seq : {0u, 1u}) {
+    const std::string p = obs::sequenced_export_path(trace_path_, seq);
+    const std::string trace = slurp(p);
+    ASSERT_FALSE(trace.empty()) << p;
+    EXPECT_TRUE(JsonChecker(trace).valid()) << p;
+    std::size_t count = 0, at = 0;
+    while ((at = trace.find("\"process_name\"", at)) != std::string::npos) {
+      ++count;
+      at += 1;
+    }
+    EXPECT_EQ(count, 1u) << p;
+  }
+}
+
 TEST_F(ExportTest, SequentialDriverExportsReportWithoutTrace) {
   ::setenv("DNC_REPORT", report_path_.c_str(), 1);
   matgen::Tridiag t = matgen::table3_matrix(10, 200);

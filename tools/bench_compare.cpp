@@ -11,6 +11,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/version.hpp"
 #include "obs/benchcmp.hpp"
 
 namespace {
@@ -18,7 +19,7 @@ namespace {
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <baseline.json> <current.json> [--threshold T] [--stat median|min] "
-               "[--min-time S] [--quiet]\n"
+               "[--min-time S] [--quiet] [--version]\n"
                "  T is a fraction: 0.10 flags entries slower than 1.10x baseline (default)\n"
                "  S in seconds: entries faster than S on both sides never gate (default 0)\n",
                argv0);
@@ -61,6 +62,10 @@ int main(int argc, char** argv) {
       }
     } else if (flag == "--quiet") {
       quiet = true;
+    } else if (flag == "--version") {
+      std::printf("bench_compare %s (%s)\n", dnc::version::kGitCommit,
+                  dnc::version::kBuildType);
+      return 0;
     } else if (!flag.empty() && flag[0] == '-') {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       usage(argv[0]);

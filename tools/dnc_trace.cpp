@@ -25,6 +25,7 @@
 #include "matgen/tridiag.hpp"
 #include "mrrr/mrrr.hpp"
 #include "obs/analysis.hpp"
+#include "obs/hwc.hpp"
 #include "obs/trace_io.hpp"
 #include "runtime/sched.hpp"
 #include "runtime/trace.hpp"
@@ -46,6 +47,10 @@ struct Args {
   int profile_width = 100;
   /// Engine policy for in-process solves ("" = default / $DNC_SCHED).
   std::string sched;
+  /// Roofline view: per-kind hardware-counter attribution vs the machine
+  /// peak. In solve mode this turns DNC_HWC sampling on for the run.
+  bool roofline = false;
+  double peak_gflops = 0.0;  ///< 0 = derive/assume (see obs::roofline)
 };
 
 void usage(const char* argv0) {
@@ -53,7 +58,8 @@ void usage(const char* argv0) {
       "usage: %s [--load trace.json | --driver taskflow|lapack_model|scalapack_model|mrrr]\n"
       "          [--type 1..15] [--n N] [--minpart M] [--nb NB]\n"
       "          [--workers 1,2,4,8,16,32] [--nb-sweep] [--json out.json]\n"
-      "          [--profile-width W] [--sched central|steal]\n",
+      "          [--profile-width W] [--sched central|steal]\n"
+      "          [--roofline] [--peak-gflops G] [--version]\n",
       argv0);
 }
 
@@ -117,6 +123,15 @@ bool parse_args(int argc, char** argv, Args& a) {
       rt::SchedPolicy p;
       if (!v || !rt::parse_sched_policy(v, p)) return false;
       a.sched = v;
+    } else if (flag == "--roofline") {
+      a.roofline = true;
+    } else if (flag == "--peak-gflops") {
+      const char* v = next();
+      if (!v) return false;
+      a.peak_gflops = std::atof(v);
+    } else if (flag == "--version") {
+      std::printf("dnc_trace %s (%s)\n", dnc::version::kGitCommit, dnc::version::kBuildType);
+      std::exit(0);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -135,8 +150,11 @@ dc::Options solve_options(const Args& a) {
 }
 
 /// Runs the requested driver, returns its trace and (D&C drivers) the
-/// simulator cross-check results at the requested worker counts.
-bool run_solver(const Args& a, rt::Trace& trace, std::vector<rt::SimulationResult>& simulated) {
+/// simulator cross-check results at the requested worker counts. When
+/// `report` is non-null it receives the solve's SolveReport (the roofline
+/// needs its GEMM FLOP / packed-byte counters).
+bool run_solver(const Args& a, rt::Trace& trace, std::vector<rt::SimulationResult>& simulated,
+                obs::SolveReport* report = nullptr) {
   matgen::Tridiag t = matgen::table3_matrix(a.type, a.n);
   Matrix v;
   const dc::Options opt = solve_options(a);
@@ -149,6 +167,7 @@ bool run_solver(const Args& a, rt::Trace& trace, std::vector<rt::SimulationResul
     mrrr_solve(a.n, t.d.data(), t.e.data(), lam, v, mopt, &st, a.workers);
     trace = st.trace;
     simulated = st.simulated;
+    if (report) *report = st.report;
     return true;
   }
   dc::SolveStats st;
@@ -167,6 +186,7 @@ bool run_solver(const Args& a, rt::Trace& trace, std::vector<rt::SimulationResul
   }
   trace = st.trace;
   simulated = st.simulated;
+  if (report) *report = st.report;
   return true;
 }
 
@@ -181,15 +201,27 @@ int main(int argc, char** argv) {
 
   rt::Trace trace;
   std::vector<rt::SimulationResult> simulated;
+  obs::SolveReport report;
+  double gemm_flops = 0.0, gemm_bytes = 0.0;
   if (!a.load.empty()) {
     std::string err;
     if (!obs::load_perfetto_trace_file(a.load, trace, &err)) {
       std::fprintf(stderr, "failed to load %s: %s\n", a.load.c_str(), err.c_str());
       return 2;
     }
+    // The exporter embeds the solve-wide GEMM totals as named meta
+    // counters, so the roofline works on a bare trace file.
+    gemm_flops = trace.meta_counter("gemm_flops");
+    gemm_bytes = trace.meta_counter("gemm_packed_bytes");
     std::printf("==== dnc_trace: %s ====\n", a.load.c_str());
   } else {
-    if (!run_solver(a, trace, simulated)) return 2;
+    // Solve mode with --roofline: turn per-task counter sampling on for
+    // the in-process run (without clobbering an explicit DNC_HWC choice
+    // such as DNC_HWC=rusage).
+    if (a.roofline) ::setenv("DNC_HWC", "1", /*overwrite=*/0);
+    if (!run_solver(a, trace, simulated, &report)) return 2;
+    gemm_flops = static_cast<double>(report.counter(obs::kGemmFlops));
+    gemm_bytes = static_cast<double>(report.counter(obs::kGemmPackedBytes));
     std::printf("==== dnc_trace: %s solve, type %d, n=%ld ====\n", a.driver.c_str(), a.type,
                 a.n);
   }
@@ -216,6 +248,18 @@ int main(int argc, char** argv) {
 
   // --- per-kernel split of the measured run ---
   std::printf("-- kernel time split --\n%s\n", trace.kernel_summary().c_str());
+
+  // --- roofline: measured per-kind counters vs the machine peak ---
+  if (a.roofline) {
+    if (trace.hwc_backend.empty()) {
+      std::printf("-- roofline --\n"
+                  "(no hardware-counter data on this trace; re-run the solve with\n"
+                  " DNC_HWC=1 so the slices carry counter deltas)\n\n");
+    } else {
+      const obs::Roofline roof = obs::roofline(trace, gemm_flops, gemm_bytes, a.peak_gflops);
+      std::printf("-- roofline --\n%s\n", obs::render_roofline(roof).c_str());
+    }
+  }
 
   // --- critical path ---
   const obs::CriticalPath cp = obs::critical_path(trace);
