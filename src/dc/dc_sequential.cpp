@@ -108,6 +108,7 @@ void finish_report(const obs::SolveScope& scope,
       3u * static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n) * sizeof(double);
   rep.memory.output_bytes =
       static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n) * sizeof(double);
+  rep.memory.context_bytes = 0;  // accumulated below; keep per-solve on report reuse
   for (const auto& ctx : ctxs) {
     if (!ctx) continue;
     const std::uint64_t m = static_cast<std::uint64_t>(ctx->node.m);

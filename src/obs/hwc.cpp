@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 
 #if defined(__linux__)
 #include <linux/perf_event.h>
@@ -131,30 +132,32 @@ ThreadHwc::ThreadHwc() {
   const HwcRequest req = parse_request(std::getenv("DNC_HWC"));
   if (req == HwcRequest::kOff) return;
 
-  // Process-wide consistency: once any thread settled on a backend, every
-  // later thread uses the same one (mixing perf cycles with rusage fault
-  // counts in one trace would be meaningless).
-  const HwcBackend decided = hwc_active_backend();
-  HwcBackend want = decided;
-  if (decided == HwcBackend::kOff)
-    want = (req == HwcRequest::kRusage) ? HwcBackend::kRusage : HwcBackend::kPerf;
+  // Process-wide consistency: exactly one thread probes (under call_once,
+  // so concurrently-constructing workers wait for the verdict instead of
+  // racing to diverging decisions) and publishes the backend; every other
+  // thread follows it. Mixing perf cycles with rusage fault counts in one
+  // trace would be meaningless.
+  static std::once_flag probe_once;
+  std::call_once(probe_once, [&] {
+    if (req == HwcRequest::kPerf) open_perf();
+    if (backend_ != HwcBackend::kPerf) backend_ = HwcBackend::kRusage;
+    g_backend.store(static_cast<int>(backend_), std::memory_order_release);
+  });
+  if (backend_ != HwcBackend::kOff) return;  // this thread ran the probe
 
-  if (want == HwcBackend::kPerf) {
-    open_perf();
-    if (backend_ != HwcBackend::kPerf) {
-      // perf unavailable (paranoid setting, PMU-less VM, non-Linux): the
-      // software fallback, unless an earlier thread already proved perf
-      // works -- then this thread simply stays inactive rather than
-      // producing incomparable numbers.
-      if (decided == HwcBackend::kPerf) return;
-      want = HwcBackend::kRusage;
-    }
+  switch (hwc_active_backend()) {
+    case HwcBackend::kPerf:
+      // If perf worked for the probing thread but fails here (e.g. fd
+      // exhaustion), this thread stays inactive rather than sampling
+      // incomparable numbers under a different backend.
+      open_perf();
+      break;
+    case HwcBackend::kRusage:
+      backend_ = HwcBackend::kRusage;
+      break;
+    case HwcBackend::kOff:
+      break;
   }
-  if (want == HwcBackend::kRusage) backend_ = HwcBackend::kRusage;
-
-  int expected = -1;
-  g_backend.compare_exchange_strong(expected, static_cast<int>(backend_),
-                                    std::memory_order_acq_rel);
 }
 
 ThreadHwc::~ThreadHwc() { close_perf(); }
@@ -167,6 +170,8 @@ void ThreadHwc::open_perf() noexcept {
     attr.size = sizeof attr;
     attr.type = PERF_TYPE_HARDWARE;
     attr.config = kPerfConfig[i];
+    // One leader read() must return every member as {nr, values[nr]}.
+    attr.read_format = PERF_FORMAT_GROUP;
     attr.disabled = (i == 0) ? 1 : 0;  // group starts disabled, enabled once complete
     attr.exclude_kernel = 1;
     attr.exclude_hv = 1;
@@ -192,7 +197,10 @@ void ThreadHwc::open_perf() noexcept {
     }
     pages_[i] = p;
     const auto* pc = static_cast<const volatile perf_event_mmap_page*>(p);
-    if (!(pc->cap_user_rdpmc && pc->index != 0)) all_caps = false;
+    // Only the capability bit matters here: the group is still disabled, so
+    // index is 0 for every event at this point. rdpmc_read() handles a
+    // transiently-unscheduled event (index == 0) through the seqlock.
+    if (!pc->cap_user_rdpmc) all_caps = false;
   }
   rdpmc_ok_ = all_caps;
 #endif
@@ -250,7 +258,11 @@ void ThreadHwc::read(std::uint64_t out[rt::kHwcSlots]) noexcept {
     std::uint64_t values[rt::kHwcSlots];
   } data{};
   const ssize_t r = ::read(fds_[0], &data, sizeof data);
-  if (r < static_cast<ssize_t>(sizeof(std::uint64_t))) return;
+  // The PERF_FORMAT_GROUP layout is {nr, values[nr]}: require the read to
+  // cover every value it claims before scattering.
+  if (r < static_cast<ssize_t>(sizeof(std::uint64_t)) || data.nr > rt::kHwcSlots ||
+      r < static_cast<ssize_t>((data.nr + 1) * sizeof(std::uint64_t)))
+    return;
   std::uint64_t v = 0;
   for (int i = 0; i < rt::kHwcSlots; ++i) {
     if (fds_[i] < 0) continue;
