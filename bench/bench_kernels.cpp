@@ -15,6 +15,7 @@
 #include <cstring>
 
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "blas/aux.hpp"
@@ -33,25 +34,30 @@ namespace {
 
 using namespace dnc;
 
-void BM_Gemm(benchmark::State& state) {
+template <typename Real>
+void BM_GemmT(benchmark::State& state) {
   const index_t n = state.range(0);
   Rng rng(1);
-  Matrix a(n, n), b(n, n), c(n, n);
+  MatrixT<Real> a(n, n), b(n, n), c(n, n);
   for (index_t j = 0; j < n; ++j)
     for (index_t i = 0; i < n; ++i) {
-      a(i, j) = rng.uniform_sym();
-      b(i, j) = rng.uniform_sym();
+      a(i, j) = static_cast<Real>(rng.uniform_sym());
+      b(i, j) = static_cast<Real>(rng.uniform_sym());
     }
   for (auto _ : state) {
-    blas::gemm(blas::Trans::No, blas::Trans::No, n, n, n, 1.0, a.data(), n, b.data(), n, 0.0,
-               c.data(), n);
+    blas::gemm(blas::Trans::No, blas::Trans::No, n, n, n, Real(1), a.data(), n, b.data(), n,
+               Real(0), c.data(), n);
     benchmark::DoNotOptimize(c.data());
   }
   state.SetItemsProcessed(state.iterations());
   state.counters["GFLOP/s"] = benchmark::Counter(
       2.0 * n * n * n * state.iterations() / 1e9, benchmark::Counter::kIsRate);
 }
+void BM_Gemm(benchmark::State& state) { BM_GemmT<double>(state); }
 BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+// The fp32 fast path on the default dispatch: same sizes, 8-lane kernels.
+void BM_GemmF32(benchmark::State& state) { BM_GemmT<float>(state); }
+BENCHMARK(BM_GemmF32)->Arg(64)->Arg(128)->Arg(256);
 
 void BM_Steqr(benchmark::State& state) {
   const index_t n = state.range(0);
@@ -152,110 +158,126 @@ BENCHMARK(BM_GathervDependencyTracking)->Arg(100)->Arg(10000);
 // in one run of one binary; BM_Gemm above stays on the default dispatch and
 // doubles as the "what users get" number.
 
+template <typename Real>
 void BM_MicrokernelPacked(benchmark::State& state, SimdIsa isa) {
   // The 8x4 register microkernel over already-packed panels: the inner loop
   // every GEMM flop goes through. kc matches the production blocking.
   const index_t kc = 256;
-  const blas::simd::KernelTable* kt = blas::simd::kernels_for(isa);
+  const blas::simd::KernelTableT<Real>* kt = blas::simd::kernels_for_t<Real>(isa);
   Rng rng(3);
-  std::vector<double> ap(8 * kc), bp(kc * 4), c(8 * 4, 0.0);
-  for (auto& v : ap) v = rng.uniform_sym();
-  for (auto& v : bp) v = rng.uniform_sym();
+  std::vector<Real> ap(8 * kc), bp(kc * 4), c(8 * 4, Real(0));
+  for (auto& v : ap) v = static_cast<Real>(rng.uniform_sym());
+  for (auto& v : bp) v = static_cast<Real>(rng.uniform_sym());
   blas::simd::ScopedIsaOverride force(isa);
   for (auto _ : state) {
-    kt->mk8x4(kc, ap.data(), bp.data(), 1.0, 0.0, c.data(), 8, 8, 4);
+    kt->mk8x4(kc, ap.data(), bp.data(), Real(1), Real(0), c.data(), 8, 8, 4);
     benchmark::DoNotOptimize(c.data());
   }
   state.counters["GFLOP/s"] = benchmark::Counter(
       2.0 * 8 * 4 * kc * state.iterations() / 1e9, benchmark::Counter::kIsRate);
 }
 
+template <typename Real>
 void BM_GemmForcedIsa(benchmark::State& state, SimdIsa isa) {
   const index_t n = state.range(0);
   Rng rng(1);
-  Matrix a(n, n), b(n, n), c(n, n);
+  MatrixT<Real> a(n, n), b(n, n), c(n, n);
   for (index_t j = 0; j < n; ++j)
     for (index_t i = 0; i < n; ++i) {
-      a(i, j) = rng.uniform_sym();
-      b(i, j) = rng.uniform_sym();
+      a(i, j) = static_cast<Real>(rng.uniform_sym());
+      b(i, j) = static_cast<Real>(rng.uniform_sym());
     }
   blas::simd::ScopedIsaOverride force(isa);
   for (auto _ : state) {
-    blas::gemm(blas::Trans::No, blas::Trans::No, n, n, n, 1.0, a.data(), n, b.data(), n, 0.0,
-               c.data(), n);
+    blas::gemm(blas::Trans::No, blas::Trans::No, n, n, n, Real(1), a.data(), n, b.data(), n,
+               Real(0), c.data(), n);
     benchmark::DoNotOptimize(c.data());
   }
   state.counters["GFLOP/s"] = benchmark::Counter(
       2.0 * n * n * n * state.iterations() / 1e9, benchmark::Counter::kIsRate);
 }
 
+template <typename Real>
 void BM_AxpyForcedIsa(benchmark::State& state, SimdIsa isa) {
   const index_t n = state.range(0);
   Rng rng(11);
-  std::vector<double> x(n), y(n);
-  for (auto& v : x) v = rng.uniform_sym();
-  for (auto& v : y) v = rng.uniform_sym();
+  std::vector<Real> x(n), y(n);
+  for (auto& v : x) v = static_cast<Real>(rng.uniform_sym());
+  for (auto& v : y) v = static_cast<Real>(rng.uniform_sym());
   blas::simd::ScopedIsaOverride force(isa);
   for (auto _ : state) {
-    blas::axpy(n, 1.000000001, x.data(), y.data());
+    blas::axpy(n, Real(1.000000001), x.data(), y.data());
     benchmark::DoNotOptimize(y.data());
   }
   state.counters["GFLOP/s"] = benchmark::Counter(
       2.0 * n * state.iterations() / 1e9, benchmark::Counter::kIsRate);
 }
 
+template <typename Real>
 void BM_DotForcedIsa(benchmark::State& state, SimdIsa isa) {
   const index_t n = state.range(0);
   Rng rng(13);
-  std::vector<double> x(n), y(n);
-  for (auto& v : x) v = rng.uniform_sym();
-  for (auto& v : y) v = rng.uniform_sym();
+  std::vector<Real> x(n), y(n);
+  for (auto& v : x) v = static_cast<Real>(rng.uniform_sym());
+  for (auto& v : y) v = static_cast<Real>(rng.uniform_sym());
   blas::simd::ScopedIsaOverride force(isa);
   for (auto _ : state) benchmark::DoNotOptimize(blas::dot(n, x.data(), y.data()));
   state.counters["GFLOP/s"] = benchmark::Counter(
       2.0 * n * state.iterations() / 1e9, benchmark::Counter::kIsRate);
 }
 
+template <typename Real>
 void BM_Laed4ForcedIsa(benchmark::State& state, SimdIsa isa) {
   const index_t k = state.range(0);
   Rng rng(7);
-  std::vector<double> d(k), z(k), delta(k);
-  double acc = 0.0, nrm = 0.0;
+  std::vector<Real> d(k), z(k), delta(k);
+  Real acc = 0, nrm = 0;
   for (index_t i = 0; i < k; ++i) {
-    acc += 0.01 + rng.uniform01();
+    acc += Real(0.01) + static_cast<Real>(rng.uniform01());
     d[i] = acc;
-    z[i] = 0.1 + rng.uniform01();
+    z[i] = Real(0.1) + static_cast<Real>(rng.uniform01());
     nrm += z[i] * z[i];
   }
   for (auto& v : z) v /= std::sqrt(nrm);
   blas::simd::ScopedIsaOverride force(isa);
   index_t i = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(lapack::laed4(k, i, d.data(), z.data(), 1.7, delta.data()));
+    benchmark::DoNotOptimize(
+        lapack::laed4(k, i, d.data(), z.data(), Real(1.7), delta.data()));
     i = (i + 1) % k;
   }
   state.SetItemsProcessed(state.iterations());
 }
 
-void register_dispatch_benchmarks() {
+template <typename Real>
+void register_dispatch_benchmarks_for() {
+  // fp64 rows keep their historical names ("BM_GemmForcedIsa/avx2"); fp32
+  // rows append "_f32" so both series live side by side in the artifact.
+  const bool f32 = std::is_same_v<Real, float>;
   for (SimdIsa isa : {SimdIsa::Scalar, SimdIsa::Sse2, SimdIsa::Avx2}) {
-    if (blas::simd::kernels_for(isa) == nullptr) continue;
-    const std::string tag = simd_isa_name(isa);
-    benchmark::RegisterBenchmark(("BM_MicrokernelPacked/" + tag).c_str(),
-                                 [isa](benchmark::State& s) { BM_MicrokernelPacked(s, isa); });
+    if (blas::simd::kernels_for_t<Real>(isa) == nullptr) continue;
+    const std::string tag = std::string(simd_isa_name(isa)) + (f32 ? "_f32" : "");
+    benchmark::RegisterBenchmark(
+        ("BM_MicrokernelPacked/" + tag).c_str(),
+        [isa](benchmark::State& s) { BM_MicrokernelPacked<Real>(s, isa); });
     benchmark::RegisterBenchmark(("BM_GemmForcedIsa/" + tag).c_str(),
-                                 [isa](benchmark::State& s) { BM_GemmForcedIsa(s, isa); })
+                                 [isa](benchmark::State& s) { BM_GemmForcedIsa<Real>(s, isa); })
         ->Arg(128)->Arg(256);
     benchmark::RegisterBenchmark(("BM_AxpyForcedIsa/" + tag).c_str(),
-                                 [isa](benchmark::State& s) { BM_AxpyForcedIsa(s, isa); })
+                                 [isa](benchmark::State& s) { BM_AxpyForcedIsa<Real>(s, isa); })
         ->Arg(4096);
     benchmark::RegisterBenchmark(("BM_DotForcedIsa/" + tag).c_str(),
-                                 [isa](benchmark::State& s) { BM_DotForcedIsa(s, isa); })
+                                 [isa](benchmark::State& s) { BM_DotForcedIsa<Real>(s, isa); })
         ->Arg(4096);
     benchmark::RegisterBenchmark(("BM_Laed4ForcedIsa/" + tag).c_str(),
-                                 [isa](benchmark::State& s) { BM_Laed4ForcedIsa(s, isa); })
+                                 [isa](benchmark::State& s) { BM_Laed4ForcedIsa<Real>(s, isa); })
         ->Arg(512);
   }
+}
+
+void register_dispatch_benchmarks() {
+  register_dispatch_benchmarks_for<double>();
+  register_dispatch_benchmarks_for<float>();
 }
 
 }  // namespace

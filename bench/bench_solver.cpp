@@ -66,6 +66,7 @@ double run_once(const char* driver, const matgen::Tridiag& t, const dc::Options&
   if (std::strcmp(driver, "mrrr") == 0) {
     mrrr::Options mopt;
     mopt.threads = 1;
+    mopt.precision = opt.precision;
     mrrr::Stats st;
     std::vector<double> lam;
     Matrix v;
@@ -89,7 +90,8 @@ double run_once(const char* driver, const matgen::Tridiag& t, const dc::Options&
 }
 
 void append_entry(std::string& js, bool& first_entry, const char* driver, const Family& fam,
-                  index_t n, int reps, const Quartiles& q, const obs::SolveReport& rep) {
+                  const char* precision, index_t n, int reps, const Quartiles& q,
+                  const obs::SolveReport& rep) {
   char buf[512];
   const long merged = rep.merged_columns_total();
   const double deflated_fraction =
@@ -102,10 +104,12 @@ void append_entry(std::string& js, bool& first_entry, const char* driver, const 
   js += first_entry ? "\n" : ",\n";
   first_entry = false;
   std::snprintf(buf, sizeof buf,
-                "    {\"driver\": \"%s\", \"family\": \"%s\", \"n\": %ld, \"reps\": %d,\n"
+                "    {\"driver\": \"%s\", \"family\": \"%s\", \"precision\": \"%s\", "
+                "\"n\": %ld, \"reps\": %d,\n"
                 "     \"seconds\": {\"median\": %.9f, \"q1\": %.9f, \"q3\": %.9f, "
                 "\"min\": %.9f},\n",
-                driver, fam.name, static_cast<long>(n), reps, q.median, q.q1, q.q3, q.min);
+                driver, fam.name, precision, static_cast<long>(n), reps, q.median, q.q1, q.q3,
+                q.min);
   js += buf;
   std::snprintf(buf, sizeof buf,
                 "     \"report\": {\"deflated_fraction\": %.6f, \"laed4_calls\": %llu, "
@@ -145,23 +149,33 @@ int main() {
   }
   js += "\n  },\n  \"entries\": [";
 
+  // The fp32 fast path rides the same grid so the fp32-vs-fp64 trajectory
+  // is a recorded series (acceptance: >= 1.5x median on the GEMM-bound
+  // n >= 512 cells). F32RefineF64 is gated on accuracy in tests/, not here.
+  constexpr struct { Precision prec; const char* name; } kPrecisions[] = {
+      {Precision::F64, "f64"}, {Precision::F32, "f32"}};
+
   bool first_entry = true;
-  std::printf("%-16s %-12s %6s %12s %12s\n", "driver", "family", "n", "median(s)", "iqr(s)");
+  std::printf("%-16s %-12s %-5s %6s %12s %12s\n", "driver", "family", "prec", "n",
+              "median(s)", "iqr(s)");
   for (const char* driver : drivers) {
     for (const Family& fam : kFamilies) {
-      for (const index_t n : sizes) {
-        const matgen::Tridiag t = matgen::table3_matrix(fam.type, n);
-        const dc::Options opt = bench::scaled_options(n);
-        obs::SolveReport rep;
-        run_once(driver, t, opt, rep);  // warmup, untimed
-        std::vector<double> secs;
-        secs.reserve(static_cast<std::size_t>(reps));
-        for (int r = 0; r < reps; ++r) secs.push_back(run_once(driver, t, opt, rep));
-        const Quartiles q = quartiles(secs);
-        append_entry(js, first_entry, driver, fam, n, reps, q, rep);
-        std::printf("%-16s %-12s %6ld %12.6f %12.6f\n", driver, fam.name,
-                    static_cast<long>(n), q.median, q.q3 - q.q1);
-        std::fflush(stdout);
+      for (const auto& [prec, prec_name] : kPrecisions) {
+        for (const index_t n : sizes) {
+          const matgen::Tridiag t = matgen::table3_matrix(fam.type, n);
+          dc::Options opt = bench::scaled_options(n);
+          opt.precision = prec;
+          obs::SolveReport rep;
+          run_once(driver, t, opt, rep);  // warmup, untimed
+          std::vector<double> secs;
+          secs.reserve(static_cast<std::size_t>(reps));
+          for (int r = 0; r < reps; ++r) secs.push_back(run_once(driver, t, opt, rep));
+          const Quartiles q = quartiles(secs);
+          append_entry(js, first_entry, driver, fam, prec_name, n, reps, q, rep);
+          std::printf("%-16s %-12s %-5s %6ld %12.6f %12.6f\n", driver, fam.name, prec_name,
+                      static_cast<long>(n), q.median, q.q3 - q.q1);
+          std::fflush(stdout);
+        }
       }
     }
   }

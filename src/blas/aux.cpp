@@ -4,49 +4,52 @@
 #include <cmath>
 #include <cstring>
 
-#include "common/machine.hpp"
+#include "common/real_traits.hpp"
 
 namespace dnc::blas {
 
-void lacpy(index_t m, index_t n, const double* a, index_t lda, double* b, index_t ldb) {
+template <typename Real>
+void lacpy(index_t m, index_t n, const Real* a, index_t lda, Real* b, index_t ldb) {
   if (lda == m && ldb == m) {
-    std::memcpy(b, a, static_cast<std::size_t>(m) * n * sizeof(double));
+    std::memcpy(b, a, static_cast<std::size_t>(m) * n * sizeof(Real));
     return;
   }
   for (index_t j = 0; j < n; ++j)
-    std::memcpy(b + j * ldb, a + j * lda, static_cast<std::size_t>(m) * sizeof(double));
+    std::memcpy(b + j * ldb, a + j * lda, static_cast<std::size_t>(m) * sizeof(Real));
 }
 
-void laset(index_t m, index_t n, double alpha, double beta, double* a, index_t lda) {
+template <typename Real>
+void laset(index_t m, index_t n, Real alpha, Real beta, Real* a, index_t lda) {
   for (index_t j = 0; j < n; ++j) {
-    double* col = a + j * lda;
+    Real* col = a + j * lda;
     for (index_t i = 0; i < m; ++i) col[i] = alpha;
     if (j < m) col[j] = beta;
   }
 }
 
-void lascl(index_t m, index_t n, double cfrom, double cto, double* a, index_t lda) {
+template <typename Real>
+void lascl(index_t m, index_t n, Real cfrom, Real cto, Real* a, index_t lda) {
   // Multiply by cto/cfrom without over/underflowing intermediates, exactly
   // the dlascl staging: repeatedly apply bignum/smlnum-bounded factors.
-  const double smlnum = dnc::lamch_safmin();
-  const double bignum = 1.0 / smlnum;
-  double cfromc = cfrom, ctoc = cto;
+  const Real smlnum = real_traits<Real>::safmin();
+  const Real bignum = Real(1) / smlnum;
+  Real cfromc = cfrom, ctoc = cto;
   bool done = false;
   while (!done) {
-    const double cfrom1 = cfromc * smlnum;
-    double mul;
+    const Real cfrom1 = cfromc * smlnum;
+    Real mul;
     if (cfrom1 == cfromc) {
       // cfromc is inf or zero-ish; the direct ratio is exact (inf/nan cases
       // propagate as in LAPACK).
       mul = ctoc / cfromc;
       done = true;
     } else {
-      const double cto1 = ctoc / bignum;
+      const Real cto1 = ctoc / bignum;
       if (cto1 == ctoc) {
         mul = ctoc;
         done = true;
-        cfromc = 1.0;
-      } else if (std::fabs(cfrom1) > std::fabs(ctoc) && ctoc != 0.0) {
+        cfromc = Real(1);
+      } else if (std::fabs(cfrom1) > std::fabs(ctoc) && ctoc != Real(0)) {
         mul = smlnum;
         cfromc = cfrom1;
       } else if (std::fabs(cto1) > std::fabs(cfromc)) {
@@ -58,34 +61,36 @@ void lascl(index_t m, index_t n, double cfrom, double cto, double* a, index_t ld
       }
     }
     for (index_t j = 0; j < n; ++j) {
-      double* col = a + j * lda;
+      Real* col = a + j * lda;
       for (index_t i = 0; i < m; ++i) col[i] *= mul;
     }
   }
 }
 
-double lange_max(index_t m, index_t n, const double* a, index_t lda) {
-  double v = 0.0;
+template <typename Real>
+Real lange_max(index_t m, index_t n, const Real* a, index_t lda) {
+  Real v = Real(0);
   for (index_t j = 0; j < n; ++j) {
-    const double* col = a + j * lda;
+    const Real* col = a + j * lda;
     for (index_t i = 0; i < m; ++i) v = std::max(v, std::fabs(col[i]));
   }
   return v;
 }
 
-double lange_fro(index_t m, index_t n, const double* a, index_t lda) {
-  double scale = 0.0, ssq = 1.0;
+template <typename Real>
+Real lange_fro(index_t m, index_t n, const Real* a, index_t lda) {
+  Real scale = Real(0), ssq = Real(1);
   for (index_t j = 0; j < n; ++j) {
-    const double* col = a + j * lda;
+    const Real* col = a + j * lda;
     for (index_t i = 0; i < m; ++i) {
-      const double x = std::fabs(col[i]);
-      if (x == 0.0) continue;
+      const Real x = std::fabs(col[i]);
+      if (x == Real(0)) continue;
       if (scale < x) {
-        const double r = scale / x;
-        ssq = 1.0 + ssq * r * r;
+        const Real r = scale / x;
+        ssq = Real(1) + ssq * r * r;
         scale = x;
       } else {
-        const double r = x / scale;
+        const Real r = x / scale;
         ssq += r * r;
       }
     }
@@ -93,32 +98,50 @@ double lange_fro(index_t m, index_t n, const double* a, index_t lda) {
   return scale * std::sqrt(ssq);
 }
 
-double lange_one(index_t m, index_t n, const double* a, index_t lda) {
-  double v = 0.0;
+template <typename Real>
+Real lange_one(index_t m, index_t n, const Real* a, index_t lda) {
+  Real v = Real(0);
   for (index_t j = 0; j < n; ++j) {
-    const double* col = a + j * lda;
-    double s = 0.0;
+    const Real* col = a + j * lda;
+    Real s = Real(0);
     for (index_t i = 0; i < m; ++i) s += std::fabs(col[i]);
     v = std::max(v, s);
   }
   return v;
 }
 
-double lanst_max(index_t n, const double* d, const double* e) {
-  double v = 0.0;
+template <typename Real>
+Real lanst_max(index_t n, const Real* d, const Real* e) {
+  Real v = Real(0);
   for (index_t i = 0; i < n; ++i) v = std::max(v, std::fabs(d[i]));
   for (index_t i = 0; i + 1 < n; ++i) v = std::max(v, std::fabs(e[i]));
   return v;
 }
 
-double lanst_one(index_t n, const double* d, const double* e) {
-  if (n == 0) return 0.0;
+template <typename Real>
+Real lanst_one(index_t n, const Real* d, const Real* e) {
+  if (n == 0) return Real(0);
   if (n == 1) return std::fabs(d[0]);
-  double v = std::max(std::fabs(d[0]) + std::fabs(e[0]),
-                      std::fabs(d[n - 1]) + std::fabs(e[n - 2]));
+  Real v = std::max(std::fabs(d[0]) + std::fabs(e[0]),
+                    std::fabs(d[n - 1]) + std::fabs(e[n - 2]));
   for (index_t i = 1; i + 1 < n; ++i)
     v = std::max(v, std::fabs(d[i]) + std::fabs(e[i - 1]) + std::fabs(e[i]));
   return v;
 }
+
+#define DNC_INSTANTIATE_AUX(Real)                                                           \
+  template void lacpy<Real>(index_t, index_t, const Real*, index_t, Real*, index_t);        \
+  template void laset<Real>(index_t, index_t, Real, Real, Real*, index_t);                  \
+  template void lascl<Real>(index_t, index_t, Real, Real, Real*, index_t);                  \
+  template Real lange_max<Real>(index_t, index_t, const Real*, index_t);                    \
+  template Real lange_fro<Real>(index_t, index_t, const Real*, index_t);                    \
+  template Real lange_one<Real>(index_t, index_t, const Real*, index_t);                    \
+  template Real lanst_max<Real>(index_t, const Real*, const Real*);                         \
+  template Real lanst_one<Real>(index_t, const Real*, const Real*)
+
+DNC_INSTANTIATE_AUX(double);
+DNC_INSTANTIATE_AUX(float);
+
+#undef DNC_INSTANTIATE_AUX
 
 }  // namespace dnc::blas

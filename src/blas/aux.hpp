@@ -1,7 +1,8 @@
 // LAPACK-style auxiliary matrix utilities: copies, initialisation, safe
 // scaling and norms. These are the memory-bound kernels of the solver
 // (PermuteV / CopyBackDeflated / LASET in the paper's task list go through
-// lacpy/laset on panels).
+// lacpy/laset on panels). Templated on Real, instantiated for double and
+// float.
 #pragma once
 
 #include "common/matrix.hpp"
@@ -9,27 +10,35 @@
 namespace dnc::blas {
 
 /// B = A for full m x n blocks (dlacpy 'A').
-void lacpy(index_t m, index_t n, const double* a, index_t lda, double* b, index_t ldb);
+template <typename Real>
+void lacpy(index_t m, index_t n, const Real* a, index_t lda, Real* b, index_t ldb);
 
 /// Set off-diagonals to alpha and diagonal to beta (dlaset 'A').
-void laset(index_t m, index_t n, double alpha, double beta, double* a, index_t lda);
+template <typename Real>
+void laset(index_t m, index_t n, Real alpha, Real beta, Real* a, index_t lda);
 
 /// Overflow-safe multiply by cto/cfrom (dlascl, type 'G'), in steps that
 /// never overflow intermediate values.
-void lascl(index_t m, index_t n, double cfrom, double cto, double* a, index_t lda);
+template <typename Real>
+void lascl(index_t m, index_t n, Real cfrom, Real cto, Real* a, index_t lda);
 
 /// Max |a_ij| (dlange 'M').
-double lange_max(index_t m, index_t n, const double* a, index_t lda);
+template <typename Real>
+Real lange_max(index_t m, index_t n, const Real* a, index_t lda);
 
 /// Frobenius norm with dlassq-style scaling (dlange 'F').
-double lange_fro(index_t m, index_t n, const double* a, index_t lda);
+template <typename Real>
+Real lange_fro(index_t m, index_t n, const Real* a, index_t lda);
 
 /// One-norm (max column sum, dlange 'O').
-double lange_one(index_t m, index_t n, const double* a, index_t lda);
+template <typename Real>
+Real lange_one(index_t m, index_t n, const Real* a, index_t lda);
 
 /// Norms of a symmetric tridiagonal matrix given diagonal d (n) and
 /// off-diagonal e (n-1): dlanst.
-double lanst_max(index_t n, const double* d, const double* e);
-double lanst_one(index_t n, const double* d, const double* e);
+template <typename Real>
+Real lanst_max(index_t n, const Real* d, const Real* e);
+template <typename Real>
+Real lanst_one(index_t n, const Real* d, const Real* e);
 
 }  // namespace dnc::blas

@@ -3,10 +3,14 @@
 // The implementation is the classic three-level cache-blocked GEMM
 // (Goto/BLIS structure): panels of B are packed into a KC x NC buffer,
 // blocks of A into an MC x KC buffer, and an MR x NR register microkernel
-// (plain C, written so GCC auto-vectorizes it) does the inner product.
+// does the inner product through the active simd::KernelTableT<Real>.
 // The eigensolver's dominant cost -- the UpdateVect task, V = Vtilde * X --
 // runs through this kernel, exactly as the paper's implementation runs
 // through sequential MKL GEMM inside each task.
+//
+// Templated on the element type Real and instantiated for double and
+// float; the fp32 instantiation is the core of the DNC_PREC=f32 fast path
+// (8-lane AVX2 microkernels, half the packed-panel footprint).
 #pragma once
 
 #include "blas/level2.hpp"
@@ -23,13 +27,15 @@ struct GemmBlocking {
 
 /// C (m x n) = alpha * op(A) * op(B) + beta * C.
 /// op(A) is m x k, op(B) is k x n. All matrices column-major.
-void gemm(Trans transa, Trans transb, index_t m, index_t n, index_t k, double alpha,
-          const double* a, index_t lda, const double* b, index_t ldb, double beta, double* c,
+template <typename Real>
+void gemm(Trans transa, Trans transb, index_t m, index_t n, index_t k, Real alpha,
+          const Real* a, index_t lda, const Real* b, index_t ldb, Real beta, Real* c,
           index_t ldc);
 
 /// Triple-loop reference used by tests to validate the blocked kernel.
-void gemm_reference(Trans transa, Trans transb, index_t m, index_t n, index_t k, double alpha,
-                    const double* a, index_t lda, const double* b, index_t ldb, double beta,
-                    double* c, index_t ldc);
+template <typename Real>
+void gemm_reference(Trans transa, Trans transb, index_t m, index_t n, index_t k, Real alpha,
+                    const Real* a, index_t lda, const Real* b, index_t ldb, Real beta,
+                    Real* c, index_t ldc);
 
 }  // namespace dnc::blas

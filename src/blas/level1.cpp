@@ -3,46 +3,42 @@
 #include <cmath>
 
 #include "blas/simd/kernels.hpp"
+#include "common/real_traits.hpp"
 
 namespace dnc::blas {
 namespace {
 
 // Overflow-safe scaled sum of squares as in LAPACK dlassq; the slow path
 // behind the vectorized nrm2 below.
-double nrm2_scaled(index_t n, const double* x, index_t incx) {
-  double scale = 0.0, ssq = 1.0;
+template <typename Real>
+Real nrm2_scaled(index_t n, const Real* x, index_t incx) {
+  Real scale = Real(0), ssq = Real(1);
   for (index_t i = 0; i < n; ++i) {
-    const double a = std::fabs(x[i * incx]);
-    if (a == 0.0) continue;
+    const Real a = std::fabs(x[i * incx]);
+    if (a == Real(0)) continue;
     if (scale < a) {
-      const double r = scale / a;
-      ssq = 1.0 + ssq * r * r;
+      const Real r = scale / a;
+      ssq = Real(1) + ssq * r * r;
       scale = a;
     } else {
-      const double r = a / scale;
+      const Real r = a / scale;
       ssq += r * r;
     }
   }
   return scale * std::sqrt(ssq);
 }
 
-// Safe range for the unscaled sum of squares: if sumsq lands in
-// [kSsqSmall, kSsqBig] then no term overflowed (overflow would have
-// produced inf, caught by isfinite) and any term that underflowed is
-// relatively below ~1e-160, far under double rounding error; sqrt(sumsq)
-// is then correct to working precision.
-constexpr double kSsqSmall = 1e-140;
-constexpr double kSsqBig = 1e140;
-
 }  // namespace
 
-void axpy(index_t n, double alpha, const double* x, double* y) {
-  if (alpha == 0.0) return;
-  simd::kernels().axpy(n, alpha, x, y);
+template <typename Real>
+void axpy(index_t n, Real alpha, const Real* x, Real* y) {
+  if (alpha == Real(0)) return;
+  simd::kernels_t<Real>().axpy(n, alpha, x, y);
 }
 
-void axpy(index_t n, double alpha, const double* x, index_t incx, double* y, index_t incy) {
-  if (alpha == 0.0) return;
+template <typename Real>
+void axpy(index_t n, Real alpha, const Real* x, index_t incx, Real* y, index_t incy) {
+  if (alpha == Real(0)) return;
   if (incx == 1 && incy == 1) {
     axpy(n, alpha, x, y);
     return;
@@ -50,9 +46,13 @@ void axpy(index_t n, double alpha, const double* x, index_t incx, double* y, ind
   for (index_t i = 0; i < n; ++i) y[i * incy] += alpha * x[i * incx];
 }
 
-void scal(index_t n, double alpha, double* x) { simd::kernels().scal(n, alpha, x); }
+template <typename Real>
+void scal(index_t n, Real alpha, Real* x) {
+  simd::kernels_t<Real>().scal(n, alpha, x);
+}
 
-void scal(index_t n, double alpha, double* x, index_t incx) {
+template <typename Real>
+void scal(index_t n, Real alpha, Real* x, index_t incx) {
   if (incx == 1) {
     scal(n, alpha, x);
     return;
@@ -60,36 +60,47 @@ void scal(index_t n, double alpha, double* x, index_t incx) {
   for (index_t i = 0; i < n; ++i) x[i * incx] *= alpha;
 }
 
-double dot(index_t n, const double* x, const double* y) {
-  return simd::kernels().dot(n, x, y);
+template <typename Real>
+Real dot(index_t n, const Real* x, const Real* y) {
+  return simd::kernels_t<Real>().dot(n, x, y);
 }
 
-double dot(index_t n, const double* x, index_t incx, const double* y, index_t incy) {
+template <typename Real>
+Real dot(index_t n, const Real* x, index_t incx, const Real* y, index_t incy) {
   if (incx == 1 && incy == 1) return dot(n, x, y);
-  double s = 0.0;
+  Real s = Real(0);
   for (index_t i = 0; i < n; ++i) s += x[i * incx] * y[i * incy];
   return s;
 }
 
-double nrm2(index_t n, const double* x, index_t incx) {
+template <typename Real>
+Real nrm2(index_t n, const Real* x, index_t incx) {
   if (incx == 1) return nrm2(n, x);
   return nrm2_scaled(n, x, incx);
 }
 
-double nrm2(index_t n, const double* x) {
+template <typename Real>
+Real nrm2(index_t n, const Real* x) {
   // Fast path: plain vectorized sum of squares, accepted only when the
   // result proves no overflow/underflow could have distorted it. A huge or
   // non-finite sumsq may have overflowed and a tiny one may have lost
-  // underflowed terms (so the 1e±300 graded matrices of types 7/8, and
-  // exactly-zero vectors, re-run the scaled loop).
-  const double ssq = simd::kernels().sumsq(n, x);
-  if (ssq >= kSsqSmall && ssq <= kSsqBig) return std::sqrt(ssq);
+  // underflowed terms (so graded matrices with extreme norms, and
+  // exactly-zero vectors, re-run the scaled loop). The safe window is a
+  // real_traits constant: [1e-140, 1e140] for double, [1e-17, 1e17] for
+  // float.
+  const Real ssq = simd::kernels_t<Real>().sumsq(n, x);
+  if (ssq >= real_traits<Real>::ssq_small() && ssq <= real_traits<Real>::ssq_big())
+    return std::sqrt(ssq);
   return nrm2_scaled(n, x, 1);
 }
 
-void copy(index_t n, const double* x, double* y) { simd::kernels().copy(n, x, y); }
+template <typename Real>
+void copy(index_t n, const Real* x, Real* y) {
+  simd::kernels_t<Real>().copy(n, x, y);
+}
 
-void copy(index_t n, const double* x, index_t incx, double* y, index_t incy) {
+template <typename Real>
+void copy(index_t n, const Real* x, index_t incx, Real* y, index_t incy) {
   if (incx == 1 && incy == 1) {
     copy(n, x, y);
     return;
@@ -97,20 +108,25 @@ void copy(index_t n, const double* x, index_t incx, double* y, index_t incy) {
   for (index_t i = 0; i < n; ++i) y[i * incy] = x[i * incx];
 }
 
-void swap(index_t n, double* x, double* y) { simd::kernels().swap(n, x, y); }
+template <typename Real>
+void swap(index_t n, Real* x, Real* y) {
+  simd::kernels_t<Real>().swap(n, x, y);
+}
 
-double asum(index_t n, const double* x) {
-  double s = 0.0;
+template <typename Real>
+Real asum(index_t n, const Real* x) {
+  Real s = Real(0);
   for (index_t i = 0; i < n; ++i) s += std::fabs(x[i]);
   return s;
 }
 
-index_t iamax(index_t n, const double* x) {
+template <typename Real>
+index_t iamax(index_t n, const Real* x) {
   if (n <= 0) return -1;
   index_t best = 0;
-  double bv = std::fabs(x[0]);
+  Real bv = std::fabs(x[0]);
   for (index_t i = 1; i < n; ++i) {
-    const double a = std::fabs(x[i]);
+    const Real a = std::fabs(x[i]);
     if (a > bv) {
       bv = a;
       best = i;
@@ -119,21 +135,46 @@ index_t iamax(index_t n, const double* x) {
   return best;
 }
 
-void rot(index_t n, double* x, double* y, double c, double s) {
-  simd::kernels().rot(n, x, y, c, s);
+template <typename Real>
+void rot(index_t n, Real* x, Real* y, Real c, Real s) {
+  simd::kernels_t<Real>().rot(n, x, y, c, s);
 }
 
-void rot(index_t n, double* x, index_t incx, double* y, index_t incy, double c, double s) {
+template <typename Real>
+void rot(index_t n, Real* x, index_t incx, Real* y, index_t incy, Real c, Real s) {
   if (incx == 1 && incy == 1) {
     rot(n, x, y, c, s);
     return;
   }
   for (index_t i = 0; i < n; ++i) {
-    const double xi = x[i * incx];
-    const double yi = y[i * incy];
+    const Real xi = x[i * incx];
+    const Real yi = y[i * incy];
     x[i * incx] = c * xi + s * yi;
     y[i * incy] = c * yi - s * xi;
   }
 }
+
+// Explicit instantiations: the whole level-1 surface for double and float.
+#define DNC_INSTANTIATE_LEVEL1(Real)                                                        \
+  template void axpy<Real>(index_t, Real, const Real*, Real*);                              \
+  template void axpy<Real>(index_t, Real, const Real*, index_t, Real*, index_t);            \
+  template void scal<Real>(index_t, Real, Real*);                                           \
+  template void scal<Real>(index_t, Real, Real*, index_t);                                  \
+  template Real dot<Real>(index_t, const Real*, const Real*);                               \
+  template Real dot<Real>(index_t, const Real*, index_t, const Real*, index_t);             \
+  template Real nrm2<Real>(index_t, const Real*);                                           \
+  template Real nrm2<Real>(index_t, const Real*, index_t);                                  \
+  template void copy<Real>(index_t, const Real*, Real*);                                    \
+  template void copy<Real>(index_t, const Real*, index_t, Real*, index_t);                  \
+  template void swap<Real>(index_t, Real*, Real*);                                          \
+  template Real asum<Real>(index_t, const Real*);                                           \
+  template index_t iamax<Real>(index_t, const Real*);                                       \
+  template void rot<Real>(index_t, Real*, Real*, Real, Real);                               \
+  template void rot<Real>(index_t, Real*, index_t, Real*, index_t, Real, Real)
+
+DNC_INSTANTIATE_LEVEL1(double);
+DNC_INSTANTIATE_LEVEL1(float);
+
+#undef DNC_INSTANTIATE_LEVEL1
 
 }  // namespace dnc::blas

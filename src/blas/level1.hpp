@@ -1,6 +1,7 @@
-// BLAS level-1 vector kernels (double precision, unit behaviour of the
-// reference BLAS, contiguous and strided variants where the eigensolvers
-// need them).
+// BLAS level-1 vector kernels (unit behaviour of the reference BLAS,
+// contiguous and strided variants where the eigensolvers need them).
+// Everything is templated on the element type Real and instantiated for
+// double and float; double call sites deduce Real and compile unchanged.
 #pragma once
 
 #include "common/matrix.hpp"
@@ -8,36 +9,51 @@
 namespace dnc::blas {
 
 /// y += alpha * x
-void axpy(index_t n, double alpha, const double* x, double* y);
-void axpy(index_t n, double alpha, const double* x, index_t incx, double* y, index_t incy);
+template <typename Real>
+void axpy(index_t n, Real alpha, const Real* x, Real* y);
+template <typename Real>
+void axpy(index_t n, Real alpha, const Real* x, index_t incx, Real* y, index_t incy);
 
 /// x *= alpha
-void scal(index_t n, double alpha, double* x);
-void scal(index_t n, double alpha, double* x, index_t incx);
+template <typename Real>
+void scal(index_t n, Real alpha, Real* x);
+template <typename Real>
+void scal(index_t n, Real alpha, Real* x, index_t incx);
 
 /// dot product
-double dot(index_t n, const double* x, const double* y);
-double dot(index_t n, const double* x, index_t incx, const double* y, index_t incy);
+template <typename Real>
+Real dot(index_t n, const Real* x, const Real* y);
+template <typename Real>
+Real dot(index_t n, const Real* x, index_t incx, const Real* y, index_t incy);
 
 /// Euclidean norm, overflow-safe (dnrm2 two-pass scaling algorithm).
-double nrm2(index_t n, const double* x);
-double nrm2(index_t n, const double* x, index_t incx);
+template <typename Real>
+Real nrm2(index_t n, const Real* x);
+template <typename Real>
+Real nrm2(index_t n, const Real* x, index_t incx);
 
 /// y = x
-void copy(index_t n, const double* x, double* y);
-void copy(index_t n, const double* x, index_t incx, double* y, index_t incy);
+template <typename Real>
+void copy(index_t n, const Real* x, Real* y);
+template <typename Real>
+void copy(index_t n, const Real* x, index_t incx, Real* y, index_t incy);
 
 /// x <-> y
-void swap(index_t n, double* x, double* y);
+template <typename Real>
+void swap(index_t n, Real* x, Real* y);
 
 /// sum of absolute values
-double asum(index_t n, const double* x);
+template <typename Real>
+Real asum(index_t n, const Real* x);
 
 /// index of max |x_i| (0-based); -1 for n <= 0.
-index_t iamax(index_t n, const double* x);
+template <typename Real>
+index_t iamax(index_t n, const Real* x);
 
 /// Apply plane rotation: [x; y] <- [c s; -s c] [x; y] (drot).
-void rot(index_t n, double* x, double* y, double c, double s);
-void rot(index_t n, double* x, index_t incx, double* y, index_t incy, double c, double s);
+template <typename Real>
+void rot(index_t n, Real* x, Real* y, Real c, Real s);
+template <typename Real>
+void rot(index_t n, Real* x, index_t incx, Real* y, index_t incy, Real c, Real s);
 
 }  // namespace dnc::blas

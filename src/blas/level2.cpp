@@ -2,69 +2,85 @@
 
 namespace dnc::blas {
 
-void gemv(Trans trans, index_t m, index_t n, double alpha, const double* a, index_t lda,
-          const double* x, double beta, double* y) {
+template <typename Real>
+void gemv(Trans trans, index_t m, index_t n, Real alpha, const Real* a, index_t lda,
+          const Real* x, Real beta, Real* y) {
   if (trans == Trans::No) {
-    if (beta == 0.0) {
-      for (index_t i = 0; i < m; ++i) y[i] = 0.0;
-    } else if (beta != 1.0) {
+    if (beta == Real(0)) {
+      for (index_t i = 0; i < m; ++i) y[i] = Real(0);
+    } else if (beta != Real(1)) {
       for (index_t i = 0; i < m; ++i) y[i] *= beta;
     }
     // Column-sweep order keeps the A accesses stride-1.
     for (index_t j = 0; j < n; ++j) {
-      const double t = alpha * x[j];
-      if (t == 0.0) continue;
-      const double* col = a + j * lda;
+      const Real t = alpha * x[j];
+      if (t == Real(0)) continue;
+      const Real* col = a + j * lda;
       for (index_t i = 0; i < m; ++i) y[i] += t * col[i];
     }
   } else {
     for (index_t j = 0; j < n; ++j) {
-      const double* col = a + j * lda;
-      double s = 0.0;
+      const Real* col = a + j * lda;
+      Real s = Real(0);
       for (index_t i = 0; i < m; ++i) s += col[i] * x[i];
-      y[j] = alpha * s + (beta == 0.0 ? 0.0 : beta * y[j]);
+      y[j] = alpha * s + (beta == Real(0) ? Real(0) : beta * y[j]);
     }
   }
 }
 
-void ger(index_t m, index_t n, double alpha, const double* x, const double* y, double* a,
+template <typename Real>
+void ger(index_t m, index_t n, Real alpha, const Real* x, const Real* y, Real* a,
          index_t lda) {
   for (index_t j = 0; j < n; ++j) {
-    const double t = alpha * y[j];
-    if (t == 0.0) continue;
-    double* col = a + j * lda;
+    const Real t = alpha * y[j];
+    if (t == Real(0)) continue;
+    Real* col = a + j * lda;
     for (index_t i = 0; i < m; ++i) col[i] += t * x[i];
   }
 }
 
-void symv_lower(index_t n, double alpha, const double* a, index_t lda, const double* x,
-                double beta, double* y) {
-  if (beta == 0.0) {
-    for (index_t i = 0; i < n; ++i) y[i] = 0.0;
-  } else if (beta != 1.0) {
+template <typename Real>
+void symv_lower(index_t n, Real alpha, const Real* a, index_t lda, const Real* x, Real beta,
+                Real* y) {
+  if (beta == Real(0)) {
+    for (index_t i = 0; i < n; ++i) y[i] = Real(0);
+  } else if (beta != Real(1)) {
     for (index_t i = 0; i < n; ++i) y[i] *= beta;
   }
   for (index_t j = 0; j < n; ++j) {
-    const double* col = a + j * lda;
-    const double xj = alpha * x[j];
-    double s = 0.0;
+    const Real* col = a + j * lda;
+    const Real xj = alpha * x[j];
+    Real s = Real(0);
     y[j] += xj * col[j];
     for (index_t i = j + 1; i < n; ++i) {
-      y[i] += xj * col[i];       // A(i,j) * x(j)
-      s += col[i] * x[i];        // A(j,i) = A(i,j) contribution
+      y[i] += xj * col[i];  // A(i,j) * x(j)
+      s += col[i] * x[i];   // A(j,i) = A(i,j) contribution
     }
     y[j] += alpha * s;
   }
 }
 
-void syr2_lower(index_t n, double alpha, const double* x, const double* y, double* a,
-                index_t lda) {
+template <typename Real>
+void syr2_lower(index_t n, Real alpha, const Real* x, const Real* y, Real* a, index_t lda) {
   for (index_t j = 0; j < n; ++j) {
-    const double tx = alpha * y[j];
-    const double ty = alpha * x[j];
-    double* col = a + j * lda;
+    const Real tx = alpha * y[j];
+    const Real ty = alpha * x[j];
+    Real* col = a + j * lda;
     for (index_t i = j; i < n; ++i) col[i] += x[i] * tx + y[i] * ty;
   }
 }
+
+#define DNC_INSTANTIATE_LEVEL2(Real)                                                        \
+  template void gemv<Real>(Trans, index_t, index_t, Real, const Real*, index_t, const Real*, \
+                           Real, Real*);                                                    \
+  template void ger<Real>(index_t, index_t, Real, const Real*, const Real*, Real*, index_t); \
+  template void symv_lower<Real>(index_t, Real, const Real*, index_t, const Real*, Real,    \
+                                 Real*);                                                    \
+  template void syr2_lower<Real>(index_t, Real, const Real*, const Real*, Real*, index_t)
+
+DNC_INSTANTIATE_LEVEL2(double);
+DNC_INSTANTIATE_LEVEL2(float);
+
+#undef DNC_INSTANTIATE_LEVEL2
 
 }  // namespace dnc::blas

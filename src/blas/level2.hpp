@@ -1,5 +1,6 @@
 // BLAS level-2 kernels needed by the Householder tridiagonalization and the
-// eigensolver verification paths.
+// eigensolver verification paths. Templated on Real (double/float
+// instantiations); double call sites deduce Real and compile unchanged.
 #pragma once
 
 #include "common/matrix.hpp"
@@ -9,19 +10,22 @@ namespace dnc::blas {
 enum class Trans { No, Yes };
 
 /// y = alpha * op(A) * x + beta * y, A is m-by-n column-major with ld lda.
-void gemv(Trans trans, index_t m, index_t n, double alpha, const double* a, index_t lda,
-          const double* x, double beta, double* y);
+template <typename Real>
+void gemv(Trans trans, index_t m, index_t n, Real alpha, const Real* a, index_t lda,
+          const Real* x, Real beta, Real* y);
 
 /// A += alpha * x * y^T (dger).
-void ger(index_t m, index_t n, double alpha, const double* x, const double* y, double* a,
+template <typename Real>
+void ger(index_t m, index_t n, Real alpha, const Real* x, const Real* y, Real* a,
          index_t lda);
 
 /// y = alpha*A*x + beta*y for symmetric A stored in the lower triangle (dsymv).
-void symv_lower(index_t n, double alpha, const double* a, index_t lda, const double* x,
-                double beta, double* y);
+template <typename Real>
+void symv_lower(index_t n, Real alpha, const Real* a, index_t lda, const Real* x, Real beta,
+                Real* y);
 
 /// A += alpha*(x*y^T + y*x^T), lower triangle only (dsyr2).
-void syr2_lower(index_t n, double alpha, const double* x, const double* y, double* a,
-                index_t lda);
+template <typename Real>
+void syr2_lower(index_t n, Real alpha, const Real* x, const Real* y, Real* a, index_t lda);
 
 }  // namespace dnc::blas

@@ -4,9 +4,10 @@
 
 namespace dnc::blas {
 
+template <typename Real>
 void parallel_gemm(ThreadPool& pool, Trans transa, Trans transb, index_t m, index_t n,
-                   index_t k, double alpha, const double* a, index_t lda, const double* b,
-                   index_t ldb, double beta, double* c, index_t ldc) {
+                   index_t k, Real alpha, const Real* a, index_t lda, const Real* b,
+                   index_t ldb, Real beta, Real* c, index_t ldc) {
   if (m <= 0 || n <= 0) return;
   // Column slabs of C are disjoint, so each worker runs an independent
   // sequential GEMM on its slab; the surrounding parallel_for is the join.
@@ -17,9 +18,16 @@ void parallel_gemm(ThreadPool& pool, Trans transa, Trans transb, index_t m, inde
   // micro-tiles are handled by the packed zero-padding.
   pool.parallel_for(0, n, [&](index_t j0, index_t j1) {
     const index_t nb = j1 - j0;
-    const double* bsub = (transb == Trans::No) ? b + j0 * ldb : b + j0;
+    const Real* bsub = (transb == Trans::No) ? b + j0 * ldb : b + j0;
     gemm(transa, transb, m, nb, k, alpha, a, lda, bsub, ldb, beta, c + j0 * ldc, ldc);
   });
 }
+
+template void parallel_gemm<double>(ThreadPool&, Trans, Trans, index_t, index_t, index_t,
+                                    double, const double*, index_t, const double*, index_t,
+                                    double, double*, index_t);
+template void parallel_gemm<float>(ThreadPool&, Trans, Trans, index_t, index_t, index_t,
+                                   float, const float*, index_t, const float*, index_t,
+                                   float, float*, index_t);
 
 }  // namespace dnc::blas

@@ -12,8 +12,9 @@
 namespace dnc::blas {
 
 /// Same contract as gemm(), parallelised over column slabs of C.
+template <typename Real>
 void parallel_gemm(ThreadPool& pool, Trans transa, Trans transb, index_t m, index_t n,
-                   index_t k, double alpha, const double* a, index_t lda, const double* b,
-                   index_t ldb, double beta, double* c, index_t ldc);
+                   index_t k, Real alpha, const Real* a, index_t lda, const Real* b,
+                   index_t ldb, Real beta, Real* c, index_t ldc);
 
 }  // namespace dnc::blas

@@ -1,10 +1,11 @@
-// Runtime selection of the kernel table.
+// Runtime selection of the kernel tables.
 //
-// Selection happens once, on the first call to kernels(): the hardware
-// probe (common/cpu_features) is clamped by the DNC_SIMD environment
-// variable and by what this binary was compiled with. The active table is
-// held in an atomic pointer so ScopedIsaOverride (tests/benches) can swap
-// it and restore it without races against readers.
+// Selection happens once per precision, on the first call to
+// kernels_t<Real>(): the hardware probe (common/cpu_features) is clamped by
+// the DNC_SIMD environment variable and by what this binary was compiled
+// with. Each active table is held in an atomic pointer so ScopedIsaOverride
+// (tests/benches) can swap both and restore them without races against
+// readers.
 #include <atomic>
 
 #include "blas/simd/kernels.hpp"
@@ -12,25 +13,36 @@
 namespace dnc::blas::simd {
 namespace {
 
-std::atomic<const KernelTable*> g_active{nullptr};
+std::atomic<const KernelTableT<double>*> g_active_f64{nullptr};
+std::atomic<const KernelTableT<float>*> g_active_f32{nullptr};
 
-const KernelTable* select_table() noexcept {
-  const KernelTable* t = kernels_for(requested_simd_isa());
-  return t != nullptr ? t : &kScalarTable;
+template <typename Real>
+const KernelTableT<Real>* scalar_table() noexcept;
+template <>
+const KernelTableT<double>* scalar_table<double>() noexcept { return &kScalarTable; }
+template <>
+const KernelTableT<float>* scalar_table<float>() noexcept { return &kScalarTableF32; }
+
+template <typename Real>
+const KernelTableT<Real>* select_table() noexcept {
+  const KernelTableT<Real>* t = kernels_for_t<Real>(requested_simd_isa());
+  return t != nullptr ? t : scalar_table<Real>();
 }
 
-const KernelTable* active_or_init() noexcept {
-  const KernelTable* t = g_active.load(std::memory_order_acquire);
+template <typename Real>
+const KernelTableT<Real>* active_or_init(std::atomic<const KernelTableT<Real>*>& slot) noexcept {
+  const KernelTableT<Real>* t = slot.load(std::memory_order_acquire);
   if (t != nullptr) return t;
   // Benign race: concurrent first calls compute the same answer.
-  t = select_table();
-  g_active.store(t, std::memory_order_release);
+  t = select_table<Real>();
+  slot.store(t, std::memory_order_release);
   return t;
 }
 
 }  // namespace
 
-const KernelTable* kernels_for(SimdIsa isa) noexcept {
+template <>
+const KernelTableT<double>* kernels_for_t<double>(SimdIsa isa) noexcept {
   switch (isa) {
     case SimdIsa::Avx2:
 #if defined(DNC_HAVE_AVX2)
@@ -47,15 +59,47 @@ const KernelTable* kernels_for(SimdIsa isa) noexcept {
   }
 }
 
-const KernelTable& kernels() noexcept { return *active_or_init(); }
+template <>
+const KernelTableT<float>* kernels_for_t<float>(SimdIsa isa) noexcept {
+  switch (isa) {
+    case SimdIsa::Avx2:
+#if defined(DNC_HAVE_AVX2)
+      if (detect_simd_isa() >= SimdIsa::Avx2) return &kAvx2TableF32;
+#endif
+      return nullptr;
+    case SimdIsa::Sse2:
+      // No float SSE2 tier: 2 lanes of extra width over scalar is not
+      // worth a third variant. Callers treat nullptr as "use scalar".
+      return nullptr;
+    default:
+      return &kScalarTableF32;
+  }
+}
+
+template <>
+const KernelTableT<double>& kernels_t<double>() noexcept {
+  return *active_or_init<double>(g_active_f64);
+}
+
+template <>
+const KernelTableT<float>& kernels_t<float>() noexcept {
+  return *active_or_init<float>(g_active_f32);
+}
 
 SimdIsa active_isa() noexcept { return kernels().isa; }
 
-ScopedIsaOverride::ScopedIsaOverride(SimdIsa isa) noexcept : saved_(active_or_init()) {
-  const KernelTable* t = kernels_for(isa);
-  g_active.store(t != nullptr ? t : &kScalarTable, std::memory_order_release);
+ScopedIsaOverride::ScopedIsaOverride(SimdIsa isa) noexcept
+    : saved_f64_(active_or_init<double>(g_active_f64)),
+      saved_f32_(active_or_init<float>(g_active_f32)) {
+  const KernelTableT<double>* t64 = kernels_for_t<double>(isa);
+  const KernelTableT<float>* t32 = kernels_for_t<float>(isa);
+  g_active_f64.store(t64 != nullptr ? t64 : &kScalarTable, std::memory_order_release);
+  g_active_f32.store(t32 != nullptr ? t32 : &kScalarTableF32, std::memory_order_release);
 }
 
-ScopedIsaOverride::~ScopedIsaOverride() { g_active.store(saved_, std::memory_order_release); }
+ScopedIsaOverride::~ScopedIsaOverride() {
+  g_active_f64.store(saved_f64_, std::memory_order_release);
+  g_active_f32.store(saved_f32_, std::memory_order_release);
+}
 
 }  // namespace dnc::blas::simd

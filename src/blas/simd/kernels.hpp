@@ -1,23 +1,31 @@
-// SIMD kernel layer: one table of function pointers per instruction set,
-// selected once at runtime.
+// SIMD kernel layer: one table of function pointers per (instruction set,
+// precision) pair, selected once at runtime.
 //
 // Layout of the layer:
-//   kernels_scalar.cpp   portable C++ implementations (always built; also
-//                        the reference the SIMD paths are tested against)
+//   kernels_scalar.cpp   portable C++ implementations, templated on Real
+//                        (always built; also the reference the SIMD paths
+//                        are tested against)
 //   kernels_sse2.cpp     128-bit double vectors      (built when the
 //                        toolchain targets x86 and DNC_ENABLE_SIMD is ON)
-//   kernels_avx2.cpp     256-bit double vectors + FMA (same condition, and
-//                        compiled with -mavx2 -mfma for this file only)
+//   kernels_avx2.cpp     256-bit vectors + FMA: 4-lane double and 8-lane
+//                        float tables (same condition, and compiled with
+//                        -mavx2 -mfma for this file only)
 //   dispatch.cpp         runtime selection: hardware probe (cpuid) clamped
-//                        by the DNC_SIMD env var ("scalar"|"sse2"|"avx2")
+//                        by the DNC_SIMD env var ("scalar"|"sse2"|"avx2"),
+//                        one active table per precision
 //
 // Callers (gemm.cpp, level1.cpp, lapack/laed4.cpp) fetch the active table
-// with kernels() and call through it; the indirection is one predictable
-// load per kernel invocation, negligible against the vector loops behind
-// it. Keeping every ISA's table linked in (rather than ifdef-ing call
-// sites) is what lets one binary run the scalar, SSE2 and AVX2 paths --
-// tests compare them pairwise in-process, and CI re-runs the suites under
-// DNC_SIMD=scalar.
+// with kernels<Real>() and call through it; the indirection is one
+// predictable load per kernel invocation, negligible against the vector
+// loops behind it. Keeping every ISA's table linked in (rather than
+// ifdef-ing call sites) is what lets one binary run the scalar, SSE2 and
+// AVX2 paths -- tests compare them pairwise in-process, and CI re-runs the
+// suites under DNC_SIMD=scalar.
+//
+// Precision note: there is no float SSE2 table (2 lanes of extra width are
+// not worth a third variant); requesting Sse2 for float falls back to the
+// scalar float table. The AVX2 float kernels run 8 lanes per vector --
+// twice the fp64 lane count, the core of the fp32 fast path.
 //
 // Numerical note: the AVX2 kernels use FMA and block-wise summation, so
 // dot/sumsq/GEMM/laed4 results may differ from the scalar path by a few
@@ -35,71 +43,105 @@ namespace dnc::blas::simd {
 /// tiles, see pack_a/pack_b). Computes acc = sum_p ap_p * bp_p^T and updates
 /// the mr x nr visible corner of C: C = alpha*acc + beta*C (beta == 0 must
 /// overwrite, never read, C -- callers rely on it to clear NaNs).
-using MicrokernelFn = void (*)(index_t kb, const double* ap, const double* bp, double alpha,
-                               double beta, double* c, index_t ldc, index_t mr, index_t nr);
+template <typename Real>
+using MicrokernelFnT = void (*)(index_t kb, const Real* ap, const Real* bp, Real alpha,
+                                Real beta, Real* c, index_t ldc, index_t mr, index_t nr);
 
 /// Packs a tile-rows slice of op(A) (rows [i0,i0+mr), cols [p0,p0+kb)) into
 /// microkernel order: for each p, MR contiguous row entries, zero-padded
 /// when mr < MR. `trans` selects op(A) = A^T.
-using PackAFn = void (*)(const double* a, index_t lda, bool trans, index_t i0, index_t mr,
-                         index_t p0, index_t kb, double* dst, index_t MR);
+template <typename Real>
+using PackAFnT = void (*)(const Real* a, index_t lda, bool trans, index_t i0, index_t mr,
+                          index_t p0, index_t kb, Real* dst, index_t MR);
 
 /// Packs a tile-cols slice of op(B) (rows [p0,p0+kb), cols [j0,j0+nr)) into
 /// microkernel order: for each p, NR contiguous column entries, zero-padded.
-using PackBFn = void (*)(const double* b, index_t ldb, bool trans, index_t p0, index_t kb,
-                         index_t j0, index_t nr, double* dst, index_t NR);
+template <typename Real>
+using PackBFnT = void (*)(const Real* b, index_t ldb, bool trans, index_t p0, index_t kb,
+                          index_t j0, index_t nr, Real* dst, index_t NR);
 
 /// Secular-equation pole sums, the inner loop of every LAED4 task: for
 /// j in [j0, j1) with t_j = z_j / (delta0_j - tau) accumulates
 ///   *w    += sum rho * z_j * t_j        (f contribution)
 ///   *dsum += sum rho * t_j^2            (per-side derivative)
 ///   *asum += sum |rho * z_j * t_j|      (error-bound magnitude sum)
-using Laed4SumsFn = void (*)(index_t j0, index_t j1, const double* delta0, const double* z,
-                             double rho, double tau, double* w, double* dsum, double* asum);
+template <typename Real>
+using Laed4SumsFnT = void (*)(index_t j0, index_t j1, const Real* delta0, const Real* z,
+                              Real rho, Real tau, Real* w, Real* dsum, Real* asum);
 
-struct KernelTable {
+template <typename Real>
+struct KernelTableT {
   SimdIsa isa;
   const char* name;
 
   // --- level-3: packed GEMM microkernels and packing -------------------
-  MicrokernelFn mk8x4;  ///< MR=8, NR=4 (tall tiles; the default)
-  MicrokernelFn mk4x8;  ///< MR=4, NR=8 (short-wide C panels)
-  PackAFn pack_a;
-  PackBFn pack_b;
+  MicrokernelFnT<Real> mk8x4;  ///< MR=8, NR=4 (tall tiles; the default)
+  MicrokernelFnT<Real> mk4x8;  ///< MR=4, NR=8 (short-wide C panels)
+  PackAFnT<Real> pack_a;
+  PackBFnT<Real> pack_b;
   /// Problems with m*n*k below this volume skip packing and run the
   /// reference triple loop; the SIMD tables set it lower because their
   /// packed path amortises sooner.
   index_t gemm_small_volume;
 
   // --- level-1 (contiguous; strided variants stay scalar) --------------
-  void (*axpy)(index_t n, double alpha, const double* x, double* y);
-  double (*dot)(index_t n, const double* x, const double* y);
-  void (*scal)(index_t n, double alpha, double* x);
-  void (*copy)(index_t n, const double* x, double* y);
-  void (*swap)(index_t n, double* x, double* y);
-  void (*rot)(index_t n, double* x, double* y, double c, double s);
+  void (*axpy)(index_t n, Real alpha, const Real* x, Real* y);
+  Real (*dot)(index_t n, const Real* x, const Real* y);
+  void (*scal)(index_t n, Real alpha, Real* x);
+  void (*copy)(index_t n, const Real* x, Real* y);
+  void (*swap)(index_t n, Real* x, Real* y);
+  void (*rot)(index_t n, Real* x, Real* y, Real c, Real s);
   /// Plain sum of squares (no overflow scaling) -- the nrm2 fast path;
   /// level1.cpp falls back to the scaled scalar loop outside safe range.
-  double (*sumsq)(index_t n, const double* x);
+  Real (*sumsq)(index_t n, const Real* x);
 
   // --- lapack/laed4 ----------------------------------------------------
-  Laed4SumsFn laed4_sums;
+  Laed4SumsFnT<Real> laed4_sums;
 };
 
-/// The active table: hardware probe clamped by DNC_SIMD (read once, on
-/// first use). Safe to call from any thread.
-const KernelTable& kernels() noexcept;
+/// Historical fp64 spellings, used by the double-typed call sites.
+using KernelTable = KernelTableT<double>;
+using MicrokernelFn = MicrokernelFnT<double>;
+using PackAFn = PackAFnT<double>;
+using PackBFn = PackBFnT<double>;
+using Laed4SumsFn = Laed4SumsFnT<double>;
 
-/// Active instruction set (== kernels().isa).
+/// The active table for a precision: hardware probe clamped by DNC_SIMD
+/// (read once, on first use). Safe to call from any thread. Only the
+/// double and float specialisations exist.
+template <typename Real>
+const KernelTableT<Real>& kernels_t() noexcept;
+template <>
+const KernelTableT<double>& kernels_t<double>() noexcept;
+template <>
+const KernelTableT<float>& kernels_t<float>() noexcept;
+
+/// fp64 shorthand (the historical entry point).
+inline const KernelTable& kernels() noexcept { return kernels_t<double>(); }
+
+/// Active instruction set (== kernels().isa; the fp64 table's ISA, which
+/// is also the float table's ISA except that float has no SSE2 tier).
 SimdIsa active_isa() noexcept;
 
 /// Table for a specific level, or nullptr when that level was not compiled
-/// in or the hardware cannot run it. kernels_for(Scalar) never fails.
-const KernelTable* kernels_for(SimdIsa isa) noexcept;
+/// in or the hardware cannot run it. kernels_for_t<Real>(Scalar) never
+/// fails. Float has no SSE2 table: kernels_for_t<float>(Sse2) == nullptr.
+template <typename Real>
+const KernelTableT<Real>* kernels_for_t(SimdIsa isa) noexcept;
+template <>
+const KernelTableT<double>* kernels_for_t<double>(SimdIsa isa) noexcept;
+template <>
+const KernelTableT<float>* kernels_for_t<float>(SimdIsa isa) noexcept;
 
-/// Forces the active table for the current process -- used by tests and
-/// benchmarks to compare paths in-process. Clamped like DNC_SIMD. Restores
-/// the previous table on destruction. Not for concurrent use from multiple
+/// fp64 shorthand.
+inline const KernelTable* kernels_for(SimdIsa isa) noexcept {
+  return kernels_for_t<double>(isa);
+}
+
+/// Forces the active tables (both precisions) for the current process --
+/// used by tests and benchmarks to compare paths in-process. Clamped like
+/// DNC_SIMD (float additionally degrades Sse2 to Scalar). Restores the
+/// previous tables on destruction. Not for concurrent use from multiple
 /// threads (tests/benches are single-threaded at override points).
 class ScopedIsaOverride {
  public:
@@ -109,16 +151,19 @@ class ScopedIsaOverride {
   ScopedIsaOverride& operator=(const ScopedIsaOverride&) = delete;
 
  private:
-  const KernelTable* saved_;
+  const KernelTableT<double>* saved_f64_;
+  const KernelTableT<float>* saved_f32_;
 };
 
-/// The scalar table (always present; the testing reference).
-extern const KernelTable kScalarTable;
+/// The scalar tables (always present; the testing reference).
+extern const KernelTableT<double> kScalarTable;
+extern const KernelTableT<float> kScalarTableF32;
 #if defined(DNC_HAVE_SSE2)
-extern const KernelTable kSse2Table;
+extern const KernelTableT<double> kSse2Table;
 #endif
 #if defined(DNC_HAVE_AVX2)
-extern const KernelTable kAvx2Table;
+extern const KernelTableT<double> kAvx2Table;
+extern const KernelTableT<float> kAvx2TableF32;
 #endif
 
 }  // namespace dnc::blas::simd

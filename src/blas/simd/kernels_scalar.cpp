@@ -1,8 +1,10 @@
-// Portable C++ kernel table: the fallback on non-x86 targets, the
+// Portable C++ kernel tables: the fallback on non-x86 targets, the
 // DNC_SIMD=scalar path, and the reference every SIMD table is tested
-// against. The GEMM microkernel is the seed's register-blocked loop
-// (written so GCC can auto-vectorize it with the baseline ISA), hoisted
-// here so scalar and SIMD paths share the packing/blocking driver.
+// against. Everything is templated on the element type Real and
+// instantiated for double and float; the GEMM microkernel is the seed's
+// register-blocked loop (written so GCC can auto-vectorize it with the
+// baseline ISA), hoisted here so scalar and SIMD paths share the
+// packing/blocking driver.
 #include <cmath>
 
 #include "blas/simd/kernels.hpp"
@@ -10,31 +12,32 @@
 namespace dnc::blas::simd {
 namespace {
 
-inline double at(const double* a, index_t lda, bool trans, index_t i, index_t j) {
+template <typename Real>
+inline Real at(const Real* a, index_t lda, bool trans, index_t i, index_t j) {
   return trans ? a[j + i * lda] : a[i + j * lda];
 }
 
 // MR x NR register microkernel over packed panels; acc kept in a local
 // array so the compiler maps it to registers.
-template <index_t MR, index_t NR>
-void microkernel(index_t kb, const double* ap, const double* bp, double alpha, double beta,
-                 double* c, index_t ldc, index_t mr, index_t nr) {
-  double acc[MR][NR];
+template <typename Real, index_t MR, index_t NR>
+void microkernel(index_t kb, const Real* ap, const Real* bp, Real alpha, Real beta, Real* c,
+                 index_t ldc, index_t mr, index_t nr) {
+  Real acc[MR][NR];
   for (index_t i = 0; i < MR; ++i)
-    for (index_t j = 0; j < NR; ++j) acc[i][j] = 0.0;
+    for (index_t j = 0; j < NR; ++j) acc[i][j] = Real(0);
   for (index_t p = 0; p < kb; ++p) {
-    const double* arow = ap + p * MR;
-    const double* brow = bp + p * NR;
+    const Real* arow = ap + p * MR;
+    const Real* brow = bp + p * NR;
     for (index_t j = 0; j < NR; ++j) {
-      const double bv = brow[j];
+      const Real bv = brow[j];
       for (index_t i = 0; i < MR; ++i) acc[i][j] += arow[i] * bv;
     }
   }
   for (index_t j = 0; j < nr; ++j) {
-    double* col = c + j * ldc;
-    if (beta == 0.0) {
+    Real* col = c + j * ldc;
+    if (beta == Real(0)) {
       for (index_t i = 0; i < mr; ++i) col[i] = alpha * acc[i][j];
-    } else if (beta == 1.0) {
+    } else if (beta == Real(1)) {
       for (index_t i = 0; i < mr; ++i) col[i] += alpha * acc[i][j];
     } else {
       for (index_t i = 0; i < mr; ++i) col[i] = alpha * acc[i][j] + beta * col[i];
@@ -42,23 +45,25 @@ void microkernel(index_t kb, const double* ap, const double* bp, double alpha, d
   }
 }
 
-void pack_a_scalar(const double* a, index_t lda, bool trans, index_t i0, index_t mr, index_t p0,
-                   index_t kb, double* dst, index_t MR) {
+template <typename Real>
+void pack_a_scalar(const Real* a, index_t lda, bool trans, index_t i0, index_t mr, index_t p0,
+                   index_t kb, Real* dst, index_t MR) {
   if (!trans && mr == MR) {
     for (index_t p = 0; p < kb; ++p) {
-      const double* src = a + i0 + (p0 + p) * lda;
+      const Real* src = a + i0 + (p0 + p) * lda;
       for (index_t i = 0; i < MR; ++i) dst[p * MR + i] = src[i];
     }
     return;
   }
   for (index_t p = 0; p < kb; ++p) {
     for (index_t i = 0; i < MR; ++i)
-      dst[p * MR + i] = (i < mr) ? at(a, lda, trans, i0 + i, p0 + p) : 0.0;
+      dst[p * MR + i] = (i < mr) ? at(a, lda, trans, i0 + i, p0 + p) : Real(0);
   }
 }
 
-void pack_b_scalar(const double* b, index_t ldb, bool trans, index_t p0, index_t kb, index_t j0,
-                   index_t nr, double* dst, index_t NR) {
+template <typename Real>
+void pack_b_scalar(const Real* b, index_t ldb, bool trans, index_t p0, index_t kb, index_t j0,
+                   index_t nr, Real* dst, index_t NR) {
   if (!trans && nr == NR) {
     for (index_t p = 0; p < kb; ++p) {
       for (index_t j = 0; j < NR; ++j) dst[p * NR + j] = b[(p0 + p) + (j0 + j) * ldb];
@@ -67,58 +72,66 @@ void pack_b_scalar(const double* b, index_t ldb, bool trans, index_t p0, index_t
   }
   for (index_t p = 0; p < kb; ++p) {
     for (index_t j = 0; j < NR; ++j)
-      dst[p * NR + j] = (j < nr) ? at(b, ldb, trans, p0 + p, j0 + j) : 0.0;
+      dst[p * NR + j] = (j < nr) ? at(b, ldb, trans, p0 + p, j0 + j) : Real(0);
   }
 }
 
-void axpy_scalar(index_t n, double alpha, const double* x, double* y) {
+template <typename Real>
+void axpy_scalar(index_t n, Real alpha, const Real* x, Real* y) {
   for (index_t i = 0; i < n; ++i) y[i] += alpha * x[i];
 }
 
-double dot_scalar(index_t n, const double* x, const double* y) {
-  double s = 0.0;
+template <typename Real>
+Real dot_scalar(index_t n, const Real* x, const Real* y) {
+  Real s = Real(0);
   for (index_t i = 0; i < n; ++i) s += x[i] * y[i];
   return s;
 }
 
-void scal_scalar(index_t n, double alpha, double* x) {
+template <typename Real>
+void scal_scalar(index_t n, Real alpha, Real* x) {
   for (index_t i = 0; i < n; ++i) x[i] *= alpha;
 }
 
-void copy_scalar(index_t n, const double* x, double* y) {
+template <typename Real>
+void copy_scalar(index_t n, const Real* x, Real* y) {
   for (index_t i = 0; i < n; ++i) y[i] = x[i];
 }
 
-void swap_scalar(index_t n, double* x, double* y) {
+template <typename Real>
+void swap_scalar(index_t n, Real* x, Real* y) {
   for (index_t i = 0; i < n; ++i) {
-    const double t = x[i];
+    const Real t = x[i];
     x[i] = y[i];
     y[i] = t;
   }
 }
 
-void rot_scalar(index_t n, double* x, double* y, double c, double s) {
+template <typename Real>
+void rot_scalar(index_t n, Real* x, Real* y, Real c, Real s) {
   for (index_t i = 0; i < n; ++i) {
-    const double xi = x[i];
-    const double yi = y[i];
+    const Real xi = x[i];
+    const Real yi = y[i];
     x[i] = c * xi + s * yi;
     y[i] = c * yi - s * xi;
   }
 }
 
-double sumsq_scalar(index_t n, const double* x) {
-  double s = 0.0;
+template <typename Real>
+Real sumsq_scalar(index_t n, const Real* x) {
+  Real s = Real(0);
   for (index_t i = 0; i < n; ++i) s += x[i] * x[i];
   return s;
 }
 
-void laed4_sums_scalar(index_t j0, index_t j1, const double* delta0, const double* z,
-                       double rho, double tau, double* w, double* dsum, double* asum) {
-  double fw = 0.0, fd = 0.0, fa = 0.0;
+template <typename Real>
+void laed4_sums_scalar(index_t j0, index_t j1, const Real* delta0, const Real* z, Real rho,
+                       Real tau, Real* w, Real* dsum, Real* asum) {
+  Real fw = Real(0), fd = Real(0), fa = Real(0);
   for (index_t j = j0; j < j1; ++j) {
-    const double dj = delta0[j] - tau;
-    const double t = z[j] / dj;
-    const double term = rho * z[j] * t;
+    const Real dj = delta0[j] - tau;
+    const Real t = z[j] / dj;
+    const Real term = rho * z[j] * t;
     fw += term;
     fd += rho * t * t;
     fa += std::fabs(term);
@@ -130,22 +143,40 @@ void laed4_sums_scalar(index_t j0, index_t j1, const double* delta0, const doubl
 
 }  // namespace
 
-const KernelTable kScalarTable = {
+const KernelTableT<double> kScalarTable = {
     SimdIsa::Scalar,
     "scalar",
-    &microkernel<8, 4>,
-    &microkernel<4, 8>,
-    &pack_a_scalar,
-    &pack_b_scalar,
+    &microkernel<double, 8, 4>,
+    &microkernel<double, 4, 8>,
+    &pack_a_scalar<double>,
+    &pack_b_scalar<double>,
     32 * 32 * 32,
-    &axpy_scalar,
-    &dot_scalar,
-    &scal_scalar,
-    &copy_scalar,
-    &swap_scalar,
-    &rot_scalar,
-    &sumsq_scalar,
-    &laed4_sums_scalar,
+    &axpy_scalar<double>,
+    &dot_scalar<double>,
+    &scal_scalar<double>,
+    &copy_scalar<double>,
+    &swap_scalar<double>,
+    &rot_scalar<double>,
+    &sumsq_scalar<double>,
+    &laed4_sums_scalar<double>,
+};
+
+const KernelTableT<float> kScalarTableF32 = {
+    SimdIsa::Scalar,
+    "scalar",
+    &microkernel<float, 8, 4>,
+    &microkernel<float, 4, 8>,
+    &pack_a_scalar<float>,
+    &pack_b_scalar<float>,
+    32 * 32 * 32,
+    &axpy_scalar<float>,
+    &dot_scalar<float>,
+    &scal_scalar<float>,
+    &copy_scalar<float>,
+    &swap_scalar<float>,
+    &rot_scalar<float>,
+    &sumsq_scalar<float>,
+    &laed4_sums_scalar<float>,
 };
 
 }  // namespace dnc::blas::simd

@@ -25,31 +25,36 @@ class AlignedBuffer {
   AlignedBuffer& operator=(const AlignedBuffer&) = delete;
   ~AlignedBuffer() { std::free(data_); }
 
-  /// Returns a 64-byte-aligned array of at least `n` doubles. Contents are
-  /// unspecified; previous pointers are invalidated when the buffer grows.
-  double* reserve(std::size_t n) {
-    if (n > capacity_) {
+  /// Returns a 64-byte-aligned array of at least `n` elements of T (double
+  /// by default; the precision-templated GEMM passes its Real). Contents
+  /// are unspecified; previous pointers are invalidated when the buffer
+  /// grows. Capacity is tracked in bytes so one arena serves both widths.
+  template <typename T = double>
+  T* reserve(std::size_t n) {
+    const std::size_t need = n * sizeof(T);
+    if (need > capacity_bytes_) {
       // Grow geometrically so alternating callers with slightly different
       // panel shapes do not reallocate on every call.
-      std::size_t want = capacity_ + capacity_ / 2;
-      if (want < n) want = n;
+      std::size_t want = capacity_bytes_ + capacity_bytes_ / 2;
+      if (want < need) want = need;
       std::free(data_);
-      const std::size_t bytes = (want * sizeof(double) + kAlignment - 1) & ~(kAlignment - 1);
-      data_ = static_cast<double*>(std::aligned_alloc(kAlignment, bytes));
+      const std::size_t bytes = (want + kAlignment - 1) & ~(kAlignment - 1);
+      data_ = std::aligned_alloc(kAlignment, bytes);
       if (data_ == nullptr) {
-        capacity_ = 0;
+        capacity_bytes_ = 0;
         throw std::bad_alloc();
       }
-      capacity_ = want;
+      capacity_bytes_ = want;
     }
-    return data_;
+    return static_cast<T*>(data_);
   }
 
-  std::size_t capacity() const { return capacity_; }
+  /// Capacity in doubles (historical unit, kept for the existing tests).
+  std::size_t capacity() const { return capacity_bytes_ / sizeof(double); }
 
  private:
-  double* data_ = nullptr;
-  std::size_t capacity_ = 0;
+  void* data_ = nullptr;
+  std::size_t capacity_bytes_ = 0;
 };
 
 }  // namespace dnc

@@ -1,34 +1,30 @@
 // Machine floating-point constants, equivalent to LAPACK's dlamch.
 //
-// All algorithms in this repository work in IEEE double precision, matching
-// the paper's experiments. Constants are computed once at startup from
-// std::numeric_limits so the library remains correct under -ffast-math-free
-// builds on any IEEE platform.
+// The actual constants live in common/real_traits.hpp, templated on the
+// working precision; these double-typed wrappers keep the historical
+// dlamch-style spellings used throughout the fp64 call sites.
 #pragma once
 
-#include <cmath>
-#include <limits>
+#include "common/real_traits.hpp"
 
 namespace dnc {
 
 /// Relative machine epsilon times the rounding unit: dlamch('E') = ulp/2.
-double lamch_eps() noexcept;
+inline double lamch_eps() noexcept { return real_traits<double>::eps(); }
 
 /// Unit in the last place (relative spacing): dlamch('P') = eps * base.
-double lamch_prec() noexcept;
+inline double lamch_prec() noexcept { return real_traits<double>::prec(); }
 
 /// Smallest safe positive number such that 1/safmin does not overflow:
 /// dlamch('S').
-double lamch_safmin() noexcept;
+inline double lamch_safmin() noexcept { return real_traits<double>::safmin(); }
 
 /// Overflow threshold, dlamch('O').
-double lamch_overflow() noexcept;
+inline double lamch_overflow() noexcept { return real_traits<double>::overflow(); }
 
 /// sqrt(safmin) / eps-style scaling bounds used by steqr/sterf.
-struct ScaleBounds {
-  double ssfmax;  ///< scale down above this
-  double ssfmin;  ///< scale up below this
-};
-ScaleBounds steqr_scale_bounds() noexcept;
+using ScaleBounds = ScaleBoundsT<double>;
+
+inline ScaleBounds steqr_scale_bounds() noexcept { return steqr_scale_bounds_t<double>(); }
 
 }  // namespace dnc

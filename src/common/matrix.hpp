@@ -2,9 +2,12 @@
 //
 // All linear algebra in this repository follows the LAPACK column-major
 // convention: element (i, j) of a matrix with leading dimension ld lives at
-// data[i + j*ld]. Matrix owns 64-byte-aligned storage (cache-line aligned so
+// data[i + j*ld]. MatrixT owns 64-byte-aligned storage (cache-line aligned so
 // panel tasks on distinct columns never share lines at panel boundaries);
-// MatrixView is a cheap non-owning window used by tasks operating on panels.
+// MatrixViewT is a cheap non-owning window used by tasks operating on panels.
+// Both are templated on the element type for the precision-templated solver
+// stack; the unqualified Matrix / MatrixView aliases are the historical
+// double instantiations used by the public APIs.
 #pragma once
 
 #include <cstddef>
@@ -20,57 +23,59 @@ namespace dnc {
 using index_t = std::ptrdiff_t;
 
 /// Non-owning column-major matrix window.
-struct MatrixView {
-  double* data = nullptr;
+template <typename Real>
+struct MatrixViewT {
+  Real* data = nullptr;
   index_t rows = 0;
   index_t cols = 0;
   index_t ld = 0;
 
-  MatrixView() = default;
-  MatrixView(double* d, index_t r, index_t c, index_t leading)
+  MatrixViewT() = default;
+  MatrixViewT(Real* d, index_t r, index_t c, index_t leading)
       : data(d), rows(r), cols(c), ld(leading) {
     DNC_ASSERT(leading >= r);
   }
 
-  double& operator()(index_t i, index_t j) const {
+  Real& operator()(index_t i, index_t j) const {
     DNC_ASSERT(i >= 0 && i < rows && j >= 0 && j < cols);
     return data[i + j * ld];
   }
 
   /// Window of columns [j0, j0+nc) and rows [i0, i0+nr).
-  MatrixView block(index_t i0, index_t j0, index_t nr, index_t nc) const {
+  MatrixViewT block(index_t i0, index_t j0, index_t nr, index_t nc) const {
     DNC_ASSERT(i0 >= 0 && j0 >= 0 && i0 + nr <= rows && j0 + nc <= cols);
-    return MatrixView(data + i0 + j0 * ld, nr, nc, ld);
+    return MatrixViewT(data + i0 + j0 * ld, nr, nc, ld);
   }
 
-  double* col(index_t j) const {
+  Real* col(index_t j) const {
     DNC_ASSERT(j >= 0 && j < cols);
     return data + j * ld;
   }
 };
 
 /// Owning column-major matrix with cache-line aligned storage.
-class Matrix {
+template <typename Real>
+class MatrixT {
  public:
-  Matrix() = default;
-  Matrix(index_t rows, index_t cols) { resize(rows, cols); }
+  MatrixT() = default;
+  MatrixT(index_t rows, index_t cols) { resize(rows, cols); }
 
-  Matrix(const Matrix& other) : Matrix(other.rows_, other.cols_) {
+  MatrixT(const MatrixT& other) : MatrixT(other.rows_, other.cols_) {
     if (size_bytes() > 0) std::memcpy(data_, other.data_, size_bytes());
   }
-  Matrix& operator=(const Matrix& other) {
+  MatrixT& operator=(const MatrixT& other) {
     if (this != &other) {
       resize(other.rows_, other.cols_);
       if (size_bytes() > 0) std::memcpy(data_, other.data_, size_bytes());
     }
     return *this;
   }
-  Matrix(Matrix&& other) noexcept { swap(other); }
-  Matrix& operator=(Matrix&& other) noexcept {
+  MatrixT(MatrixT&& other) noexcept { swap(other); }
+  MatrixT& operator=(MatrixT&& other) noexcept {
     swap(other);
     return *this;
   }
-  ~Matrix() { std::free(data_); }
+  ~MatrixT() { std::free(data_); }
 
   void resize(index_t rows, index_t cols) {
     DNC_REQUIRE(rows >= 0 && cols >= 0, "Matrix dimensions must be non-negative");
@@ -79,20 +84,20 @@ class Matrix {
     data_ = nullptr;
     rows_ = rows;
     cols_ = cols;
-    const std::size_t bytes = static_cast<std::size_t>(rows) * cols * sizeof(double);
+    const std::size_t bytes = static_cast<std::size_t>(rows) * cols * sizeof(Real);
     if (bytes > 0) {
       // Round up to a multiple of the alignment as required by aligned_alloc.
       const std::size_t padded = (bytes + 63) & ~std::size_t{63};
-      data_ = static_cast<double*>(std::aligned_alloc(64, padded));
+      data_ = static_cast<Real*>(std::aligned_alloc(64, padded));
       if (data_ == nullptr) throw std::bad_alloc();
     }
   }
 
-  void fill(double value) {
+  void fill(Real value) {
     for (index_t k = 0; k < rows_ * cols_; ++k) data_[k] = value;
   }
 
-  void swap(Matrix& other) noexcept {
+  void swap(MatrixT& other) noexcept {
     std::swap(data_, other.data_);
     std::swap(rows_, other.rows_);
     std::swap(cols_, other.cols_);
@@ -101,30 +106,33 @@ class Matrix {
   index_t rows() const { return rows_; }
   index_t cols() const { return cols_; }
   index_t ld() const { return rows_; }
-  double* data() { return data_; }
-  const double* data() const { return data_; }
+  Real* data() { return data_; }
+  const Real* data() const { return data_; }
   std::size_t size_bytes() const {
-    return static_cast<std::size_t>(rows_) * cols_ * sizeof(double);
+    return static_cast<std::size_t>(rows_) * cols_ * sizeof(Real);
   }
 
-  double& operator()(index_t i, index_t j) {
+  Real& operator()(index_t i, index_t j) {
     DNC_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_);
     return data_[i + j * rows_];
   }
-  double operator()(index_t i, index_t j) const {
+  Real operator()(index_t i, index_t j) const {
     DNC_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_);
     return data_[i + j * rows_];
   }
 
-  MatrixView view() { return MatrixView(data_, rows_, cols_, rows_); }
-  MatrixView block(index_t i0, index_t j0, index_t nr, index_t nc) {
+  MatrixViewT<Real> view() { return MatrixViewT<Real>(data_, rows_, cols_, rows_); }
+  MatrixViewT<Real> block(index_t i0, index_t j0, index_t nr, index_t nc) {
     return view().block(i0, j0, nr, nc);
   }
 
  private:
-  double* data_ = nullptr;
+  Real* data_ = nullptr;
   index_t rows_ = 0;
   index_t cols_ = 0;
 };
+
+using MatrixView = MatrixViewT<double>;
+using Matrix = MatrixT<double>;
 
 }  // namespace dnc

@@ -1,0 +1,74 @@
+// Numeric traits for the precision-templated kernel/solver stack.
+//
+// Every epsilon / safe-minimum / scaling constant the LAPACK-equivalent
+// kernels need is defined here once per `Real` type, so a kernel templated
+// on Real picks up the right constants by substitution instead of carrying
+// hard-coded double literals. The double specialisation reproduces the
+// original dlamch-style values exactly (see common/machine.hpp, which now
+// forwards here); the float specialisation is the slamch equivalent.
+#pragma once
+
+#include <cmath>
+#include <limits>
+
+namespace dnc {
+
+template <typename Real>
+struct real_traits;
+
+template <>
+struct real_traits<double> {
+  using type = double;
+  static constexpr int bits = 64;
+  /// Short name stamped into reports / bench metadata ("f64").
+  static constexpr const char* name() noexcept { return "f64"; }
+  /// dlamch('E'): relative machine epsilon = 2^-53.
+  static constexpr double eps() noexcept {
+    return std::numeric_limits<double>::epsilon() * 0.5;
+  }
+  /// dlamch('P') = eps * base.
+  static constexpr double prec() noexcept { return std::numeric_limits<double>::epsilon(); }
+  /// dlamch('S'): smallest number whose reciprocal is finite.
+  static constexpr double safmin() noexcept { return std::numeric_limits<double>::min(); }
+  /// dlamch('O'): overflow threshold.
+  static constexpr double overflow() noexcept { return std::numeric_limits<double>::max(); }
+  /// Safe range for the unscaled sum-of-squares fast path (blas::nrm2):
+  /// squaring stays inside [tiny, huge] without over/underflow.
+  static constexpr double ssq_small() noexcept { return 1e-140; }
+  static constexpr double ssq_big() noexcept { return 1e140; }
+};
+
+template <>
+struct real_traits<float> {
+  using type = float;
+  static constexpr int bits = 32;
+  static constexpr const char* name() noexcept { return "f32"; }
+  /// slamch('E'): relative machine epsilon = 2^-24.
+  static constexpr float eps() noexcept {
+    return std::numeric_limits<float>::epsilon() * 0.5f;
+  }
+  static constexpr float prec() noexcept { return std::numeric_limits<float>::epsilon(); }
+  static constexpr float safmin() noexcept { return std::numeric_limits<float>::min(); }
+  static constexpr float overflow() noexcept { return std::numeric_limits<float>::max(); }
+  // float range is ~[1e-38, 3e38]; squares must stay clear of both ends.
+  static constexpr float ssq_small() noexcept { return 1e-17f; }
+  static constexpr float ssq_big() noexcept { return 1e17f; }
+};
+
+/// sqrt(safmin)/eps-style scaling bounds used by steqr/sterf, per precision.
+template <typename Real>
+struct ScaleBoundsT {
+  Real ssfmax;  ///< scale down above this
+  Real ssfmin;  ///< scale up below this
+};
+
+template <typename Real>
+inline ScaleBoundsT<Real> steqr_scale_bounds_t() noexcept {
+  ScaleBoundsT<Real> b;
+  b.ssfmax = std::sqrt(real_traits<Real>::overflow()) / Real(3);
+  // Matches dsteqr's ssfmin = sqrt(safmin / eps) / 3 * 4.
+  b.ssfmin = std::sqrt(real_traits<Real>::safmin() / real_traits<Real>::eps()) / Real(3) * Real(4);
+  return b;
+}
+
+}  // namespace dnc

@@ -26,6 +26,7 @@
 
 #include "common/matrix.hpp"
 #include "dc/options.hpp"
+#include "lapack/refine.hpp"
 #include "obs/report.hpp"
 #include "runtime/simulator.hpp"
 #include "runtime/trace.hpp"
@@ -46,6 +47,10 @@ struct SolveStats {
   /// drivers. Exported to $DNC_REPORT / $DNC_TRACE when those are set (which
   /// works even when stats itself is null).
   obs::SolveReport report;
+
+  /// Refinement epilogue statistics (Precision::F32RefineF64 only:
+  /// checked == 0 under the pure-fp64 and pure-fp32 precisions).
+  lapack::RefineReport refine;
 
   // Filled by the runtime-backed drivers only:
   rt::Trace trace;                             ///< per-task execution trace

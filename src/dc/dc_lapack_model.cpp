@@ -19,9 +19,12 @@
 #include "runtime/engine.hpp"
 
 namespace dnc::dc {
+namespace {
 
-void stedc_lapack_model(index_t n, double* d, double* e, Matrix& v, const Options& opt,
-                        SolveStats* stats, const std::vector<int>& simulate_workers) {
+template <typename Real>
+void stedc_lapack_model_impl(index_t n, Real* d, Real* e, MatrixT<Real>& v,
+                             const Options& opt, SolveStats* stats,
+                             const std::vector<int>& simulate_workers) {
   Stopwatch sw;
   obs::SolveScope scope("lapack_model");
   if (stats) *stats = SolveStats{};
@@ -35,7 +38,7 @@ void stedc_lapack_model(index_t n, double* d, double* e, Matrix& v, const Option
   v.resize(n, n);
 
   const Plan plan = build_plan(n, opt.minpart);
-  Workspace ws(n);
+  WorkspaceT<Real> ws(n);
   auto ctxs = detail::make_contexts(plan, e, opt.nb);
   std::vector<index_t> perm(n);
   const index_t nb = opt.nb;
@@ -44,7 +47,7 @@ void stedc_lapack_model(index_t n, double* d, double* e, Matrix& v, const Option
   const Kinds K(graph);
   rt::Handle hseq("sequential-flow");  // everything chains through this
 
-  double orgnrm = 0.0;
+  Real orgnrm = 0;
   rt::Runtime runtime(graph, opt.threads, opt.sched);
   const auto chain = [&](rt::KindId kind, std::function<void()> fn) {
     graph.submit(kind, std::move(fn), {{&hseq, rt::Access::InOut}});
@@ -52,7 +55,7 @@ void stedc_lapack_model(index_t n, double* d, double* e, Matrix& v, const Option
 
   chain(K.scale, [&, n] { orgnrm = detail::scale_problem(n, d, e); });
   chain(K.partition, [&] { detail::adjust_boundaries(plan, d, e); });
-  chain(K.laset, [&, n] { blas::laset(n, n, 0.0, 0.0, v.data(), v.ld()); });
+  chain(K.laset, [&, n] { blas::laset(n, n, Real(0), Real(0), v.data(), v.ld()); });
 
   for (std::size_t i = 0; i < plan.nodes.size(); ++i) {
     const TreeNode& node = plan.nodes[i];
@@ -62,7 +65,7 @@ void stedc_lapack_model(index_t n, double* d, double* e, Matrix& v, const Option
       chain(K.stedc, [&, node] { detail::solve_leaf(node, d, e, v, perm.data()); });
       continue;
     }
-    MergeContext* ctx = ctxs[i].get();
+    MergeContextT<Real>* ctx = ctxs[i].get();
     const index_t i0 = node.i0;
     chain(K.deflate, [&, ctx, i0] {
       run_deflation(*ctx, ctx->qblock(v), d + i0, perm.data() + i0);
@@ -124,7 +127,16 @@ void stedc_lapack_model(index_t n, double* d, double* e, Matrix& v, const Option
     for (int w : simulate_workers) stats->simulated.push_back(rt::simulate_schedule(graph, w));
     if (opt.export_dag) stats->dag_dot = rt::export_dot(graph);
   }
-  detail::finish_report(scope, ctxs, n, opt.threads, seconds, tr, stats);
+  detail::finish_report(scope, ctxs, n, opt.threads, seconds, tr, stats, opt.precision);
+}
+
+}  // namespace
+
+void stedc_lapack_model(index_t n, double* d, double* e, Matrix& v, const Options& opt,
+                        SolveStats* stats, const std::vector<int>& simulate_workers) {
+  detail::run_with_precision(n, d, e, v, opt, stats, [&](auto* dd, auto* ee, auto& vv) {
+    stedc_lapack_model_impl(n, dd, ee, vv, opt, stats, simulate_workers);
+  });
 }
 
 }  // namespace dnc::dc

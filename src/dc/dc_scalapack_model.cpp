@@ -21,9 +21,12 @@
 #include "runtime/engine.hpp"
 
 namespace dnc::dc {
+namespace {
 
-void stedc_scalapack_model(index_t n, double* d, double* e, Matrix& v, const Options& opt,
-                           SolveStats* stats, const std::vector<int>& simulate_workers) {
+template <typename Real>
+void stedc_scalapack_model_impl(index_t n, Real* d, Real* e, MatrixT<Real>& v,
+                                const Options& opt, SolveStats* stats,
+                                const std::vector<int>& simulate_workers) {
   Stopwatch sw;
   obs::SolveScope scope("scalapack_model");
   if (stats) *stats = SolveStats{};
@@ -37,7 +40,7 @@ void stedc_scalapack_model(index_t n, double* d, double* e, Matrix& v, const Opt
   v.resize(n, n);
 
   const Plan plan = build_plan(n, opt.minpart);
-  Workspace ws(n);
+  WorkspaceT<Real> ws(n);
   auto ctxs = detail::make_contexts(plan, e, opt.nb);
   std::vector<index_t> perm(n);
   const index_t nb = opt.nb;
@@ -47,7 +50,7 @@ void stedc_scalapack_model(index_t n, double* d, double* e, Matrix& v, const Opt
   rt::Handle hbar("level-barrier");
   std::vector<rt::Handle> hnode(plan.nodes.size());
 
-  double orgnrm = 0.0;
+  Real orgnrm = 0;
   rt::Runtime runtime(graph, opt.threads, opt.sched);
 
   graph.submit(K.scale, [&, n] { orgnrm = detail::scale_problem(n, d, e); },
@@ -55,7 +58,7 @@ void stedc_scalapack_model(index_t n, double* d, double* e, Matrix& v, const Opt
   graph.submit(K.partition,
                [&] {
                  detail::adjust_boundaries(plan, d, e);
-                 blas::laset(n, n, 0.0, 0.0, v.data(), v.ld());
+                 blas::laset(n, n, Real(0), Real(0), v.data(), v.ld());
                },
                {{&hbar, rt::Access::InOut}});
 
@@ -75,7 +78,7 @@ void stedc_scalapack_model(index_t n, double* d, double* e, Matrix& v, const Opt
                      detail::task_priority(node.level, false));
         continue;
       }
-      MergeContext* ctx = ctxs[i].get();
+      MergeContextT<Real>* ctx = ctxs[i].get();
       const index_t i0 = node.i0;
       // Deflation is replicated on every process in pdlaed2 -- a serial
       // stretch per merge.
@@ -185,7 +188,16 @@ void stedc_scalapack_model(index_t n, double* d, double* e, Matrix& v, const Opt
     for (int w : simulate_workers) stats->simulated.push_back(rt::simulate_schedule(graph, w));
     if (opt.export_dag) stats->dag_dot = rt::export_dot(graph);
   }
-  detail::finish_report(scope, ctxs, n, opt.threads, seconds, tr, stats);
+  detail::finish_report(scope, ctxs, n, opt.threads, seconds, tr, stats, opt.precision);
+}
+
+}  // namespace
+
+void stedc_scalapack_model(index_t n, double* d, double* e, Matrix& v, const Options& opt,
+                           SolveStats* stats, const std::vector<int>& simulate_workers) {
+  detail::run_with_precision(n, d, e, v, opt, stats, [&](auto* dd, auto* ee, auto& vv) {
+    stedc_scalapack_model_impl(n, dd, ee, vv, opt, stats, simulate_workers);
+  });
 }
 
 }  // namespace dnc::dc

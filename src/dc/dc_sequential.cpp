@@ -14,7 +14,8 @@
 namespace dnc::dc {
 namespace detail {
 
-bool solve_trivial(index_t n, double* d, double* e, Matrix& v) {
+template <typename Real>
+bool solve_trivial(index_t n, Real* d, Real* e, MatrixT<Real>& v) {
   DNC_REQUIRE(n >= 0, "stedc: n must be >= 0");
   if (n > 2) return false;
   v.resize(n, n);
@@ -24,37 +25,43 @@ bool solve_trivial(index_t n, double* d, double* e, Matrix& v) {
   return true;
 }
 
-double scale_problem(index_t n, double* d, double* e) {
-  const double orgnrm = blas::lanst_max(n, d, e);
-  if (orgnrm == 0.0) return 0.0;
-  blas::lascl(n, 1, orgnrm, 1.0, d, n);
-  if (n > 1) blas::lascl(n - 1, 1, orgnrm, 1.0, e, n);
+template <typename Real>
+Real scale_problem(index_t n, Real* d, Real* e) {
+  const Real orgnrm = blas::lanst_max(n, d, e);
+  if (orgnrm == Real(0)) return Real(0);
+  blas::lascl(n, 1, orgnrm, Real(1), d, n);
+  if (n > 1) blas::lascl(n - 1, 1, orgnrm, Real(1), e, n);
   return orgnrm;
 }
 
-void unscale_eigenvalues(index_t n, double* d, double orgnrm) {
-  if (orgnrm != 0.0 && orgnrm != 1.0) blas::lascl(n, 1, 1.0, orgnrm, d, n);
+template <typename Real>
+void unscale_eigenvalues(index_t n, Real* d, Real orgnrm) {
+  if (orgnrm != Real(0) && orgnrm != Real(1)) blas::lascl(n, 1, Real(1), orgnrm, d, n);
 }
 
-void adjust_boundaries(const Plan& plan, double* d, const double* e) {
+template <typename Real>
+void adjust_boundaries(const Plan& plan, Real* d, const Real* e) {
   for (const TreeNode& node : plan.nodes) {
     if (node.leaf()) continue;
     const index_t split = node.i0 + node.n1 - 1;  // coupling e[split]
-    const double b = std::fabs(e[split]);
+    const Real b = std::fabs(e[split]);
     d[split] -= b;
     d[split + 1] -= b;
   }
 }
 
-void solve_leaf(const TreeNode& node, double* d, double* e, Matrix& v, index_t* perm) {
+template <typename Real>
+void solve_leaf(const TreeNode& node, Real* d, Real* e, MatrixT<Real>& v, index_t* perm) {
   lapack::steqr(lapack::CompZ::Identity, node.m, d + node.i0,
                 node.m > 1 ? e + node.i0 : nullptr,
                 v.data() + node.i0 + node.i0 * v.ld(), v.ld());
   for (index_t r = 0; r < node.m; ++r) perm[node.i0 + r] = r;
 }
 
-void sort_eigenpairs(index_t n, double* d, Matrix& v, const index_t* perm, Workspace& ws) {
-  std::vector<double> dsorted(n);
+template <typename Real>
+void sort_eigenpairs(index_t n, Real* d, MatrixT<Real>& v, const index_t* perm,
+                     WorkspaceT<Real>& ws) {
+  std::vector<Real> dsorted(n);
   for (index_t r = 0; r < n; ++r) {
     dsorted[r] = d[perm[r]];
     blas::copy(n, v.data() + perm[r] * v.ld(), ws.qwork.data() + r * ws.qwork.ld());
@@ -63,18 +70,21 @@ void sort_eigenpairs(index_t n, double* d, Matrix& v, const index_t* perm, Works
   blas::lacpy(n, n, ws.qwork.data(), ws.qwork.ld(), v.data(), v.ld());
 }
 
-std::vector<std::unique_ptr<MergeContext>> make_contexts(const Plan& plan, const double* e,
-                                                         index_t nb) {
-  std::vector<std::unique_ptr<MergeContext>> ctxs(plan.nodes.size());
+template <typename Real>
+std::vector<std::unique_ptr<MergeContextT<Real>>> make_contexts(const Plan& plan,
+                                                                const Real* e, index_t nb) {
+  std::vector<std::unique_ptr<MergeContextT<Real>>> ctxs(plan.nodes.size());
   for (std::size_t i = 0; i < plan.nodes.size(); ++i) {
     const TreeNode& node = plan.nodes[i];
     if (node.leaf()) continue;
-    ctxs[i] = std::make_unique<MergeContext>(node, e, nb);
+    ctxs[i] = std::make_unique<MergeContextT<Real>>(node, e, nb);
   }
   return ctxs;
 }
 
-void fill_stats(const Plan& plan, const std::vector<std::unique_ptr<MergeContext>>& ctxs,
+template <typename Real>
+void fill_stats(const Plan& plan,
+                const std::vector<std::unique_ptr<MergeContextT<Real>>>& ctxs,
                 SolveStats* stats) {
   if (stats == nullptr) return;
   stats->merges = 0;
@@ -90,30 +100,35 @@ void fill_stats(const Plan& plan, const std::vector<std::unique_ptr<MergeContext
   stats->deflation_ratio = total_m > 0 ? static_cast<double>(total_defl) / total_m : 0.0;
 }
 
+template <typename Real>
 void finish_report(const obs::SolveScope& scope,
-                   const std::vector<std::unique_ptr<MergeContext>>& ctxs, index_t n,
-                   int threads, double seconds, const rt::Trace* trace, SolveStats* stats) {
+                   const std::vector<std::unique_ptr<MergeContextT<Real>>>& ctxs, index_t n,
+                   int threads, double seconds, const rt::Trace* trace, SolveStats* stats,
+                   Precision prec) {
   const bool want_export = obs::trace_export_requested() || obs::report_export_requested();
   if (stats == nullptr && !want_export) return;
   obs::SolveReport local;
   obs::SolveReport& rep = stats ? stats->report : local;
   // The dispatched kernel table is authoritative (DNC_SIMD and in-process
   // overrides included); the scope would otherwise fall back to the env.
-  rep.simd_isa = blas::simd::kernels().name;
+  rep.simd_isa = blas::simd::kernels_t<Real>().name;
+  rep.precision = precision_name(prec);
   scope.finish(rep, n, threads, seconds, trace);
   // Workspace telemetry: the solve-wide scratch (Workspace: n x n qwork +
   // 2n x n xwork), the n x n eigenvector output, and the per-merge contexts
-  // (z + zhat + the m x npanels partial-product matrix each).
+  // (z + zhat + the m x npanels partial-product matrix each). All of it is
+  // allocated at the working precision, so fp32 solves report half the
+  // fp64 bytes.
   rep.memory.workspace_bytes =
-      3u * static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n) * sizeof(double);
+      3u * static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n) * sizeof(Real);
   rep.memory.output_bytes =
-      static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n) * sizeof(double);
+      static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n) * sizeof(Real);
   rep.memory.context_bytes = 0;  // accumulated below; keep per-solve on report reuse
   for (const auto& ctx : ctxs) {
     if (!ctx) continue;
     const std::uint64_t m = static_cast<std::uint64_t>(ctx->node.m);
     rep.memory.context_bytes +=
-        (2u * m + m * static_cast<std::uint64_t>(ctx->npanels)) * sizeof(double);
+        (2u * m + m * static_cast<std::uint64_t>(ctx->npanels)) * sizeof(Real);
   }
   for (const auto& ctx : ctxs) {
     if (!ctx) continue;
@@ -129,10 +144,35 @@ void finish_report(const obs::SolveScope& scope,
   if (want_export) obs::export_solve_artifacts(rep, trace);
 }
 
+#define DNC_INSTANTIATE_DRIVER_COMMON(Real)                                                  \
+  template bool solve_trivial<Real>(index_t, Real*, Real*, MatrixT<Real>&);                  \
+  template Real scale_problem<Real>(index_t, Real*, Real*);                                  \
+  template void unscale_eigenvalues<Real>(index_t, Real*, Real);                             \
+  template void adjust_boundaries<Real>(const Plan&, Real*, const Real*);                    \
+  template void solve_leaf<Real>(const TreeNode&, Real*, Real*, MatrixT<Real>&, index_t*);   \
+  template void sort_eigenpairs<Real>(index_t, Real*, MatrixT<Real>&, const index_t*,        \
+                                      WorkspaceT<Real>&);                                    \
+  template std::vector<std::unique_ptr<MergeContextT<Real>>> make_contexts<Real>(            \
+      const Plan&, const Real*, index_t);                                                    \
+  template void fill_stats<Real>(                                                            \
+      const Plan&, const std::vector<std::unique_ptr<MergeContextT<Real>>>&, SolveStats*);   \
+  template void finish_report<Real>(const obs::SolveScope&,                                  \
+                                    const std::vector<std::unique_ptr<MergeContextT<Real>>>&, \
+                                    index_t, int, double, const rt::Trace*, SolveStats*,     \
+                                    Precision)
+
+DNC_INSTANTIATE_DRIVER_COMMON(double);
+DNC_INSTANTIATE_DRIVER_COMMON(float);
+
+#undef DNC_INSTANTIATE_DRIVER_COMMON
+
 }  // namespace detail
 
-void stedc_sequential(index_t n, double* d, double* e, Matrix& v, const Options& opt,
-                      SolveStats* stats) {
+namespace {
+
+template <typename Real>
+void stedc_sequential_impl(index_t n, Real* d, Real* e, MatrixT<Real>& v, const Options& opt,
+                           SolveStats* stats) {
   Stopwatch sw;
   obs::SolveScope scope("sequential");
   if (stats) *stats = SolveStats{};
@@ -144,12 +184,12 @@ void stedc_sequential(index_t n, double* d, double* e, Matrix& v, const Options&
     return;
   }
   v.resize(n, n);
-  v.fill(0.0);
+  v.fill(Real(0));
 
-  const double orgnrm = detail::scale_problem(n, d, e);
-  if (orgnrm == 0.0) {
+  const Real orgnrm = detail::scale_problem(n, d, e);
+  if (orgnrm == Real(0)) {
     // Zero matrix: eigenvalues are the (zero) diagonal, vectors identity.
-    blas::laset(n, n, 0.0, 1.0, v.data(), v.ld());
+    blas::laset(n, n, Real(0), Real(1), v.data(), v.ld());
     std::sort(d, d + n);
     if (stats) {
       stats->n = n;
@@ -159,7 +199,7 @@ void stedc_sequential(index_t n, double* d, double* e, Matrix& v, const Options&
   }
 
   const Plan plan = build_plan(n, opt.minpart);
-  Workspace ws(n);
+  WorkspaceT<Real> ws(n);
   auto ctxs = detail::make_contexts(plan, e, opt.nb);
   std::vector<index_t> perm(n);
 
@@ -181,7 +221,17 @@ void stedc_sequential(index_t n, double* d, double* e, Matrix& v, const Options&
     stats->n = n;
     stats->seconds = sw.elapsed();
   }
-  detail::finish_report(scope, ctxs, n, /*threads=*/1, sw.elapsed(), nullptr, stats);
+  detail::finish_report(scope, ctxs, n, /*threads=*/1, sw.elapsed(), nullptr, stats,
+                        opt.precision);
+}
+
+}  // namespace
+
+void stedc_sequential(index_t n, double* d, double* e, Matrix& v, const Options& opt,
+                      SolveStats* stats) {
+  detail::run_with_precision(n, d, e, v, opt, stats, [&](auto* dd, auto* ee, auto& vv) {
+    stedc_sequential_impl(n, dd, ee, vv, opt, stats);
+  });
 }
 
 }  // namespace dnc::dc

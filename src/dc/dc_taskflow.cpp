@@ -26,9 +26,11 @@
 #include "runtime/engine.hpp"
 
 namespace dnc::dc {
+namespace {
 
-void stedc_taskflow(index_t n, double* d, double* e, Matrix& v, const Options& opt,
-                    SolveStats* stats, const std::vector<int>& simulate_workers) {
+template <typename Real>
+void stedc_taskflow_impl(index_t n, Real* d, Real* e, MatrixT<Real>& v, const Options& opt,
+                         SolveStats* stats, const std::vector<int>& simulate_workers) {
   Stopwatch sw;
   obs::SolveScope scope("taskflow");
   if (stats) *stats = SolveStats{};
@@ -42,7 +44,7 @@ void stedc_taskflow(index_t n, double* d, double* e, Matrix& v, const Options& o
   v.resize(n, n);
 
   const Plan plan = build_plan(n, opt.minpart);
-  Workspace ws(n);
+  WorkspaceT<Real> ws(n);
   auto ctxs = detail::make_contexts(plan, e, opt.nb);
   std::vector<index_t> perm(n);
   const index_t nb = opt.nb;
@@ -65,8 +67,8 @@ void stedc_taskflow(index_t n, double* d, double* e, Matrix& v, const Options& o
   const index_t nsortpanels = (n + nb - 1) / nb;
   std::vector<rt::Handle> hsort(nsortpanels);
 
-  double orgnrm = 0.0;
-  std::vector<double> dsorted(n);
+  Real orgnrm = 0;
+  std::vector<Real> dsorted(n);
 
   rt::Runtime runtime(graph, opt.threads, opt.sched);
 
@@ -81,7 +83,7 @@ void stedc_taskflow(index_t n, double* d, double* e, Matrix& v, const Options& o
                  [&, p, nb, n] {
                    const index_t j0 = p * nb;
                    const index_t w = std::min(nb, n - j0);
-                   blas::laset(n, w, 0.0, 0.0, v.data() + j0 * v.ld(), v.ld());
+                   blas::laset(n, w, Real(0), Real(0), v.data() + j0 * v.ld(), v.ld());
                  },
                  {{&hT, rt::Access::GatherV}});
   }
@@ -97,12 +99,12 @@ void stedc_taskflow(index_t n, double* d, double* e, Matrix& v, const Options& o
           ->annotate(node.level, node.m);
       continue;
     }
-    MergeContext* ctx = ctxs[i].get();
+    MergeContextT<Real>* ctx = ctxs[i].get();
     const index_t i0 = node.i0;
     graph
         .submit(K.deflate,
                 [&, ctx, i0] {
-                  MatrixView qb = ctx->qblock(v);
+                  MatrixViewT<Real> qb = ctx->qblock(v);
                   run_deflation(*ctx, qb, d + i0, perm.data() + i0);
                 },
                 {{&hblock[node.son1], rt::Access::InOut},
@@ -240,7 +242,16 @@ void stedc_taskflow(index_t n, double* d, double* e, Matrix& v, const Options& o
     for (int w : simulate_workers) stats->simulated.push_back(rt::simulate_schedule(graph, w));
     if (opt.export_dag) stats->dag_dot = rt::export_dot(graph);
   }
-  detail::finish_report(scope, ctxs, n, opt.threads, seconds, tr, stats);
+  detail::finish_report(scope, ctxs, n, opt.threads, seconds, tr, stats, opt.precision);
+}
+
+}  // namespace
+
+void stedc_taskflow(index_t n, double* d, double* e, Matrix& v, const Options& opt,
+                    SolveStats* stats, const std::vector<int>& simulate_workers) {
+  detail::run_with_precision(n, d, e, v, opt, stats, [&](auto* dd, auto* ee, auto& vv) {
+    stedc_taskflow_impl(n, dd, ee, vv, opt, stats, simulate_workers);
+  });
 }
 
 }  // namespace dnc::dc

@@ -5,17 +5,19 @@
 
 #include "blas/level1.hpp"
 #include "common/error.hpp"
-#include "common/machine.hpp"
+#include "common/real_traits.hpp"
 #include "lapack/rotations.hpp"
 
 namespace dnc::dc {
 
-DeflationResult deflate(index_t n1, index_t n2, double* d, double* z, double rho_in,
-                        MatrixView q, const index_t* perm1, const index_t* perm2) {
+template <typename Real>
+DeflationResultT<Real> deflate(index_t n1, index_t n2, Real* d, Real* z, Real rho_in,
+                               MatrixViewT<Real> q, const index_t* perm1,
+                               const index_t* perm2) {
   const index_t m = n1 + n2;
   DNC_REQUIRE(n1 >= 1 && n2 >= 1, "deflate: sons must be non-empty");
   DNC_REQUIRE(q.rows == m && q.cols == m, "deflate: bad Q block");
-  DeflationResult res;
+  DeflationResultT<Real> res;
   res.m = m;
   res.n1 = n1;
   res.rho = rho_in;
@@ -40,12 +42,12 @@ DeflationResult deflate(index_t n1, index_t n2, double* d, double* z, double rho
   }
 
   // Deflation tolerance, as in dlaed2.
-  double dmax = 0.0, zmax = 0.0;
+  Real dmax = 0, zmax = 0;
   for (index_t i = 0; i < m; ++i) {
     dmax = std::max(dmax, std::fabs(d[i]));
     zmax = std::max(zmax, std::fabs(z[i]));
   }
-  const double tol = 8.0 * lamch_eps() * std::max(dmax, zmax);
+  const Real tol = Real(8) * real_traits<Real>::eps() * std::max(dmax, zmax);
 
   // Column types: 1 for son-1 columns, 3 for son-2 columns initially.
   std::vector<int> coltyp(m);
@@ -59,7 +61,7 @@ DeflationResult deflate(index_t n1, index_t n2, double* d, double* z, double rho
     // Insertion keeps the deflated set ascending even though rotations
     // change d[j] after the merge order was fixed.
     auto it = std::upper_bound(defl.begin(), defl.end(), d[j],
-                               [&](double val, index_t p) { return val < d[p]; });
+                               [&](Real val, index_t p) { return val < d[p]; });
     defl.insert(it, j);
   };
 
@@ -77,7 +79,7 @@ DeflationResult deflate(index_t n1, index_t n2, double* d, double* z, double rho
       if (res.rho * std::fabs(z[j]) <= tol) {
         // Negligible coupling: eigenpair of the block-diagonal part
         // survives unchanged.
-        z[j] = 0.0;
+        z[j] = 0;
         coltyp[j] = 4;
         defl_insert(j);
         continue;
@@ -87,20 +89,20 @@ DeflationResult deflate(index_t n1, index_t n2, double* d, double* z, double rho
         continue;
       }
       // Try to rotate `held` into `j` (poles nearly equal).
-      double s = z[held];
-      double c = z[j];
-      const double tau = lapack::lapy2(c, s);
-      const double gap = d[j] - d[held];
+      Real s = z[held];
+      Real c = z[j];
+      const Real tau = lapack::lapy2(c, s);
+      const Real gap = d[j] - d[held];
       c /= tau;
       s = -s / tau;
       if (std::fabs(gap * c * s) <= tol) {
         // Deflate `held`: the rotated pair has one zero z component.
         z[j] = tau;
-        z[held] = 0.0;
+        z[held] = 0;
         if (coltyp[j] != coltyp[held]) coltyp[j] = 2;
         coltyp[held] = 4;
         blas::rot(m, q.col(held), q.col(j), c, s);
-        const double dh = d[held], dj = d[j];
+        const Real dh = d[held], dj = d[j];
         d[held] = dh * c * c + dj * s * s;
         d[j] = dh * s * s + dj * c * c;
         defl_insert(held);
@@ -143,5 +145,12 @@ DeflationResult deflate(index_t n1, index_t n2, double* d, double* z, double rho
   for (index_t t = 0; t < m - res.k; ++t) res.indx[res.k + t] = defl[t];
   return res;
 }
+
+template DeflationResultT<double> deflate<double>(index_t, index_t, double*, double*, double,
+                                                  MatrixViewT<double>, const index_t*,
+                                                  const index_t*);
+template DeflationResultT<float> deflate<float>(index_t, index_t, float*, float*, float,
+                                                MatrixViewT<float>, const index_t*,
+                                                const index_t*);
 
 }  // namespace dnc::dc

@@ -6,6 +6,9 @@
 //
 // This is the paper's "Compute deflation" join kernel: it is sequential
 // within a merge but runs concurrently across independent merges.
+// Templated on the working precision Real (double / float); the deflation
+// tolerance scales with the precision's epsilon, so fp32 solves deflate
+// more aggressively on the same matrix.
 #pragma once
 
 #include <vector>
@@ -19,15 +22,16 @@ namespace dnc::dc {
 ///   2: non-deflated, support in both sons (created by cross-son rotations)
 ///   3: non-deflated, support only in the second son (bottom n2 rows)
 ///   4: deflated
-struct DeflationResult {
+template <typename Real>
+struct DeflationResultT {
   index_t m = 0;    ///< merged size (n1 + n2)
   index_t n1 = 0;   ///< first son size
   index_t k = 0;    ///< number of non-deflated eigenvalues
-  double rho = 0;   ///< scaled rank-one weight (= |2 beta| after z scaling)
+  Real rho = 0;     ///< scaled rank-one weight (= |2 beta| after z scaling)
 
-  std::vector<double> dlamda;  ///< k poles of the secular system, ascending
-  std::vector<double> w;       ///< z components for the poles (dlamda order)
-  std::vector<double> d_defl;  ///< m-k deflated eigenvalues, ascending
+  std::vector<Real> dlamda;  ///< k poles of the secular system, ascending
+  std::vector<Real> w;       ///< z components for the poles (dlamda order)
+  std::vector<Real> d_defl;  ///< m-k deflated eigenvalues, ascending
 
   /// Grouped storage order: positions 0..k-1 hold non-deflated columns
   /// grouped by type (all 1s, then 2s, then 3s), positions k..m-1 the
@@ -47,6 +51,8 @@ struct DeflationResult {
   index_t k23() const { return ctot[1] + ctot[2]; }  ///< columns with bottom support
 };
 
+using DeflationResult = DeflationResultT<double>;
+
 /// Runs deflation for a merge of sizes n1 + n2 = m.
 ///
 /// d (size m): sons' eigenvalues in physical column order; entries of
@@ -57,7 +63,9 @@ struct DeflationResult {
 ///   its columns in place.
 /// perm1/perm2: ascending orders of the sons' eigenvalues (physical
 ///   indices, perm2 relative to the second son).
-DeflationResult deflate(index_t n1, index_t n2, double* d, double* z, double rho_in,
-                        MatrixView q, const index_t* perm1, const index_t* perm2);
+template <typename Real>
+DeflationResultT<Real> deflate(index_t n1, index_t n2, Real* d, Real* z, Real rho_in,
+                               MatrixViewT<Real> q, const index_t* perm1,
+                               const index_t* perm2);
 
 }  // namespace dnc::dc

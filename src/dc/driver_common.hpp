@@ -1,11 +1,14 @@
 // Shared scaffolding for the D&C drivers: problem scaling, boundary
-// adjustment of the partition, leaf solves, final sorting. Internal header.
+// adjustment of the partition, leaf solves, final sorting, and the
+// precision dispatch that narrows an fp64 problem to the fp32 fast path
+// (and widens + optionally refines the results). Internal header.
 #pragma once
 
 #include <vector>
 
 #include "dc/api.hpp"
 #include "dc/merge.hpp"
+#include "lapack/refine.hpp"
 
 namespace dnc::dc::detail {
 
@@ -22,44 +25,99 @@ inline int task_priority(int level, bool join) {
 }
 
 /// Trivial sizes handled without the machinery. Returns true if done.
-bool solve_trivial(index_t n, double* d, double* e, Matrix& v);
+template <typename Real>
+bool solve_trivial(index_t n, Real* d, Real* e, MatrixT<Real>& v);
 
 /// Scales d/e so the norm is 1 (dstedc's orgnrm scaling); returns the
 /// original norm (0 means the matrix was zero and nothing was scaled).
-double scale_problem(index_t n, double* d, double* e);
+template <typename Real>
+Real scale_problem(index_t n, Real* d, Real* e);
 
 /// Undo scale_problem on the eigenvalues.
-void unscale_eigenvalues(index_t n, double* d, double orgnrm);
+template <typename Real>
+void unscale_eigenvalues(index_t n, Real* d, Real orgnrm);
 
 /// Applies Cuppen's boundary modification: for every internal node, the
 /// two diagonal entries adjacent to the split lose |e_split| (see
 /// DESIGN.md for why the absolute value is correct for both signs).
-void adjust_boundaries(const Plan& plan, double* d, const double* e);
+template <typename Real>
+void adjust_boundaries(const Plan& plan, Real* d, const Real* e);
 
 /// Solves one leaf with steqr into the node's block of v; perm gets the
 /// identity (steqr sorts ascending).
-void solve_leaf(const TreeNode& node, double* d, double* e, Matrix& v, index_t* perm);
+template <typename Real>
+void solve_leaf(const TreeNode& node, Real* d, Real* e, MatrixT<Real>& v, index_t* perm);
 
 /// Applies the root permutation: d and the columns of v are reordered
 /// ascending using ws.qwork as scratch.
-void sort_eigenpairs(index_t n, double* d, Matrix& v, const index_t* perm, Workspace& ws);
+template <typename Real>
+void sort_eigenpairs(index_t n, Real* d, MatrixT<Real>& v, const index_t* perm,
+                     WorkspaceT<Real>& ws);
 
 /// Builds the merge contexts for every internal node of the plan, indexed
 /// like plan.nodes (leaves get nullptr).
-std::vector<std::unique_ptr<MergeContext>> make_contexts(const Plan& plan, const double* e,
-                                                         index_t nb);
+template <typename Real>
+std::vector<std::unique_ptr<MergeContextT<Real>>> make_contexts(const Plan& plan,
+                                                                const Real* e, index_t nb);
 
 /// Accumulates deflation statistics over the contexts.
-void fill_stats(const Plan& plan, const std::vector<std::unique_ptr<MergeContext>>& ctxs,
+template <typename Real>
+void fill_stats(const Plan& plan,
+                const std::vector<std::unique_ptr<MergeContextT<Real>>>& ctxs,
                 SolveStats* stats);
 
 /// Observability epilogue shared by all drivers: finishes the SolveReport
 /// (counter deltas from `scope`, per-merge deflation records from the
 /// contexts, scheduler metrics from `trace` when non-null) into
 /// stats->report -- or a local report when stats is null -- and writes the
-/// $DNC_TRACE / $DNC_REPORT artifacts when those are requested.
+/// $DNC_TRACE / $DNC_REPORT artifacts when those are requested. `prec`
+/// stamps the solve precision on the report; the byte accounting scales
+/// with sizeof(Real).
+template <typename Real>
 void finish_report(const obs::SolveScope& scope,
-                   const std::vector<std::unique_ptr<MergeContext>>& ctxs, index_t n,
-                   int threads, double seconds, const rt::Trace* trace, SolveStats* stats);
+                   const std::vector<std::unique_ptr<MergeContextT<Real>>>& ctxs, index_t n,
+                   int threads, double seconds, const rt::Trace* trace, SolveStats* stats,
+                   Precision prec);
+
+/// Precision dispatch shared by the public driver entry points. `solve` is
+/// a generic callable solve(Real* d, Real* e, MatrixT<Real>& v) running the
+/// driver body at the deduced precision.
+///
+///   F64           solve(d, e, v) on the caller's buffers, unchanged.
+///   F32           narrow d/e to fp32, solve, widen eigenvalues + vectors.
+///   F32RefineF64  as F32, but the ORIGINAL fp64 tridiagonal is saved
+///                 before the solve destroys it (scaling + Cuppen boundary
+///                 adjustment) and every returned eigenpair is polished to
+///                 fp64-grade residuals by Rayleigh-quotient iteration.
+template <typename SolveFn>
+void run_with_precision(index_t n, double* d, double* e, Matrix& v, const Options& opt,
+                        SolveStats* stats, SolveFn&& solve) {
+  if (opt.precision == Precision::F64 || n <= 0) {
+    solve(d, e, v);
+    return;
+  }
+  std::vector<double> d64, e64;
+  if (opt.precision == Precision::F32RefineF64) {
+    d64.assign(d, d + n);
+    if (n > 1) e64.assign(e, e + n - 1);
+  }
+  std::vector<float> d32(d, d + n);
+  std::vector<float> e32;
+  if (n > 1) e32.assign(e, e + n - 1);
+  MatrixT<float> v32;
+  solve(d32.data(), e32.data(), v32);
+  for (index_t i = 0; i < n; ++i) d[i] = static_cast<double>(d32[i]);
+  v.resize(v32.rows(), v32.cols());
+  for (index_t j = 0; j < v32.cols(); ++j) {
+    const float* src = v32.data() + j * v32.ld();
+    double* dst = v.data() + j * v.ld();
+    for (index_t i = 0; i < v32.rows(); ++i) dst[i] = static_cast<double>(src[i]);
+  }
+  if (opt.precision == Precision::F32RefineF64) {
+    const lapack::RefineReport rr = lapack::refine_eigenpairs(
+        n, d64.data(), e64.data(), d, v.data(), v.ld(), v.cols());
+    if (stats) stats->refine = rr;
+  }
+}
 
 }  // namespace dnc::dc::detail

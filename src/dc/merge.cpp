@@ -9,19 +9,21 @@
 
 namespace dnc::dc {
 
-void run_deflation(MergeContext& ctx, MatrixView qblock, double* d, const index_t* perm) {
+template <typename Real>
+void run_deflation(MergeContextT<Real>& ctx, MatrixViewT<Real> qblock, Real* d,
+                   const index_t* perm) {
   const index_t n1 = ctx.node.n1;
   const index_t m = ctx.node.m;
   const index_t n2 = m - n1;
   // z = (last row of V1, first row of V2) / sqrt(2); the second part's sign
   // flips when the coupling is negative so that the rank-one weight can be
   // taken positive (see dlaed2 and DESIGN.md).
-  const double beta = *ctx.beta_ptr;
-  const double scale = std::sqrt(0.5);
+  const Real beta = *ctx.beta_ptr;
+  const Real scale = std::sqrt(Real(0.5));
   for (index_t j = 0; j < n1; ++j) ctx.z[j] = scale * qblock(n1 - 1, j);
-  const double sgn = beta < 0.0 ? -scale : scale;
+  const Real sgn = beta < Real(0) ? -scale : scale;
   for (index_t j = n1; j < m; ++j) ctx.z[j] = sgn * qblock(n1, j);
-  const double rho = std::fabs(2.0 * beta);
+  const Real rho = std::fabs(Real(2) * beta);
 
   ctx.defl = deflate(n1, n2, d, ctx.z.data(), rho, qblock, perm, perm + n1);
 
@@ -30,28 +32,30 @@ void run_deflation(MergeContext& ctx, MatrixView qblock, double* d, const index_
   for (index_t t = 0; t < m - ctx.defl.k; ++t) d[ctx.defl.k + t] = ctx.defl.d_defl[t];
 
   // Partial-product workspace: panels multiply into their own column.
-  ctx.wparts.fill(1.0);
+  ctx.wparts.fill(Real(1));
 
   ctx.t_deflate_end = now_seconds();
 }
 
-void finalize_order(const MergeContext& ctx, const double* d, index_t* perm) {
+template <typename Real>
+void finalize_order(const MergeContextT<Real>& ctx, const Real* d, index_t* perm) {
   // d[0..k) ascending (secular roots interlace the poles) and d[k..m)
   // ascending (deflation kept them sorted): a single lamrg pass yields the
   // father's ascending order.
   lapack::lamrg(ctx.defl.k, ctx.node.m - ctx.defl.k, d, 1, 1, perm);
 }
 
-void merge_sequential(MergeContext& ctx, Matrix& q, Workspace& ws, double* d, index_t* perm,
-                      index_t nb) {
-  MatrixView qb = ctx.qblock(q);
+template <typename Real>
+void merge_sequential(MergeContextT<Real>& ctx, MatrixT<Real>& q, WorkspaceT<Real>& ws,
+                      Real* d, index_t* perm, index_t nb) {
+  MatrixViewT<Real> qb = ctx.qblock(q);
   run_deflation(ctx, qb, d, perm);
   const index_t m = ctx.node.m;
-  MatrixView w1 = ctx.w1(ws);
-  MatrixView w2 = ctx.w2(ws);
-  MatrixView wd = ctx.wdefl(ws);
-  MatrixView dm = ctx.deltam(ws);
-  MatrixView sm = ctx.smat(ws);
+  MatrixViewT<Real> w1 = ctx.w1(ws);
+  MatrixViewT<Real> w2 = ctx.w2(ws);
+  MatrixViewT<Real> wd = ctx.wdefl(ws);
+  MatrixViewT<Real> dm = ctx.deltam(ws);
+  MatrixViewT<Real> sm = ctx.smat(ws);
   for (index_t p = 0; p < ctx.npanels; ++p) {
     const index_t j0 = p * nb;
     const index_t j1 = std::min(j0 + nb, m);
@@ -69,5 +73,17 @@ void merge_sequential(MergeContext& ctx, Matrix& q, Workspace& ws, double* d, in
   }
   finalize_order(ctx, d, perm);
 }
+
+#define DNC_INSTANTIATE_MERGE(Real)                                                       \
+  template void run_deflation<Real>(MergeContextT<Real>&, MatrixViewT<Real>, Real*,       \
+                                    const index_t*);                                      \
+  template void finalize_order<Real>(const MergeContextT<Real>&, const Real*, index_t*);  \
+  template void merge_sequential<Real>(MergeContextT<Real>&, MatrixT<Real>&,              \
+                                       WorkspaceT<Real>&, Real*, index_t*, index_t)
+
+DNC_INSTANTIATE_MERGE(double);
+DNC_INSTANTIATE_MERGE(float);
+
+#undef DNC_INSTANTIATE_MERGE
 
 }  // namespace dnc::dc

@@ -1,6 +1,8 @@
 // One D&C merge step: orchestration of the panel kernels plus the shared
 // workspace layout. Used directly by the sequential / fork-join drivers and
-// as task bodies by the task-flow driver.
+// as task bodies by the task-flow driver. Templated on the working
+// precision Real: an fp32 solve allocates fp32 workspaces (half the memory
+// footprint and traffic of the fp64 solve).
 #pragma once
 
 #include <memory>
@@ -17,73 +19,83 @@ namespace dnc::dc {
 /// disjoint regions addressed by their node offset, so concurrent merges
 /// never share memory (the paper's PLASMA implementation does the same with
 /// its user-provided workspace).
-struct Workspace {
-  Matrix qwork;  ///< n x n: compressed copies (w1 / w2 / deflated columns)
-  Matrix xwork;  ///< 2n x n: delta matrix (top) and S matrix (bottom)
+template <typename Real>
+struct WorkspaceT {
+  MatrixT<Real> qwork;  ///< n x n: compressed copies (w1 / w2 / deflated columns)
+  MatrixT<Real> xwork;  ///< 2n x n: delta matrix (top) and S matrix (bottom)
 
-  explicit Workspace(index_t n) : qwork(n, n), xwork(2 * n, n) {}
+  explicit WorkspaceT(index_t n) : qwork(n, n), xwork(2 * n, n) {}
 };
+
+using Workspace = WorkspaceT<double>;
 
 /// Per-merge dynamic state. Sized for the worst case (no deflation) at
 /// construction so the task DAG can be built before deflation counts are
 /// known -- the paper's "matrix independent DAG" property.
-struct MergeContext {
+template <typename Real>
+struct MergeContextT {
   TreeNode node;
   /// Location of the coupling element e[i0 + n1 - 1]. Read at *execution*
   /// time, not submission time: the task-flow drivers build contexts before
   /// the ScaleT task has rescaled e.
-  const double* beta_ptr = nullptr;
+  const Real* beta_ptr = nullptr;
   index_t npanels = 0;
-  DeflationResult defl;    ///< filled by run_deflation
+  DeflationResultT<Real> defl;  ///< filled by run_deflation
   /// Trace-clock stamp (common/timer.hpp now_seconds) taken when
   /// run_deflation returned; feeds the Perfetto deflation counter track.
   double t_deflate_end = 0.0;
-  std::vector<double> z;
-  std::vector<double> zhat;
-  Matrix wparts;           ///< m x npanels partial Gu-Eisenstat products
+  std::vector<Real> z;
+  std::vector<Real> zhat;
+  MatrixT<Real> wparts;         ///< m x npanels partial Gu-Eisenstat products
 
-  MergeContext(const TreeNode& nd, const double* e_global, index_t nb)
+  MergeContextT(const TreeNode& nd, const Real* e_global, index_t nb)
       : node(nd), beta_ptr(e_global + nd.i0 + nd.n1 - 1), npanels((nd.m + nb - 1) / nb),
         z(nd.m), zhat(nd.m), wparts(nd.m, npanels) {}
 
   // --- workspace views for this node's region ---
-  MatrixView qblock(Matrix& q) const {
+  MatrixViewT<Real> qblock(MatrixT<Real>& q) const {
     return q.block(node.i0, node.i0, node.m, node.m);
   }
-  MatrixView w1(Workspace& ws) const {
+  MatrixViewT<Real> w1(WorkspaceT<Real>& ws) const {
     return ws.qwork.block(node.i0, node.i0, node.n1, node.m);
   }
-  MatrixView w2(Workspace& ws) const {
+  MatrixViewT<Real> w2(WorkspaceT<Real>& ws) const {
     return ws.qwork.block(node.i0 + node.n1, node.i0, node.m - node.n1, node.m);
   }
-  MatrixView wdefl(Workspace& ws) const {
+  MatrixViewT<Real> wdefl(WorkspaceT<Real>& ws) const {
     // Full-height columns [k, m) of the node's qwork region; views are
     // created per call AFTER deflation so k is known.
     return ws.qwork.block(node.i0, node.i0 + defl.k, node.m, node.m - defl.k);
   }
-  MatrixView deltam(Workspace& ws) const {
+  MatrixViewT<Real> deltam(WorkspaceT<Real>& ws) const {
     return ws.xwork.block(2 * node.i0, node.i0, node.m, node.m);
   }
-  MatrixView smat(Workspace& ws) const {
+  MatrixViewT<Real> smat(WorkspaceT<Real>& ws) const {
     return ws.xwork.block(2 * node.i0 + node.m, node.i0, node.m, node.m);
   }
 };
+
+using MergeContext = MergeContextT<double>;
 
 /// Builds the scaled rank-one vector z from the sons' boundary rows and
 /// runs deflation. d is the node's physical eigenvalue array (size m,
 /// global offset already applied by the caller); perm holds the sons'
 /// ascending orders back to back. On return d[k..m) holds the deflated
 /// eigenvalues (grouped order).
-void run_deflation(MergeContext& ctx, MatrixView qblock, double* d, const index_t* perm);
+template <typename Real>
+void run_deflation(MergeContextT<Real>& ctx, MatrixViewT<Real> qblock, Real* d,
+                   const index_t* perm);
 
 /// Finishes the eigenvalue bookkeeping once all secular roots are known:
 /// merges roots and deflated values into the father's ascending perm.
-void finalize_order(const MergeContext& ctx, const double* d, index_t* perm);
+template <typename Real>
+void finalize_order(const MergeContextT<Real>& ctx, const Real* d, index_t* perm);
 
 /// Runs a complete merge sequentially (deflation + all panels in order).
 /// This is the reference implementation; parallel drivers re-order the
 /// same kernel calls.
-void merge_sequential(MergeContext& ctx, Matrix& q, Workspace& ws, double* d, index_t* perm,
-                      index_t nb);
+template <typename Real>
+void merge_sequential(MergeContextT<Real>& ctx, MatrixT<Real>& q, WorkspaceT<Real>& ws,
+                      Real* d, index_t* perm, index_t nb);
 
 }  // namespace dnc::dc

@@ -2,6 +2,7 @@
 #pragma once
 
 #include "common/matrix.hpp"
+#include "common/precision.hpp"
 #include "runtime/sched.hpp"
 
 namespace dnc::dc {
@@ -31,6 +32,11 @@ struct Options {
   /// Capture the task DAG in Graphviz DOT format into SolveStats::dag_dot
   /// (runtime-backed drivers only; reproduces the paper's Figure 2).
   bool export_dag = false;
+
+  /// Working precision of the solve (the DNC_PREC environment variable sets
+  /// the default). F32 runs the whole pipeline in fp32; F32RefineF64 adds
+  /// an fp64 Rayleigh-quotient refinement epilogue (lapack/refine.hpp).
+  Precision precision = default_precision();
 };
 
 }  // namespace dnc::dc

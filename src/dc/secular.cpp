@@ -11,8 +11,10 @@
 
 namespace dnc::dc {
 
-void permute_panel(const DeflationResult& defl, const MatrixView& qblock, MatrixView w1,
-                   MatrixView w2, MatrixView wdefl, index_t g0, index_t g1) {
+template <typename Real>
+void permute_panel(const DeflationResultT<Real>& defl, const MatrixViewT<Real>& qblock,
+                   MatrixViewT<Real> w1, MatrixViewT<Real> w2, MatrixViewT<Real> wdefl,
+                   index_t g0, index_t g1) {
   const index_t m = defl.m;
   const index_t n1 = defl.n1;
   const index_t n2 = m - n1;
@@ -37,8 +39,9 @@ void permute_panel(const DeflationResult& defl, const MatrixView& qblock, Matrix
   }
 }
 
-void secular_solve_panel(const DeflationResult& defl, index_t j0, index_t j1, double* lambda,
-                         MatrixView deltam) {
+template <typename Real>
+void secular_solve_panel(const DeflationResultT<Real>& defl, index_t j0, index_t j1,
+                         Real* lambda, MatrixViewT<Real> deltam) {
   j1 = std::min(j1, defl.k);
   for (index_t j = j0; j < j1; ++j) {
     const auto r = lapack::laed4(defl.k, j, defl.dlamda.data(), defl.w.data(), defl.rho,
@@ -47,13 +50,14 @@ void secular_solve_panel(const DeflationResult& defl, index_t j0, index_t j1, do
   }
 }
 
-void zhat_local_panel(const DeflationResult& defl, const MatrixView& deltam, index_t j0,
-                      index_t j1, double* wpart) {
+template <typename Real>
+void zhat_local_panel(const DeflationResultT<Real>& defl, const MatrixViewT<Real>& deltam,
+                      index_t j0, index_t j1, Real* wpart) {
   const index_t k = defl.k;
   j1 = std::min(j1, k);
   for (index_t j = j0; j < j1; ++j) {
-    const double* dcol = deltam.col(j);
-    const double dj = defl.dlamda[j];
+    const Real* dcol = deltam.col(j);
+    const Real dj = defl.dlamda[j];
     for (index_t i = 0; i < k; ++i) {
       if (i == j)
         wpart[i] *= dcol[i];
@@ -63,11 +67,12 @@ void zhat_local_panel(const DeflationResult& defl, const MatrixView& deltam, ind
   }
 }
 
-void zhat_reduce(const DeflationResult& defl, const MatrixView& wparts, index_t nparts,
-                 double* zhat) {
+template <typename Real>
+void zhat_reduce(const DeflationResultT<Real>& defl, const MatrixViewT<Real>& wparts,
+                 index_t nparts, Real* zhat) {
   const index_t k = defl.k;
   for (index_t i = 0; i < k; ++i) {
-    double prod = 1.0;
+    Real prod = 1;
     for (index_t p = 0; p < nparts; ++p) prod *= wparts(i, p);
     // prod = (d_i - lambda_i) * prod_{j != i} (d_i - lambda_j)/(d_i - d_j)
     // which equals -zhat_i^2 (Gu-Eisenstat); rounding can flip a tiny
@@ -76,25 +81,27 @@ void zhat_reduce(const DeflationResult& defl, const MatrixView& wparts, index_t 
   }
 }
 
-void secular_vectors_panel(const DeflationResult& defl, const MatrixView& deltam,
-                           const double* zhat, index_t j0, index_t j1, MatrixView smat) {
+template <typename Real>
+void secular_vectors_panel(const DeflationResultT<Real>& defl, const MatrixViewT<Real>& deltam,
+                           const Real* zhat, index_t j0, index_t j1, MatrixViewT<Real> smat) {
   const index_t k = defl.k;
   j1 = std::min(j1, k);
-  std::vector<double> s(k);
+  std::vector<Real> s(k);
   for (index_t j = j0; j < j1; ++j) {
-    const double* dcol = deltam.col(j);
+    const Real* dcol = deltam.col(j);
     for (index_t i = 0; i < k; ++i) s[i] = zhat[i] / dcol[i];
-    const double nrm = blas::nrm2(k, s.data());
-    double* out = smat.col(j);
+    const Real nrm = blas::nrm2(k, s.data());
+    Real* out = smat.col(j);
     // Rows of the secular eigenvector matrix are stored in grouped order so
     // the update GEMMs can run on the compressed column blocks directly.
     for (index_t g = 0; g < k; ++g) out[g] = s[defl.rank_of[g]] / nrm;
   }
 }
 
-void update_vectors_panel(const DeflationResult& defl, const MatrixView& w1,
-                          const MatrixView& w2, const MatrixView& smat, index_t j0, index_t j1,
-                          MatrixView qblock) {
+template <typename Real>
+void update_vectors_panel(const DeflationResultT<Real>& defl, const MatrixViewT<Real>& w1,
+                          const MatrixViewT<Real>& w2, const MatrixViewT<Real>& smat,
+                          index_t j0, index_t j1, MatrixViewT<Real> qblock) {
   const index_t m = defl.m;
   const index_t n1 = defl.n1;
   const index_t n2 = m - n1;
@@ -105,25 +112,51 @@ void update_vectors_panel(const DeflationResult& defl, const MatrixView& w1,
   const index_t nj = j1 - j0;
   if (nj <= 0) return;
   if (k12 > 0) {
-    blas::gemm(blas::Trans::No, blas::Trans::No, n1, nj, k12, 1.0, w1.data, w1.ld,
-               smat.data + j0 * smat.ld, smat.ld, 0.0, qblock.col(j0), qblock.ld);
+    blas::gemm(blas::Trans::No, blas::Trans::No, n1, nj, k12, Real(1), w1.data, w1.ld,
+               smat.data + j0 * smat.ld, smat.ld, Real(0), qblock.col(j0), qblock.ld);
   } else {
-    blas::laset(n1, nj, 0.0, 0.0, qblock.col(j0), qblock.ld);
+    blas::laset(n1, nj, Real(0), Real(0), qblock.col(j0), qblock.ld);
   }
   if (k23 > 0) {
-    blas::gemm(blas::Trans::No, blas::Trans::No, n2, nj, k23, 1.0, w2.data, w2.ld,
-               smat.data + c1 + j0 * smat.ld, smat.ld, 0.0, qblock.col(j0) + n1, qblock.ld);
+    blas::gemm(blas::Trans::No, blas::Trans::No, n2, nj, k23, Real(1), w2.data, w2.ld,
+               smat.data + c1 + j0 * smat.ld, smat.ld, Real(0), qblock.col(j0) + n1,
+               qblock.ld);
   } else {
-    blas::laset(n2, nj, 0.0, 0.0, qblock.col(j0) + n1, qblock.ld);
+    blas::laset(n2, nj, Real(0), Real(0), qblock.col(j0) + n1, qblock.ld);
   }
 }
 
-void copyback_panel(const DeflationResult& defl, const MatrixView& wdefl, index_t g0,
-                    index_t g1, MatrixView qblock) {
+template <typename Real>
+void copyback_panel(const DeflationResultT<Real>& defl, const MatrixViewT<Real>& wdefl,
+                    index_t g0, index_t g1, MatrixViewT<Real> qblock) {
   const index_t m = defl.m;
   g0 = std::max(g0, defl.k);
   g1 = std::min(g1, m);
   for (index_t g = g0; g < g1; ++g) blas::copy(m, wdefl.col(g - defl.k), qblock.col(g));
 }
+
+#define DNC_INSTANTIATE_SECULAR(Real)                                                         \
+  template void permute_panel<Real>(const DeflationResultT<Real>&, const MatrixViewT<Real>&,  \
+                                    MatrixViewT<Real>, MatrixViewT<Real>, MatrixViewT<Real>,  \
+                                    index_t, index_t);                                        \
+  template void secular_solve_panel<Real>(const DeflationResultT<Real>&, index_t, index_t,    \
+                                          Real*, MatrixViewT<Real>);                          \
+  template void zhat_local_panel<Real>(const DeflationResultT<Real>&,                         \
+                                       const MatrixViewT<Real>&, index_t, index_t, Real*);    \
+  template void zhat_reduce<Real>(const DeflationResultT<Real>&, const MatrixViewT<Real>&,    \
+                                  index_t, Real*);                                            \
+  template void secular_vectors_panel<Real>(const DeflationResultT<Real>&,                    \
+                                            const MatrixViewT<Real>&, const Real*, index_t,   \
+                                            index_t, MatrixViewT<Real>);                      \
+  template void update_vectors_panel<Real>(                                                   \
+      const DeflationResultT<Real>&, const MatrixViewT<Real>&, const MatrixViewT<Real>&,      \
+      const MatrixViewT<Real>&, index_t, index_t, MatrixViewT<Real>);                         \
+  template void copyback_panel<Real>(const DeflationResultT<Real>&, const MatrixViewT<Real>&, \
+                                     index_t, index_t, MatrixViewT<Real>)
+
+DNC_INSTANTIATE_SECULAR(double);
+DNC_INSTANTIATE_SECULAR(float);
+
+#undef DNC_INSTANTIATE_SECULAR
 
 }  // namespace dnc::dc

@@ -4,85 +4,93 @@
 #include <cmath>
 
 #include "common/error.hpp"
-#include "common/machine.hpp"
+#include "common/real_traits.hpp"
 #include "obs/counters.hpp"
 
 namespace dnc::lapack {
 
-index_t sturm_count(index_t n, const double* d, const double* e, double x) {
+template <typename Real>
+index_t sturm_count(index_t n, const Real* d, const Real* e, Real x) {
   obs::bump(obs::kSturmCalls);
   obs::bump(obs::kSturmSteps, static_cast<std::uint64_t>(n));
   // LDL^T pivot recurrence with the dstebz pivmin safeguard so a zero pivot
   // cannot poison the count.
-  double pivmin = lamch_safmin();
-  for (index_t i = 0; i + 1 < n; ++i) pivmin = std::max(pivmin, e[i] * e[i] * lamch_safmin());
+  const Real safmin = real_traits<Real>::safmin();
+  Real pivmin = safmin;
+  for (index_t i = 0; i + 1 < n; ++i) pivmin = std::max(pivmin, e[i] * e[i] * safmin);
 
   index_t count = 0;
-  double q = d[0] - x;
-  if (q < 0.0) ++count;
+  Real q = d[0] - x;
+  if (q < Real(0)) ++count;
   for (index_t i = 1; i < n; ++i) {
-    if (std::fabs(q) < pivmin) q = q < 0.0 ? -pivmin : pivmin;
+    if (std::fabs(q) < pivmin) q = q < Real(0) ? -pivmin : pivmin;
     q = d[i] - x - e[i - 1] * e[i - 1] / q;
-    if (q < 0.0) ++count;
+    if (q < Real(0)) ++count;
   }
   return count;
 }
 
-void gershgorin_bounds(index_t n, const double* d, const double* e, double& lo, double& hi) {
+template <typename Real>
+void gershgorin_bounds(index_t n, const Real* d, const Real* e, Real& lo, Real& hi) {
   DNC_REQUIRE(n >= 1, "gershgorin_bounds: empty matrix");
   lo = d[0];
   hi = d[0];
   for (index_t i = 0; i < n; ++i) {
-    const double off = (i > 0 ? std::fabs(e[i - 1]) : 0.0) + (i + 1 < n ? std::fabs(e[i]) : 0.0);
+    const Real off =
+        (i > 0 ? std::fabs(e[i - 1]) : Real(0)) + (i + 1 < n ? std::fabs(e[i]) : Real(0));
     lo = std::min(lo, d[i] - off);
     hi = std::max(hi, d[i] + off);
   }
   // Widen slightly so the strict Sturm count brackets the extremes.
-  const double bnorm = std::max(std::fabs(lo), std::fabs(hi));
-  const double fudge = 2.0 * lamch_eps() * bnorm + 2.0 * lamch_safmin();
+  const Real bnorm = std::max(std::fabs(lo), std::fabs(hi));
+  const Real fudge =
+      Real(2) * real_traits<Real>::eps() * bnorm + Real(2) * real_traits<Real>::safmin();
   lo -= fudge;
   hi += fudge;
 }
 
 namespace {
 
-double default_tol(double lo, double hi, double tol_abs) {
-  if (tol_abs >= 0.0) return tol_abs;
-  const double bnorm = std::max(std::fabs(lo), std::fabs(hi));
-  return 2.0 * lamch_eps() * bnorm + 2.0 * lamch_safmin();
+template <typename Real>
+Real default_tol(Real lo, Real hi, Real tol_abs) {
+  if (tol_abs >= Real(0)) return tol_abs;
+  const Real bnorm = std::max(std::fabs(lo), std::fabs(hi));
+  return Real(2) * real_traits<Real>::eps() * bnorm + Real(2) * real_traits<Real>::safmin();
 }
 
 }  // namespace
 
-double bisect_eigenvalue(index_t n, const double* d, const double* e, index_t k,
-                         double tol_rel, double tol_abs) {
+template <typename Real>
+Real bisect_eigenvalue(index_t n, const Real* d, const Real* e, index_t k, Real tol_rel,
+                       Real tol_abs) {
   DNC_REQUIRE(k >= 0 && k < n, "bisect_eigenvalue: k out of range");
-  double lo, hi;
+  Real lo, hi;
   gershgorin_bounds(n, d, e, lo, hi);
-  const double tol = default_tol(lo, hi, tol_abs);
+  const Real tol = default_tol(lo, hi, tol_abs);
   while (hi - lo > tol + tol_rel * std::max(std::fabs(lo), std::fabs(hi))) {
-    const double mid = 0.5 * (lo + hi);
+    const Real mid = Real(0.5) * (lo + hi);
     if (mid == lo || mid == hi) break;  // ran out of precision
     if (sturm_count(n, d, e, mid) > k)
       hi = mid;
     else
       lo = mid;
   }
-  return 0.5 * (lo + hi);
+  return Real(0.5) * (lo + hi);
 }
 
-std::vector<double> bisect_all(index_t n, const double* d, const double* e, double tol_rel,
-                               double tol_abs) {
-  std::vector<double> w(n);
+template <typename Real>
+std::vector<Real> bisect_all(index_t n, const Real* d, const Real* e, Real tol_rel,
+                             Real tol_abs) {
+  std::vector<Real> w(n);
   if (n == 0) return w;
-  double glo, ghi;
+  Real glo, ghi;
   gershgorin_bounds(n, d, e, glo, ghi);
-  const double tol = default_tol(glo, ghi, tol_abs);
+  const Real tol = default_tol(glo, ghi, tol_abs);
 
   // Recursive interval refinement: keeps the total count of Sturm
   // evaluations near n log(range/tol) instead of n per eigenvalue.
   struct Interval {
-    double lo, hi;
+    Real lo, hi;
     index_t klo, khi;  // eigenvalue indices in (lo, hi]: klo..khi-1
   };
   std::vector<Interval> stack;
@@ -92,21 +100,32 @@ std::vector<double> bisect_all(index_t n, const double* d, const double* e, doub
     stack.pop_back();
     if (iv.khi <= iv.klo) continue;
     if (iv.hi - iv.lo <= tol + tol_rel * std::max(std::fabs(iv.lo), std::fabs(iv.hi))) {
-      const double mid = 0.5 * (iv.lo + iv.hi);
+      const Real mid = Real(0.5) * (iv.lo + iv.hi);
       for (index_t kk = iv.klo; kk < iv.khi; ++kk) w[kk] = mid;
       continue;
     }
-    const double mid = 0.5 * (iv.lo + iv.hi);
+    const Real mid = Real(0.5) * (iv.lo + iv.hi);
     if (mid == iv.lo || mid == iv.hi) {
       for (index_t kk = iv.klo; kk < iv.khi; ++kk) w[kk] = mid;
       continue;
     }
-    const index_t cmid =
-        std::clamp<index_t>(sturm_count(n, d, e, mid), iv.klo, iv.khi);
+    const index_t cmid = std::clamp<index_t>(sturm_count(n, d, e, mid), iv.klo, iv.khi);
     stack.push_back({iv.lo, mid, iv.klo, cmid});
     stack.push_back({mid, iv.hi, cmid, iv.khi});
   }
   return w;
 }
+
+#define DNC_INSTANTIATE_BISECT(Real)                                                        \
+  template index_t sturm_count<Real>(index_t, const Real*, const Real*, Real);              \
+  template void gershgorin_bounds<Real>(index_t, const Real*, const Real*, Real&, Real&);   \
+  template Real bisect_eigenvalue<Real>(index_t, const Real*, const Real*, index_t, Real,   \
+                                        Real);                                              \
+  template std::vector<Real> bisect_all<Real>(index_t, const Real*, const Real*, Real, Real)
+
+DNC_INSTANTIATE_BISECT(double);
+DNC_INSTANTIATE_BISECT(float);
+
+#undef DNC_INSTANTIATE_BISECT
 
 }  // namespace dnc::lapack

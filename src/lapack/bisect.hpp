@@ -2,7 +2,7 @@
 //
 // Provides an algorithm-independent oracle for tests (eigenvalues computed
 // without QR/D&C/MRRR machinery) and the initial eigenvalue approximations
-// for the MRRR solver.
+// for the MRRR solver. Templated on the working precision.
 #pragma once
 
 #include <vector>
@@ -13,19 +13,23 @@ namespace dnc::lapack {
 
 /// Number of eigenvalues of T strictly less than x (Sturm count via the
 /// safeguarded LDL^T recurrence).
-index_t sturm_count(index_t n, const double* d, const double* e, double x);
+template <typename Real>
+index_t sturm_count(index_t n, const Real* d, const Real* e, Real x);
 
 /// Gershgorin bounds [lo, hi] enclosing the whole spectrum.
-void gershgorin_bounds(index_t n, const double* d, const double* e, double& lo, double& hi);
+template <typename Real>
+void gershgorin_bounds(index_t n, const Real* d, const Real* e, Real& lo, Real& hi);
 
 /// k-th smallest eigenvalue (0-based) to absolute tolerance
 /// tol_abs + tol_rel*|lambda| via bisection.
-double bisect_eigenvalue(index_t n, const double* d, const double* e, index_t k,
-                         double tol_rel = 0.0, double tol_abs = -1.0);
+template <typename Real>
+Real bisect_eigenvalue(index_t n, const Real* d, const Real* e, index_t k,
+                       Real tol_rel = Real(0), Real tol_abs = Real(-1));
 
 /// All eigenvalues, ascending. O(n^2 log(1/tol)); intended for n <= a few
 /// thousand (tests and MRRR bootstrap).
-std::vector<double> bisect_all(index_t n, const double* d, const double* e,
-                               double tol_rel = 0.0, double tol_abs = -1.0);
+template <typename Real>
+std::vector<Real> bisect_all(index_t n, const Real* d, const Real* e, Real tol_rel = Real(0),
+                             Real tol_abs = Real(-1));
 
 }  // namespace dnc::lapack

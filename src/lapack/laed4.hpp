@@ -12,27 +12,36 @@
 // three-pole model (two explicit poles adjacent to the root plus a constant
 // absorbing the rest), safeguarded by a shrinking bracket with bisection
 // fallback.
+//
+// Templated on the working precision: the fp32 instantiation runs the same
+// iteration with float epsilon driving the ERRETM convergence floor, so it
+// converges in similar iteration counts to fp32-level accuracy.
 #pragma once
 
 #include "common/matrix.hpp"
 
 namespace dnc::lapack {
 
-struct SecularResult {
-  double lambda = 0.0;   ///< the computed root
-  double origin = 0.0;   ///< pole used as shift origin
-  double tau = 0.0;      ///< lambda = origin + tau
-  int iterations = 0;    ///< rational-iteration count
+template <typename Real>
+struct SecularResultT {
+  Real lambda = Real(0);  ///< the computed root
+  Real origin = Real(0);  ///< pole used as shift origin
+  Real tau = Real(0);     ///< lambda = origin + tau
+  int iterations = 0;     ///< rational-iteration count
 };
+
+using SecularResult = SecularResultT<double>;
 
 /// Solves for root `i` (0-based) of the k-dimensional secular equation.
 /// delta[j] (length k) receives d_j - lambda, computed as
 /// (d_j - origin) - tau so that entries adjacent to the root carry high
 /// relative accuracy (required by the Gu-Eisenstat z-hat formula).
-SecularResult laed4(index_t k, index_t i, const double* d, const double* z, double rho,
-                    double* delta);
+template <typename Real>
+SecularResultT<Real> laed4(index_t k, index_t i, const Real* d, const Real* z, Real rho,
+                           Real* delta);
 
 /// Closed-form 2x2 case (dlaed5): i-th eigenvalue of D + rho z z^T, k = 2.
-double laed5(index_t i, const double* d, const double* z, double rho, double* delta);
+template <typename Real>
+Real laed5(index_t i, const Real* d, const Real* z, Real rho, Real* delta);
 
 }  // namespace dnc::lapack

@@ -4,13 +4,14 @@
 
 namespace dnc::lapack {
 
-void lae2(double a, double b, double c, double& rt1, double& rt2) {
-  const double sm = a + c;
-  const double df = a - c;
-  const double adf = std::fabs(df);
-  const double tb = b + b;
-  const double ab = std::fabs(tb);
-  double acmx, acmn;
+template <typename Real>
+void lae2(Real a, Real b, Real c, Real& rt1, Real& rt2) {
+  const Real sm = a + c;
+  const Real df = a - c;
+  const Real adf = std::fabs(df);
+  const Real tb = b + b;
+  const Real ab = std::fabs(tb);
+  Real acmx, acmn;
   if (std::fabs(a) > std::fabs(c)) {
     acmx = a;
     acmn = c;
@@ -18,36 +19,37 @@ void lae2(double a, double b, double c, double& rt1, double& rt2) {
     acmx = c;
     acmn = a;
   }
-  double rt;
+  Real rt;
   if (adf > ab) {
-    const double r = ab / adf;
-    rt = adf * std::sqrt(1.0 + r * r);
+    const Real r = ab / adf;
+    rt = adf * std::sqrt(Real(1) + r * r);
   } else if (adf < ab) {
-    const double r = adf / ab;
-    rt = ab * std::sqrt(1.0 + r * r);
+    const Real r = adf / ab;
+    rt = ab * std::sqrt(Real(1) + r * r);
   } else {
-    rt = ab * std::sqrt(2.0);
+    rt = ab * std::sqrt(Real(2));
   }
-  if (sm < 0.0) {
-    rt1 = 0.5 * (sm - rt);
+  if (sm < Real(0)) {
+    rt1 = Real(0.5) * (sm - rt);
     // Order of operations important for accuracy of the smaller eigenvalue.
     rt2 = (acmx / rt1) * acmn - (b / rt1) * b;
-  } else if (sm > 0.0) {
-    rt1 = 0.5 * (sm + rt);
+  } else if (sm > Real(0)) {
+    rt1 = Real(0.5) * (sm + rt);
     rt2 = (acmx / rt1) * acmn - (b / rt1) * b;
   } else {
-    rt1 = 0.5 * rt;
-    rt2 = -0.5 * rt;
+    rt1 = Real(0.5) * rt;
+    rt2 = Real(-0.5) * rt;
   }
 }
 
-void laev2(double a, double b, double c, double& rt1, double& rt2, double& cs1, double& sn1) {
-  const double sm = a + c;
-  const double df = a - c;
-  const double adf = std::fabs(df);
-  const double tb = b + b;
-  const double ab = std::fabs(tb);
-  double acmx, acmn;
+template <typename Real>
+void laev2(Real a, Real b, Real c, Real& rt1, Real& rt2, Real& cs1, Real& sn1) {
+  const Real sm = a + c;
+  const Real df = a - c;
+  const Real adf = std::fabs(df);
+  const Real tb = b + b;
+  const Real ab = std::fabs(tb);
+  Real acmx, acmn;
   if (std::fabs(a) > std::fabs(c)) {
     acmx = a;
     acmn = c;
@@ -55,60 +57,65 @@ void laev2(double a, double b, double c, double& rt1, double& rt2, double& cs1, 
     acmx = c;
     acmn = a;
   }
-  double rt;
+  Real rt;
   if (adf > ab) {
-    const double r = ab / adf;
-    rt = adf * std::sqrt(1.0 + r * r);
+    const Real r = ab / adf;
+    rt = adf * std::sqrt(Real(1) + r * r);
   } else if (adf < ab) {
-    const double r = adf / ab;
-    rt = ab * std::sqrt(1.0 + r * r);
+    const Real r = adf / ab;
+    rt = ab * std::sqrt(Real(1) + r * r);
   } else {
-    rt = ab * std::sqrt(2.0);
+    rt = ab * std::sqrt(Real(2));
   }
   int sgn1;
-  if (sm < 0.0) {
-    rt1 = 0.5 * (sm - rt);
+  if (sm < Real(0)) {
+    rt1 = Real(0.5) * (sm - rt);
     sgn1 = -1;
     rt2 = (acmx / rt1) * acmn - (b / rt1) * b;
-  } else if (sm > 0.0) {
-    rt1 = 0.5 * (sm + rt);
+  } else if (sm > Real(0)) {
+    rt1 = Real(0.5) * (sm + rt);
     sgn1 = 1;
     rt2 = (acmx / rt1) * acmn - (b / rt1) * b;
   } else {
-    rt1 = 0.5 * rt;
-    rt2 = -0.5 * rt;
+    rt1 = Real(0.5) * rt;
+    rt2 = Real(-0.5) * rt;
     sgn1 = 1;
   }
   // Compute the eigenvector for rt1.
-  double cs;
+  Real cs;
   int sgn2;
-  if (df >= 0.0) {
+  if (df >= Real(0)) {
     cs = df + rt;
     sgn2 = 1;
   } else {
     cs = df - rt;
     sgn2 = -1;
   }
-  const double acs = std::fabs(cs);
+  const Real acs = std::fabs(cs);
   if (acs > ab) {
-    const double ct = -tb / cs;
-    sn1 = 1.0 / std::sqrt(1.0 + ct * ct);
+    const Real ct = -tb / cs;
+    sn1 = Real(1) / std::sqrt(Real(1) + ct * ct);
     cs1 = ct * sn1;
   } else {
-    if (ab == 0.0) {
-      cs1 = 1.0;
-      sn1 = 0.0;
+    if (ab == Real(0)) {
+      cs1 = Real(1);
+      sn1 = Real(0);
     } else {
-      const double tn = -cs / tb;
-      cs1 = 1.0 / std::sqrt(1.0 + tn * tn);
+      const Real tn = -cs / tb;
+      cs1 = Real(1) / std::sqrt(Real(1) + tn * tn);
       sn1 = tn * cs1;
     }
   }
   if (sgn1 == sgn2) {
-    const double tn = cs1;
+    const Real tn = cs1;
     cs1 = -sn1;
     sn1 = tn;
   }
 }
+
+template void lae2<double>(double, double, double, double&, double&);
+template void lae2<float>(float, float, float, float&, float&);
+template void laev2<double>(double, double, double, double&, double&, double&, double&);
+template void laev2<float>(float, float, float, float&, float&, float&, float&);
 
 }  // namespace dnc::lapack

@@ -1,14 +1,16 @@
 // Eigen-decomposition of a symmetric 2x2 matrix [a b; b c]
-// (dlaev2 / dlae2 equivalents).
+// (dlaev2 / dlae2 equivalents), templated on the working precision.
 #pragma once
 
 namespace dnc::lapack {
 
 /// Eigenvalues only: rt1 >= rt2 in absolute... rt1 is the eigenvalue of
 /// larger absolute value (dlae2 convention).
-void lae2(double a, double b, double c, double& rt1, double& rt2);
+template <typename Real>
+void lae2(Real a, Real b, Real c, Real& rt1, Real& rt2);
 
 /// Eigenvalues and the unit eigenvector (cs1, sn1) for rt1 (dlaev2).
-void laev2(double a, double b, double c, double& rt1, double& rt2, double& cs1, double& sn1);
+template <typename Real>
+void laev2(Real a, Real b, Real c, Real& rt1, Real& rt2, Real& cs1, Real& sn1);
 
 }  // namespace dnc::lapack

@@ -2,7 +2,8 @@
 
 namespace dnc::lapack {
 
-void lamrg(index_t n1, index_t n2, const double* a, int dtrd1, int dtrd2, index_t* perm) {
+template <typename Real>
+void lamrg(index_t n1, index_t n2, const Real* a, int dtrd1, int dtrd2, index_t* perm) {
   index_t ind1 = dtrd1 > 0 ? 0 : n1 - 1;
   index_t ind2 = dtrd2 > 0 ? n1 : n1 + n2 - 1;
   index_t i = 0;
@@ -27,5 +28,8 @@ void lamrg(index_t n1, index_t n2, const double* a, int dtrd1, int dtrd2, index_
     ind2 += dtrd2;
   }
 }
+
+template void lamrg<double>(index_t, index_t, const double*, int, int, index_t*);
+template void lamrg<float>(index_t, index_t, const float*, int, int, index_t*);
 
 }  // namespace dnc::lapack

@@ -11,6 +11,7 @@ namespace dnc::lapack {
 /// (+1 ascending, -1 descending) and a[n1..n1+n2) with direction dtrd2.
 /// On return perm[i] (0-based) is the index into a of the i-th smallest
 /// element.
-void lamrg(index_t n1, index_t n2, const double* a, int dtrd1, int dtrd2, index_t* perm);
+template <typename Real>
+void lamrg(index_t n1, index_t n2, const Real* a, int dtrd1, int dtrd2, index_t* perm);
 
 }  // namespace dnc::lapack

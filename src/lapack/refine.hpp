@@ -1,0 +1,47 @@
+// Mixed-precision iterative refinement of tridiagonal eigenpairs.
+//
+// The DNC_PREC=f32refine driver runs the whole divide & conquer solve in
+// fp32 (the fast path: 8-lane GEMMs, half the memory traffic) and then
+// calls refine_eigenpairs with the ORIGINAL fp64 tridiagonal: every
+// eigenpair whose fp64 residual ||T v - lambda v||_inf exceeds an
+// fp64-grade tolerance is polished by Rayleigh-quotient iteration -- solve
+// (T - rho I) w = v with a partially-pivoted tridiagonal LU (the dstein
+// kernel), renormalise, update rho = w^T T w. Each iteration roughly
+// squares the eigenvector error, so the fp32 starting points (~1e-7)
+// reach fp64-grade residuals in 1-2 solves.
+//
+// Refinement targets residuals: orthogonality of the returned basis stays
+// at the fp32 level (a cluster of eigenvalues degenerate at fp32 precision
+// cannot be re-separated from fp32 vectors alone); a modified Gram-Schmidt
+// pass over near-equal runs keeps clusters from collapsing onto a single
+// direction.
+#pragma once
+
+#include "common/matrix.hpp"
+
+namespace dnc::lapack {
+
+struct RefineOptions {
+  /// Per-column residual target, as a multiple of eps64 * ||T||_1.
+  double tol_factor = 30.0;
+  /// Rayleigh-quotient iterations per eigenpair before giving up.
+  int max_iters = 5;
+};
+
+struct RefineReport {
+  index_t checked = 0;         ///< columns whose residual was evaluated
+  index_t refined = 0;         ///< columns that needed at least one RQI step
+  std::int64_t iterations = 0; ///< total RQI solves across all columns
+  double max_resid_before = 0; ///< worst ||T v - lambda v||_inf entering
+  double max_resid_after = 0;  ///< worst residual after refinement
+};
+
+/// Refines nvec eigenpairs (lam[j], v[:,j]) of the fp64 tridiagonal (d, e)
+/// in place. Eigenvalues are updated to Rayleigh quotients and the
+/// (lam, v-columns) pairs re-sorted ascending on return (refined values can
+/// cross their unrefined neighbours). v has leading dimension ldv >= n.
+RefineReport refine_eigenpairs(index_t n, const double* d, const double* e, double* lam,
+                               double* v, index_t ldv, index_t nvec,
+                               const RefineOptions& opts = {});
+
+}  // namespace dnc::lapack

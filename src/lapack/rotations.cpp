@@ -3,42 +3,45 @@
 #include <algorithm>
 #include <cmath>
 
-#include "common/machine.hpp"
+#include "common/real_traits.hpp"
 
 namespace dnc::lapack {
 
-double lapy2(double x, double y) {
-  const double ax = std::fabs(x);
-  const double ay = std::fabs(y);
-  const double w = std::max(ax, ay);
-  const double z = std::min(ax, ay);
-  if (z == 0.0) return w;
-  const double r = z / w;
-  return w * std::sqrt(1.0 + r * r);
+template <typename Real>
+Real lapy2(Real x, Real y) {
+  const Real ax = std::fabs(x);
+  const Real ay = std::fabs(y);
+  const Real w = std::max(ax, ay);
+  const Real z = std::min(ax, ay);
+  if (z == Real(0)) return w;
+  const Real r = z / w;
+  return w * std::sqrt(Real(1) + r * r);
 }
 
-void lartg(double f, double g, double& c, double& s, double& r) {
+template <typename Real>
+void lartg(Real f, Real g, Real& c, Real& s, Real& r) {
   // Scaled dlartg: repeatedly rescale f, g into a safe range before forming
   // the hypotenuse, then undo the scaling on r.
-  if (g == 0.0) {
-    c = 1.0;
-    s = 0.0;
+  if (g == Real(0)) {
+    c = Real(1);
+    s = Real(0);
     r = f;
     return;
   }
-  if (f == 0.0) {
-    c = 0.0;
-    s = 1.0;
+  if (f == Real(0)) {
+    c = Real(0);
+    s = Real(1);
     r = g;
     return;
   }
-  const double eps = dnc::lamch_eps();
-  const double safmin = dnc::lamch_safmin();
-  const double safmn2 = std::pow(2.0, std::trunc(std::log(safmin / eps) / std::log(2.0) / 2.0));
-  const double safmx2 = 1.0 / safmn2;
+  const Real eps = dnc::real_traits<Real>::eps();
+  const Real safmin = dnc::real_traits<Real>::safmin();
+  const Real safmn2 = static_cast<Real>(
+      std::pow(2.0, std::trunc(std::log(double(safmin) / double(eps)) / std::log(2.0) / 2.0)));
+  const Real safmx2 = Real(1) / safmn2;
 
-  double f1 = f, g1 = g;
-  double scale = std::max(std::fabs(f1), std::fabs(g1));
+  Real f1 = f, g1 = g;
+  Real scale = std::max(std::fabs(f1), std::fabs(g1));
   int count = 0;
   if (scale >= safmx2) {
     while (scale >= safmx2) {
@@ -67,11 +70,16 @@ void lartg(double f, double g, double& c, double& s, double& r) {
     c = f1 / r;
     s = g1 / r;
   }
-  if (std::fabs(f) > std::fabs(g) && c < 0.0) {
+  if (std::fabs(f) > std::fabs(g) && c < Real(0)) {
     c = -c;
     s = -s;
     r = -r;
   }
 }
+
+template double lapy2<double>(double, double);
+template float lapy2<float>(float, float);
+template void lartg<double>(double, double, double&, double&, double&);
+template void lartg<float>(float, float, float&, float&, float&);
 
 }  // namespace dnc::lapack

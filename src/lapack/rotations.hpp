@@ -1,15 +1,17 @@
 // Givens rotation generation and overflow-safe 2-norm helpers
-// (dlartg / dlapy2 equivalents).
+// (dlartg / dlapy2 equivalents), templated on the working precision.
 #pragma once
 
 namespace dnc::lapack {
 
 /// sqrt(x^2 + y^2) without unnecessary overflow (dlapy2).
-double lapy2(double x, double y);
+template <typename Real>
+Real lapy2(Real x, Real y);
 
 /// Generates c, s, r such that [c s; -s c] * [f; g] = [r; 0] (dlartg).
 /// c >= 0 is NOT guaranteed (matches LAPACK's convention where r carries
 /// the sign of the dominant input).
-void lartg(double f, double g, double& c, double& s, double& r);
+template <typename Real>
+void lartg(Real f, Real g, Real& c, Real& s, Real& r);
 
 }  // namespace dnc::lapack

@@ -5,21 +5,22 @@
 
 #include "blas/level1.hpp"
 #include "common/error.hpp"
-#include "common/machine.hpp"
+#include "common/real_traits.hpp"
 #include "lapack/bisect.hpp"
 
 namespace dnc::lapack {
 
-void stein_vector(index_t n, const double* d, const double* e, double lambda,
-                  const double* prev, index_t ldprev, index_t nprev, double* z, Rng& rng) {
+template <typename Real>
+void stein_vector(index_t n, const Real* d, const Real* e, Real lambda, const Real* prev,
+                  index_t ldprev, index_t nprev, Real* z, Rng& rng) {
   // LU factorization of T - lambda I with partial pivoting (dgttrf layout:
   // lower multipliers ml, main diagonal u0, first/second upper diagonals
   // u1/u2, pivot flags).
-  std::vector<double> ml(n), u0(n), u1(n), u2(n);
+  std::vector<Real> ml(n), u0(n), u1(n), u2(n);
   std::vector<char> swapped(n, 0);
-  const double tiny = lamch_safmin() / lamch_eps();
+  const Real tiny = real_traits<Real>::safmin() / real_traits<Real>::eps();
   {
-    std::vector<double> a(n), b(n > 1 ? n - 1 : 0), c(n > 1 ? n - 1 : 0);
+    std::vector<Real> a(n), b(n > 1 ? n - 1 : 0), c(n > 1 ? n - 1 : 0);
     for (index_t i = 0; i < n; ++i) a[i] = d[i] - lambda;
     for (index_t i = 0; i + 1 < n; ++i) b[i] = c[i] = e[i];
     for (index_t i = 0; i < n; ++i) {
@@ -27,21 +28,22 @@ void stein_vector(index_t n, const double* d, const double* e, double lambda,
       if (i + 1 < n) {
         if (std::fabs(a[i]) >= std::fabs(b[i])) {
           // No row swap.
-          double piv = a[i];
-          if (std::fabs(piv) < tiny) piv = std::copysign(tiny, piv == 0.0 ? 1.0 : piv);
+          Real piv = a[i];
+          if (std::fabs(piv) < tiny)
+            piv = std::copysign(tiny, piv == Real(0) ? Real(1) : piv);
           u0[i] = piv;
           ml[i] = b[i] / piv;
           a[i + 1] -= ml[i] * c[i];
           u1[i] = c[i];
-          u2[i] = 0.0;
+          u2[i] = Real(0);
         } else {
           // Swap rows i and i+1 for stability.
           swapped[i] = 1;
-          const double piv = b[i];
+          const Real piv = b[i];
           u0[i] = piv;
           ml[i] = a[i] / piv;
           u1[i] = a[i + 1];
-          const double cnext = (i + 2 < n) ? c[i + 1] : 0.0;
+          const Real cnext = (i + 2 < n) ? c[i + 1] : Real(0);
           u2[i] = cnext;
           a[i + 1] = c[i] - ml[i] * a[i + 1];
           if (i + 2 < n) {
@@ -50,11 +52,11 @@ void stein_vector(index_t n, const double* d, const double* e, double lambda,
           }
         }
       } else if (std::fabs(u0[i]) < tiny) {
-        u0[i] = std::copysign(tiny, u0[i] == 0.0 ? 1.0 : u0[i]);
+        u0[i] = std::copysign(tiny, u0[i] == Real(0) ? Real(1) : u0[i]);
       }
     }
   }
-  const auto solve = [&](double* x) {
+  const auto solve = [&](Real* x) {
     // Forward: apply L^{-1} with the recorded pivoting.
     for (index_t i = 0; i + 1 < n; ++i) {
       if (swapped[i]) std::swap(x[i], x[i + 1]);
@@ -62,7 +64,7 @@ void stein_vector(index_t n, const double* d, const double* e, double lambda,
     }
     // Backward: U x = y.
     for (index_t i = n - 1; i >= 0; --i) {
-      double s = x[i];
+      Real s = x[i];
       if (i + 1 < n) s -= u1[i] * x[i + 1];
       if (i + 2 < n) s -= u2[i] * x[i + 2];
       x[i] = s / u0[i];
@@ -70,27 +72,32 @@ void stein_vector(index_t n, const double* d, const double* e, double lambda,
   };
   const auto orthogonalize = [&] {
     for (index_t q = 0; q < nprev; ++q) {
-      const double* vq = prev + q * ldprev;
+      const Real* vq = prev + q * ldprev;
       blas::axpy(n, -blas::dot(n, vq, z), vq, z);
     }
   };
-  for (index_t i = 0; i < n; ++i) z[i] = rng.uniform_sym();
+  for (index_t i = 0; i < n; ++i) z[i] = static_cast<Real>(rng.uniform_sym());
   for (int it = 0; it < 4; ++it) {
     orthogonalize();
-    double nrm = blas::nrm2(n, z);
-    if (nrm < 1e-3) {
+    Real nrm = blas::nrm2(n, z);
+    if (nrm < Real(1e-3)) {
       // Restart: the random vector was (nearly) inside span(prev).
-      for (index_t i = 0; i < n; ++i) z[i] = rng.uniform_sym();
+      for (index_t i = 0; i < n; ++i) z[i] = static_cast<Real>(rng.uniform_sym());
       orthogonalize();
       nrm = blas::nrm2(n, z);
     }
-    blas::scal(n, 1.0 / std::max(nrm, lamch_safmin()), z);
+    blas::scal(n, Real(1) / std::max(nrm, real_traits<Real>::safmin()), z);
     solve(z);
   }
   orthogonalize();
-  const double nrm = blas::nrm2(n, z);
-  blas::scal(n, 1.0 / std::max(nrm, lamch_safmin()), z);
+  const Real nrm = blas::nrm2(n, z);
+  blas::scal(n, Real(1) / std::max(nrm, real_traits<Real>::safmin()), z);
 }
+
+template void stein_vector<double>(index_t, const double*, const double*, double,
+                                   const double*, index_t, index_t, double*, Rng&);
+template void stein_vector<float>(index_t, const float*, const float*, float, const float*,
+                                  index_t, index_t, float*, Rng&);
 
 void bi_solve(index_t n, const double* d, const double* e, std::vector<double>& lam,
               Matrix& v, double reorth_tol) {
@@ -108,7 +115,7 @@ void bi_solve(index_t n, const double* d, const double* e, std::vector<double>& 
   lam = bisect_all(n, d, e, 0.0, -1.0);
   double tnorm = 0.0;
   for (index_t i = 0; i < n; ++i) tnorm = std::max(tnorm, std::fabs(lam[i]));
-  const double close = reorth_tol * std::max(tnorm, lamch_safmin());
+  const double close = reorth_tol * std::max(tnorm, real_traits<double>::safmin());
   // Inverse iteration; dstein reorthogonalises runs of close eigenvalues.
   Rng rng(0xb15ec7ULL);
   index_t s = 0;

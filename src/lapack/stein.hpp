@@ -1,7 +1,8 @@
 // Inverse iteration for tridiagonal eigenvectors (dstein equivalent) and
 // the classical Bisection + Inverse Iteration (BI) eigensolver built on it
 // -- one of the four tridiagonal algorithms in LAPACK (with QR, D&C and
-// MRRR) and the paper's introduction.
+// MRRR) and the paper's introduction. stein_vector is templated on the
+// working precision; the BI driver stays double (it is a test oracle).
 #pragma once
 
 #include <vector>
@@ -15,8 +16,9 @@ namespace dnc::lapack {
 /// inverse iteration (LU with partial pivoting, a few iterations),
 /// reorthogonalised against `nprev` previously computed vectors (columns of
 /// `prev`, leading dimension ldprev). z (length n) receives a unit vector.
-void stein_vector(index_t n, const double* d, const double* e, double lambda,
-                  const double* prev, index_t ldprev, index_t nprev, double* z, Rng& rng);
+template <typename Real>
+void stein_vector(index_t n, const Real* d, const Real* e, Real lambda, const Real* prev,
+                  index_t ldprev, index_t nprev, Real* z, Rng& rng);
 
 /// Full BI eigensolver: eigenvalues by Sturm bisection, eigenvectors by
 /// inverse iteration with reorthogonalisation inside clusters (entries

@@ -7,42 +7,46 @@
 #include "blas/aux.hpp"
 #include "blas/level1.hpp"
 #include "common/error.hpp"
-#include "common/machine.hpp"
+#include "common/real_traits.hpp"
 #include "lapack/laev2.hpp"
 #include "lapack/rotations.hpp"
 
 namespace dnc::lapack {
 namespace {
 
-double sign_of(double a, double b) { return b >= 0.0 ? std::fabs(a) : -std::fabs(a); }
+template <typename Real>
+Real sign_of(Real a, Real b) {
+  return b >= Real(0) ? std::fabs(a) : -std::fabs(a);
+}
 
 // Applies the stored rotation sequence to columns [jl, jm] of Z, matching
 // dlasr('R','V',direct). For direct='B' rotations are applied from the last
 // plane to the first; for 'F' the other way around. cwork/swork are indexed
 // by the left column of each plane.
-void apply_plane_rotations(double* z, index_t ldz, index_t nrows, index_t jl, index_t jm,
-                           const double* cwork, const double* swork, bool backward) {
+template <typename Real>
+void apply_plane_rotations(Real* z, index_t ldz, index_t nrows, index_t jl, index_t jm,
+                           const Real* cwork, const Real* swork, bool backward) {
   if (z == nullptr || jm <= jl) return;
   if (backward) {
     for (index_t j = jm - 1; j >= jl; --j) {
-      const double c = cwork[j];
-      const double s = swork[j];
-      double* colj = z + j * ldz;
-      double* colj1 = z + (j + 1) * ldz;
+      const Real c = cwork[j];
+      const Real s = swork[j];
+      Real* colj = z + j * ldz;
+      Real* colj1 = z + (j + 1) * ldz;
       for (index_t i = 0; i < nrows; ++i) {
-        const double temp = colj1[i];
+        const Real temp = colj1[i];
         colj1[i] = c * temp - s * colj[i];
         colj[i] = s * temp + c * colj[i];
       }
     }
   } else {
     for (index_t j = jl; j < jm; ++j) {
-      const double c = cwork[j];
-      const double s = swork[j];
-      double* colj = z + j * ldz;
-      double* colj1 = z + (j + 1) * ldz;
+      const Real c = cwork[j];
+      const Real s = swork[j];
+      Real* colj = z + j * ldz;
+      Real* colj1 = z + (j + 1) * ldz;
       for (index_t i = 0; i < nrows; ++i) {
-        const double temp = colj1[i];
+        const Real temp = colj1[i];
         colj1[i] = c * temp - s * colj[i];
         colj[i] = s * temp + c * colj[i];
       }
@@ -52,40 +56,41 @@ void apply_plane_rotations(double* z, index_t ldz, index_t nrows, index_t jl, in
 
 }  // namespace
 
-void steqr(CompZ compz, index_t n, double* d, double* e, double* z, index_t ldz) {
+template <typename Real>
+void steqr(CompZ compz, index_t n, Real* d, Real* e, Real* z, index_t ldz) {
   DNC_REQUIRE(n >= 0, "steqr: n must be >= 0");
   const bool wantz = compz != CompZ::None;
   if (wantz) DNC_REQUIRE(z != nullptr && ldz >= std::max<index_t>(1, n), "steqr: bad Z");
   if (n == 0) return;
-  if (compz == CompZ::Identity) blas::laset(n, n, 0.0, 1.0, z, ldz);
+  if (compz == CompZ::Identity) blas::laset(n, n, Real(0), Real(1), z, ldz);
   if (n == 1) return;
 
-  const double eps = lamch_eps();
-  const double eps2 = eps * eps;
-  const double safmin = lamch_safmin();
-  const auto bounds = steqr_scale_bounds();
+  const Real eps = real_traits<Real>::eps();
+  const Real eps2 = eps * eps;
+  const Real safmin = real_traits<Real>::safmin();
+  const auto bounds = steqr_scale_bounds_t<Real>();
   const index_t nmaxit = n * 30;
   index_t jtot = 0;
 
-  std::vector<double> cwork(n), swork(n);
+  std::vector<Real> cwork(n), swork(n);
 
   // l1 marks the start of the next unreduced block to process.
   index_t l1 = 0;
 
   for (;;) {
     if (l1 > n - 1) break;
-    if (l1 > 0) e[l1 - 1] = 0.0;
+    if (l1 > 0) e[l1 - 1] = Real(0);
     // Find the end of the unreduced block starting at l1: the first m with a
     // negligible off-diagonal splits the problem.
     index_t m = n - 1;
     for (index_t mm = l1; mm < n - 1; ++mm) {
-      const double tst = std::fabs(e[mm]);
-      if (tst == 0.0) {
+      const Real tst = std::fabs(e[mm]);
+      if (tst == Real(0)) {
         m = mm;
         break;
       }
       if (tst <= (std::sqrt(std::fabs(d[mm])) * std::sqrt(std::fabs(d[mm + 1]))) * eps) {
-        e[mm] = 0.0;
+        e[mm] = Real(0);
         m = mm;
         break;
       }
@@ -98,9 +103,9 @@ void steqr(CompZ compz, index_t n, double* d, double* e, double* z, index_t ldz)
     if (lend == l) continue;  // 1x1 block: already an eigenvalue
 
     // Scale the submatrix to a safe range.
-    const double anorm = blas::lanst_max(lend - l + 1, d + l, e + l);
-    double scale_applied = 0.0;  // 0 = none, else the cfrom used
-    if (anorm == 0.0) continue;
+    const Real anorm = blas::lanst_max(lend - l + 1, d + l, e + l);
+    Real scale_applied = Real(0);  // 0 = none, else the cfrom used
+    if (anorm == Real(0)) continue;
     if (anorm > bounds.ssfmax) {
       scale_applied = anorm;
       blas::lascl(lend - l + 1, 1, anorm, bounds.ssfmax, d + l, n);
@@ -125,15 +130,15 @@ void steqr(CompZ compz, index_t n, double* d, double* e, double* z, index_t ldz)
         if (l != lend) {
           msub = lend;
           for (index_t mm = l; mm < lend; ++mm) {
-            const double tst = std::fabs(e[mm]) * std::fabs(e[mm]);
+            const Real tst = std::fabs(e[mm]) * std::fabs(e[mm]);
             if (tst <= (eps2 * std::fabs(d[mm])) * std::fabs(d[mm + 1]) + safmin) {
               msub = mm;
               break;
             }
           }
         }
-        if (msub < lend) e[msub] = 0.0;
-        double p = d[l];
+        if (msub < lend) e[msub] = Real(0);
+        Real p = d[l];
         if (msub == l) {
           // Eigenvalue found.
           d[l] = p;
@@ -143,9 +148,9 @@ void steqr(CompZ compz, index_t n, double* d, double* e, double* z, index_t ldz)
         }
         if (msub == l + 1) {
           // 2x2 block: solve directly.
-          double rt1, rt2;
+          Real rt1, rt2;
           if (wantz) {
-            double c, s;
+            Real c, s;
             laev2(d[l], e[l], d[l + 1], rt1, rt2, c, s);
             cwork[l] = c;
             swork[l] = s;
@@ -155,7 +160,7 @@ void steqr(CompZ compz, index_t n, double* d, double* e, double* z, index_t ldz)
           }
           d[l] = rt1;
           d[l + 1] = rt2;
-          e[l] = 0.0;
+          e[l] = Real(0);
           l += 2;
           if (l > lend) break;
           continue;
@@ -166,19 +171,19 @@ void steqr(CompZ compz, index_t n, double* d, double* e, double* z, index_t ldz)
         }
         ++jtot;
         // Form Wilkinson shift.
-        double g = (d[l + 1] - p) / (2.0 * e[l]);
-        double r = lapy2(g, 1.0);
+        Real g = (d[l + 1] - p) / (Real(2) * e[l]);
+        Real r = lapy2(g, Real(1));
         g = d[msub] - p + (e[l] / (g + sign_of(r, g)));
-        double s = 1.0, c = 1.0;
-        p = 0.0;
+        Real s = Real(1), c = Real(1);
+        p = Real(0);
         // Inner QL sweep.
         for (index_t i = msub - 1; i >= l; --i) {
-          double f = s * e[i];
-          const double b = c * e[i];
+          Real f = s * e[i];
+          const Real b = c * e[i];
           lartg(g, f, c, s, r);
           if (i != msub - 1) e[i + 1] = r;
           g = d[i + 1] - p;
-          r = (d[i] - g) * s + 2.0 * c * b;
+          r = (d[i] - g) * s + Real(2) * c * b;
           p = s * r;
           d[i + 1] = g + p;
           g = c * r - b;
@@ -198,15 +203,15 @@ void steqr(CompZ compz, index_t n, double* d, double* e, double* z, index_t ldz)
         if (l != lend) {
           msub = lend;
           for (index_t mm = l; mm > lend; --mm) {
-            const double tst = std::fabs(e[mm - 1]) * std::fabs(e[mm - 1]);
+            const Real tst = std::fabs(e[mm - 1]) * std::fabs(e[mm - 1]);
             if (tst <= (eps2 * std::fabs(d[mm])) * std::fabs(d[mm - 1]) + safmin) {
               msub = mm;
               break;
             }
           }
         }
-        if (msub > lend) e[msub - 1] = 0.0;
-        double p = d[l];
+        if (msub > lend) e[msub - 1] = Real(0);
+        Real p = d[l];
         if (msub == l) {
           d[l] = p;
           --l;
@@ -214,9 +219,9 @@ void steqr(CompZ compz, index_t n, double* d, double* e, double* z, index_t ldz)
           continue;
         }
         if (msub == l - 1) {
-          double rt1, rt2;
+          Real rt1, rt2;
           if (wantz) {
-            double c, s;
+            Real c, s;
             laev2(d[l - 1], e[l - 1], d[l], rt1, rt2, c, s);
             // dsteqr stores (c, s) then applies a single forward rotation on
             // columns (l-1, l).
@@ -228,7 +233,7 @@ void steqr(CompZ compz, index_t n, double* d, double* e, double* z, index_t ldz)
           }
           d[l - 1] = rt1;
           d[l] = rt2;
-          e[l - 1] = 0.0;
+          e[l - 1] = Real(0);
           l -= 2;
           if (l < lend) break;
           continue;
@@ -238,18 +243,18 @@ void steqr(CompZ compz, index_t n, double* d, double* e, double* z, index_t ldz)
           break;
         }
         ++jtot;
-        double g = (d[l - 1] - p) / (2.0 * e[l - 1]);
-        double r = lapy2(g, 1.0);
+        Real g = (d[l - 1] - p) / (Real(2) * e[l - 1]);
+        Real r = lapy2(g, Real(1));
         g = d[msub] - p + (e[l - 1] / (g + sign_of(r, g)));
-        double s = 1.0, c = 1.0;
-        p = 0.0;
+        Real s = Real(1), c = Real(1);
+        p = Real(0);
         for (index_t i = msub; i <= l - 1; ++i) {
-          double f = s * e[i];
-          const double b = c * e[i];
+          Real f = s * e[i];
+          const Real b = c * e[i];
           lartg(g, f, c, s, r);
           if (i != msub) e[i - 1] = r;
           g = d[i] - p;
-          r = (d[i + 1] - g) * s + 2.0 * c * b;
+          r = (d[i + 1] - g) * s + Real(2) * c * b;
           p = s * r;
           d[i] = g + p;
           g = c * r - b;
@@ -265,8 +270,8 @@ void steqr(CompZ compz, index_t n, double* d, double* e, double* z, index_t ldz)
     }
 
     // Undo scaling.
-    if (scale_applied != 0.0) {
-      const double target = (scale_applied > bounds.ssfmax) ? bounds.ssfmax : bounds.ssfmin;
+    if (scale_applied != Real(0)) {
+      const Real target = (scale_applied > bounds.ssfmax) ? bounds.ssfmax : bounds.ssfmin;
       blas::lascl(lendsv - lsv + 1, 1, target, scale_applied, d + lsv, n);
       blas::lascl(lendsv - lsv, 1, target, scale_applied, e + lsv, n);
     }
@@ -274,7 +279,7 @@ void steqr(CompZ compz, index_t n, double* d, double* e, double* z, index_t ldz)
       // Count the number of non-converged off-diagonals for the info code.
       index_t bad = 0;
       for (index_t i = 0; i < n - 1; ++i)
-        if (e[i] != 0.0) ++bad;
+        if (e[i] != Real(0)) ++bad;
       throw NumericalError("steqr failed to converge", bad);
     }
   }
@@ -288,7 +293,7 @@ void steqr(CompZ compz, index_t n, double* d, double* e, double* z, index_t ldz)
   for (index_t ii = 1; ii < n; ++ii) {
     const index_t i = ii - 1;
     index_t k = i;
-    double p = d[i];
+    Real p = d[i];
     for (index_t j = ii; j < n; ++j) {
       if (d[j] < p) {
         k = j;
@@ -302,5 +307,8 @@ void steqr(CompZ compz, index_t n, double* d, double* e, double* z, index_t ldz)
     }
   }
 }
+
+template void steqr<double>(CompZ, index_t, double*, double*, double*, index_t);
+template void steqr<float>(CompZ, index_t, float*, float*, float*, index_t);
 
 }  // namespace dnc::lapack

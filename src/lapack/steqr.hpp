@@ -5,6 +5,8 @@
 // all eigenvalues, and optionally accumulates the orthogonal transformation
 // into Z, using Wilkinson-shifted implicit QL or QR sweeps chosen per
 // unreduced block so the iteration always chases the smaller end.
+// Templated on the working precision (double and float instantiations);
+// epsilon, safe-min and the scaling window come from real_traits.
 #pragma once
 
 #include "common/matrix.hpp"
@@ -25,6 +27,7 @@ enum class CompZ {
 /// CompZ::None the order is also ascending) and z (n x n, ld >= n) the
 /// eigenvectors. Throws NumericalError if a block fails to converge in
 /// 30n iterations.
-void steqr(CompZ compz, index_t n, double* d, double* e, double* z, index_t ldz);
+template <typename Real>
+void steqr(CompZ compz, index_t n, Real* d, Real* e, Real* z, index_t ldz);
 
 }  // namespace dnc::lapack

@@ -4,12 +4,16 @@
 
 namespace dnc::lapack {
 
-void sterf(index_t n, double* d, double* e) {
+template <typename Real>
+void sterf(index_t n, Real* d, Real* e) {
   // The implicit QL/QR kernel already specialises the no-vectors path
   // (dlae2 2x2 solves, no rotation storage), which is the dominant cost
   // difference between dsterf and dsteqr('N'); the square-root-free PWK
   // recurrence would only change constants, not behaviour.
-  steqr(CompZ::None, n, d, e, nullptr, 1);
+  steqr<Real>(CompZ::None, n, d, e, nullptr, 1);
 }
+
+template void sterf<double>(index_t, double*, double*);
+template void sterf<float>(index_t, float*, float*);
 
 }  // namespace dnc::lapack

@@ -7,6 +7,7 @@
 namespace dnc::lapack {
 
 /// d[0..n) / e[0..n-1) in, ascending eigenvalues in d out. e is destroyed.
-void sterf(index_t n, double* d, double* e);
+template <typename Real>
+void sterf(index_t n, Real* d, Real* e);
 
 }  // namespace dnc::lapack

@@ -4,51 +4,53 @@
 #include <vector>
 
 #include "blas/level1.hpp"
-#include "common/machine.hpp"
+#include "common/real_traits.hpp"
 
 namespace dnc::mrrr {
 
-GetvecResult twisted_eigenvector(const Representation& rep, double lambda, double* z) {
+template <typename Real>
+GetvecResultT<Real> twisted_eigenvector(const RepresentationT<Real>& rep, Real lambda,
+                                        Real* z) {
   const index_t n = rep.n();
-  GetvecResult res;
+  GetvecResultT<Real> res;
   if (n == 1) {
-    z[0] = 1.0;
+    z[0] = Real(1);
     res.gamma = rep.d[0] - lambda;
-    res.znorm2 = 1.0;
+    res.znorm2 = Real(1);
     res.resid = std::fabs(res.gamma);
     return res;
   }
-  const double tiny = lamch_safmin();
-  const auto guard = [&](double x) {
-    if (x == 0.0) return tiny;
-    if (!std::isfinite(x)) return std::copysign(1.0 / tiny, x);
+  const Real tiny = real_traits<Real>::safmin();
+  const auto guard = [&](Real x) {
+    if (x == Real(0)) return tiny;
+    if (!std::isfinite(x)) return std::copysign(Real(1) / tiny, x);
     return x;
   };
 
   // Differential stationary transform: D+ and L+ of LDL^T - lambda.
-  std::vector<double> lplus(n - 1), svec(n);
+  std::vector<Real> lplus(n - 1), svec(n);
   svec[0] = -lambda;
   for (index_t i = 0; i < n - 1; ++i) {
-    const double dplus = guard(rep.d[i] + svec[i]);
+    const Real dplus = guard(rep.d[i] + svec[i]);
     lplus[i] = (rep.l[i] * rep.d[i]) / dplus;
     svec[i + 1] = lplus[i] * rep.l[i] * svec[i] - lambda;
   }
 
   // Differential progressive transform: U- D- U-^T of LDL^T - lambda,
   // bottom-up. umult[i] multiplies z downward; pvec holds the p_i.
-  std::vector<double> umult(n - 1), pvec(n);
+  std::vector<Real> umult(n - 1), pvec(n);
   pvec[n - 1] = rep.d[n - 1] - lambda;
   for (index_t i = n - 2; i >= 0; --i) {
-    const double dminus = guard(rep.d[i] * rep.l[i] * rep.l[i] + pvec[i + 1]);
+    const Real dminus = guard(rep.d[i] * rep.l[i] * rep.l[i] + pvec[i + 1]);
     umult[i] = (rep.l[i] * rep.d[i]) / dminus;
     pvec[i] = (pvec[i + 1] * rep.d[i]) / dminus - lambda;
   }
 
   // gamma_k = s_k + p_k + lambda; the twist minimises |gamma|.
   index_t k = 0;
-  double best = std::fabs(svec[0] + pvec[0] + lambda);
+  Real best = std::fabs(svec[0] + pvec[0] + lambda);
   for (index_t i = 1; i < n; ++i) {
-    const double g = std::fabs(svec[i] + pvec[i] + lambda);
+    const Real g = std::fabs(svec[i] + pvec[i] + lambda);
     if (g < best) {
       best = g;
       k = i;
@@ -58,22 +60,35 @@ GetvecResult twisted_eigenvector(const Representation& rep, double lambda, doubl
   res.gamma = svec[k] + pvec[k] + lambda;
 
   // Solve N z = gamma e_k: z_k = 1, then the twisted back-substitutions.
-  z[k] = 1.0;
+  z[k] = Real(1);
   for (index_t i = k - 1; i >= 0; --i) {
     z[i] = -lplus[i] * z[i + 1];
-    if (!std::isfinite(z[i]) || std::fabs(z[i]) > 1.0 / tiny) z[i] = 0.0;
+    if (!std::isfinite(z[i]) || std::fabs(z[i]) > Real(1) / tiny) z[i] = Real(0);
   }
   for (index_t i = k; i < n - 1; ++i) {
     z[i + 1] = -umult[i] * z[i];
-    if (!std::isfinite(z[i + 1]) || std::fabs(z[i + 1]) > 1.0 / tiny) z[i + 1] = 0.0;
+    if (!std::isfinite(z[i + 1]) || std::fabs(z[i + 1]) > Real(1) / tiny) z[i + 1] = Real(0);
   }
-  const double nrm = blas::nrm2(n, z);
+  const Real nrm = blas::nrm2(n, z);
   res.znorm2 = nrm * nrm;
-  blas::scal(n, 1.0 / nrm, z);
+  blas::scal(n, Real(1) / nrm, z);
   res.resid = std::fabs(res.gamma) / nrm;
   return res;
 }
 
-double rayleigh_correction(const GetvecResult& r) { return r.gamma / r.znorm2; }
+template <typename Real>
+Real rayleigh_correction(const GetvecResultT<Real>& r) {
+  return r.gamma / r.znorm2;
+}
+
+#define DNC_INSTANTIATE_GETVEC(Real)                                                \
+  template GetvecResultT<Real> twisted_eigenvector<Real>(const RepresentationT<Real>&, \
+                                                         Real, Real*);              \
+  template Real rayleigh_correction<Real>(const GetvecResultT<Real>&);
+
+DNC_INSTANTIATE_GETVEC(double)
+DNC_INSTANTIATE_GETVEC(float)
+
+#undef DNC_INSTANTIATE_GETVEC
 
 }  // namespace dnc::mrrr

@@ -9,21 +9,26 @@
 
 namespace dnc::mrrr {
 
-struct GetvecResult {
-  index_t twist = 0;      ///< chosen twist index
-  double gamma = 0.0;     ///< pivot at the twist (residual scale)
-  double znorm2 = 0.0;    ///< squared norm of the unnormalised vector
-  double resid = 0.0;     ///< |gamma| / ||z||: backward error estimate
+template <typename Real>
+struct GetvecResultT {
+  index_t twist = 0;   ///< chosen twist index
+  Real gamma = 0;      ///< pivot at the twist (residual scale)
+  Real znorm2 = 0;     ///< squared norm of the unnormalised vector
+  Real resid = 0;      ///< |gamma| / ||z||: backward error estimate
 };
+
+using GetvecResult = GetvecResultT<double>;
 
 /// Computes the eigenvector of rep for the eigenvalue lambda (relative to
 /// the representation's shift, i.e. T v = (rep.sigma + lambda) v). z must
 /// have length rep.n(); on return it is normalised.
-GetvecResult twisted_eigenvector(const Representation& rep, double lambda, double* z);
+template <typename Real>
+GetvecResultT<Real> twisted_eigenvector(const RepresentationT<Real>& rep, Real lambda, Real* z);
 
 /// One step of eigenvalue refinement from the twisted factorization: the
 /// Rayleigh-quotient correction gamma / ||z||^2 (dlar1v's RQCORR).
-double rayleigh_correction(const GetvecResult& r);
+template <typename Real>
+Real rayleigh_correction(const GetvecResultT<Real>& r);
 
 /// The dstein-style inverse-iteration fallback now lives in
 /// lapack/stein.hpp (it is pure tridiagonal machinery); mrrr uses it for

@@ -3,21 +3,22 @@
 #include <cmath>
 
 #include "common/error.hpp"
-#include "common/machine.hpp"
+#include "common/real_traits.hpp"
 #include "obs/counters.hpp"
 
 namespace dnc::mrrr {
 
-Representation ldl_factor(index_t n, const double* d, const double* e, double sigma) {
+template <typename Real>
+RepresentationT<Real> ldl_factor(index_t n, const Real* d, const Real* e, Real sigma) {
   DNC_REQUIRE(n >= 1, "ldl_factor: n >= 1");
-  Representation rep;
+  RepresentationT<Real> rep;
   rep.sigma = sigma;
   rep.d.resize(n);
   rep.l.resize(n > 0 ? n - 1 : 0);
-  const double tiny = lamch_safmin();
-  double di = d[0] - sigma;
+  const Real tiny = real_traits<Real>::safmin();
+  Real di = d[0] - sigma;
   for (index_t i = 0; i < n - 1; ++i) {
-    if (di == 0.0) di = tiny;  // pivot perturbation (dlarrf-style eps bump)
+    if (di == Real(0)) di = tiny;  // pivot perturbation (dlarrf-style eps bump)
     rep.d[i] = di;
     rep.l[i] = e[i] / di;
     di = (d[i + 1] - sigma) - rep.l[i] * e[i];
@@ -26,18 +27,19 @@ Representation ldl_factor(index_t n, const double* d, const double* e, double si
   return rep;
 }
 
-bool dstqds(const Representation& in, double tau, Representation& out) {
+template <typename Real>
+bool dstqds(const RepresentationT<Real>& in, Real tau, RepresentationT<Real>& out) {
   const index_t n = in.n();
   out.sigma = in.sigma + tau;
   out.d.resize(n);
   out.l.resize(n > 0 ? n - 1 : 0);
   bool ok = true;
-  double s = -tau;
+  Real s = -tau;
   for (index_t i = 0; i < n - 1; ++i) {
-    const double dplus = in.d[i] + s;
-    if (dplus == 0.0 || !std::isfinite(dplus)) ok = false;
+    const Real dplus = in.d[i] + s;
+    if (dplus == Real(0) || !std::isfinite(dplus)) ok = false;
     out.d[i] = dplus;
-    const double ld = in.l[i] * in.d[i];
+    const Real ld = in.l[i] * in.d[i];
     out.l[i] = ld / dplus;
     s = out.l[i] * in.l[i] * s - tau;
     if (!std::isfinite(s)) ok = false;
@@ -46,19 +48,20 @@ bool dstqds(const Representation& in, double tau, Representation& out) {
   return ok && std::isfinite(out.d[n - 1]);
 }
 
-index_t sturm_count_ldl(const Representation& rep, double x) {
+template <typename Real>
+index_t sturm_count_ldl(const RepresentationT<Real>& rep, Real x) {
   // Differential stationary transform of L D L^T - x I, counting negative
   // pivots. The recurrence is the dstqds body; NaN-safe handling follows
   // dlaneg: a zero pivot is nudged rather than propagated.
   const index_t n = rep.n();
   index_t count = 0;
-  double s = -x;
-  const double tiny = lamch_safmin();
+  Real s = -x;
+  const Real tiny = real_traits<Real>::safmin();
   for (index_t i = 0; i < n - 1; ++i) {
-    double dplus = rep.d[i] + s;
-    if (dplus < 0.0) ++count;
-    if (dplus == 0.0) dplus = -tiny;
-    const double t = rep.l[i] * rep.d[i] / dplus;
+    Real dplus = rep.d[i] + s;
+    if (dplus < Real(0)) ++count;
+    if (dplus == Real(0)) dplus = -tiny;
+    const Real t = rep.l[i] * rep.d[i] / dplus;
     s = t * rep.l[i] * s - x;
     if (!std::isfinite(s)) {
       // Breakdown: restart the recurrence conservatively (dlaneg's
@@ -66,15 +69,17 @@ index_t sturm_count_ldl(const Representation& rep, double x) {
       s = -x;
     }
   }
-  if (rep.d[n - 1] + s < 0.0) ++count;
+  if (rep.d[n - 1] + s < Real(0)) ++count;
   return count;
 }
 
-double bisect_ldl(const Representation& rep, index_t k, double lo, double hi, double tol) {
+template <typename Real>
+Real bisect_ldl(const RepresentationT<Real>& rep, index_t k, Real lo, Real hi, Real tol) {
   obs::bump(obs::kBisectLdlCalls);
   std::uint64_t halvings = 0;
-  while (hi - lo > tol + lamch_eps() * (std::fabs(lo) + std::fabs(hi))) {
-    const double mid = 0.5 * (lo + hi);
+  const Real eps = real_traits<Real>::eps();
+  while (hi - lo > tol + eps * (std::fabs(lo) + std::fabs(hi))) {
+    const Real mid = Real(0.5) * (lo + hi);
     if (mid == lo || mid == hi) break;
     ++halvings;
     if (sturm_count_ldl(rep, mid) > k)
@@ -83,7 +88,18 @@ double bisect_ldl(const Representation& rep, index_t k, double lo, double hi, do
       lo = mid;
   }
   obs::bump(obs::kBisectLdlSteps, halvings);
-  return 0.5 * (lo + hi);
+  return Real(0.5) * (lo + hi);
 }
+
+#define DNC_INSTANTIATE_LDL(Real)                                                             \
+  template RepresentationT<Real> ldl_factor<Real>(index_t, const Real*, const Real*, Real);   \
+  template bool dstqds<Real>(const RepresentationT<Real>&, Real, RepresentationT<Real>&);     \
+  template index_t sturm_count_ldl<Real>(const RepresentationT<Real>&, Real);                 \
+  template Real bisect_ldl<Real>(const RepresentationT<Real>&, index_t, Real, Real, Real);
+
+DNC_INSTANTIATE_LDL(double)
+DNC_INSTANTIATE_LDL(float)
+
+#undef DNC_INSTANTIATE_LDL
 
 }  // namespace dnc::mrrr

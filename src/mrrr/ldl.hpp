@@ -1,7 +1,8 @@
 // Relatively robust representations: LDL^T factorizations of shifted
 // symmetric tridiagonal matrices and the differential qds transforms that
 // move between them (the core machinery of the MRRR algorithm, after
-// Dhillon; dlarrf/dlarrb/dlaneg equivalents in spirit).
+// Dhillon; dlarrf/dlarrb/dlaneg equivalents in spirit). Templated on the
+// working precision Real (double / float).
 //
 // A representation stores D (diagonal of D) and L (unit subdiagonal of L)
 // with the invariant T - sigma*I = L D L^T for the accumulated shift sigma.
@@ -13,30 +14,37 @@
 
 namespace dnc::mrrr {
 
-struct Representation {
-  double sigma = 0.0;      ///< accumulated shift relative to the original T
-  std::vector<double> d;   ///< D diagonal, size n
-  std::vector<double> l;   ///< L subdiagonal, size n-1
+template <typename Real>
+struct RepresentationT {
+  Real sigma = 0;          ///< accumulated shift relative to the original T
+  std::vector<Real> d;     ///< D diagonal, size n
+  std::vector<Real> l;     ///< L subdiagonal, size n-1
   index_t n() const { return static_cast<index_t>(d.size()); }
 };
+
+using Representation = RepresentationT<double>;
 
 /// Factors T - sigma*I = L D L^T directly from the tridiagonal (d, e).
 /// Pivots that vanish are perturbed by a tiny amount (the representation
 /// stays relatively robust as long as sigma is outside the spectrum or the
 /// factorization is diagonally dominant there).
-Representation ldl_factor(index_t n, const double* d, const double* e, double sigma);
+template <typename Real>
+RepresentationT<Real> ldl_factor(index_t n, const Real* d, const Real* e, Real sigma);
 
 /// Differential stationary qds: given rep of M = L D L^T computes the
 /// representation of M - tau*I = L+ D+ L+^T. Returns false when an interior
 /// breakdown made the result unreliable (caller should try another shift).
-bool dstqds(const Representation& in, double tau, Representation& out);
+template <typename Real>
+bool dstqds(const RepresentationT<Real>& in, Real tau, RepresentationT<Real>& out);
 
 /// Number of eigenvalues of L D L^T smaller than x (differential stationary
 /// count; robust against zero pivots).
-index_t sturm_count_ldl(const Representation& rep, double x);
+template <typename Real>
+index_t sturm_count_ldl(const RepresentationT<Real>& rep, Real x);
 
 /// Bisection for eigenvalue k (0-based) of L D L^T in [lo, hi] to absolute
 /// tolerance tol (plus relative floor).
-double bisect_ldl(const Representation& rep, index_t k, double lo, double hi, double tol);
+template <typename Real>
+Real bisect_ldl(const RepresentationT<Real>& rep, index_t k, Real lo, Real hi, Real tol);
 
 }  // namespace dnc::mrrr

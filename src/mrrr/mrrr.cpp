@@ -5,14 +5,16 @@
 #include <memory>
 #include <mutex>
 #include <numeric>
+#include <type_traits>
 
 #include "blas/aux.hpp"
 #include "blas/level1.hpp"
 #include "common/error.hpp"
-#include "common/machine.hpp"
+#include "common/real_traits.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "lapack/bisect.hpp"
+#include "lapack/refine.hpp"
 #include "lapack/stein.hpp"
 #include "mrrr/getvec.hpp"
 #include "mrrr/ldl.hpp"
@@ -36,28 +38,30 @@ struct MrrrKinds {
 /// A unit of representation-tree work: a contiguous index range [k0, k1)
 /// (block-local) whose eigenvalues share the representation `rep` and are
 /// currently approximated by lam_local (relative to rep->sigma).
-struct WorkItem {
-  std::shared_ptr<Representation> rep;
+template <typename Real>
+struct WorkItemT {
+  std::shared_ptr<RepresentationT<Real>> rep;
   index_t k0, k1;
-  std::vector<double> lam_local;  ///< size k1-k0
+  std::vector<Real> lam_local;  ///< size k1-k0
   int depth = 0;
 };
 
-}  // namespace
-
-void mrrr_solve(index_t n, const double* d, const double* e, std::vector<double>& lam,
-                Matrix& v, const Options& opt, Stats* stats, const std::vector<int>& sim) {
+template <typename Real>
+void mrrr_solve_impl(index_t n, const Real* d, const Real* e, std::vector<Real>& lam,
+                     MatrixT<Real>& v, const Options& opt, Stats* stats,
+                     const std::vector<int>& sim) {
+  using WorkItem = WorkItemT<Real>;
   Stopwatch sw;
   obs::SolveScope scope("mrrr");
   DNC_REQUIRE(n >= 0, "mrrr_solve: n >= 0");
   if (stats) *stats = Stats{};
-  lam.assign(n, 0.0);
+  lam.assign(n, Real(0));
   v.resize(n, n);
   if (n == 0) return;
-  v.fill(0.0);
+  v.fill(Real(0));
   if (n == 1) {
     lam[0] = d[0];
-    v(0, 0) = 1.0;
+    v(0, 0) = Real(1);
     if (stats) {
       stats->n = 1;
       stats->seconds = sw.elapsed();
@@ -65,17 +69,18 @@ void mrrr_solve(index_t n, const double* d, const double* e, std::vector<double>
     return;
   }
 
-  const double eps = lamch_eps();
+  const Real eps = real_traits<Real>::eps();
+  const Real safmin = real_traits<Real>::safmin();
 
   // dlarre's unconditional random ulp perturbation of the working copy of
   // T: absolutely degenerate ("glued") eigenvalues split by O(eps ||T||),
   // after which close-by shifts can create large relative gaps. Without
   // this no shift strategy can separate a zero-width cluster.
-  std::vector<double> dw(d, d + n), ew(e, e + n - 1);
+  std::vector<Real> dw(d, d + n), ew(e, e + n - 1);
   {
     Rng prng(0x135735ULL);
-    for (auto& x : dw) x *= 1.0 + 4.0 * eps * prng.uniform_sym();
-    for (auto& x : ew) x *= 1.0 + 4.0 * eps * prng.uniform_sym();
+    for (auto& x : dw) x *= Real(1) + Real(4) * eps * Real(prng.uniform_sym());
+    for (auto& x : ew) x *= Real(1) + Real(4) * eps * Real(prng.uniform_sym());
   }
   d = dw.data();
   e = ew.data();
@@ -104,33 +109,33 @@ void mrrr_solve(index_t n, const double* d, const double* e, std::vector<double>
     const index_t bn = block_start[b + 1] - off;
     if (bn == 1) {
       lam[off] = d[off];
-      v(off, off) = 1.0;
+      v(off, off) = Real(1);
       continue;
     }
-    const double* bd = d + off;
-    const double* be = e + off;
-    double glo, ghi;
+    const Real* bd = d + off;
+    const Real* be = e + off;
+    Real glo, ghi;
     lapack::gershgorin_bounds(bn, bd, be, glo, ghi);
-    const double spread = std::max(ghi - glo, lamch_safmin());
+    const Real spread = std::max(ghi - glo, safmin);
     // Root shift just below the spectrum keeps D positive (definite
     // factorization => relatively robust).
-    const double sigma0 = glo - 0.03125 * spread;
-    auto root = std::make_shared<Representation>(ldl_factor(bn, bd, be, sigma0));
+    const Real sigma0 = glo - Real(0.03125) * spread;
+    auto root = std::make_shared<RepresentationT<Real>>(ldl_factor(bn, bd, be, sigma0));
     // The crude pass only needs to land inside the refinement bracket; the
     // LDL bisection below restores full relative accuracy. A loose crude
     // tolerance halves the total Sturm-count work.
-    const double crude_tol = std::max(1.0e-8 * spread,
-                                      4.0 * eps * std::max(std::fabs(glo), std::fabs(ghi)));
+    const Real crude_tol = std::max(Real(1.0e-8) * spread,
+                                    Real(4) * eps * std::max(std::fabs(glo), std::fabs(ghi)));
 
     // Crude eigenvalues for the whole block in one task (the recursive
     // interval bisection shares Sturm counts across eigenvalues), then
     // grain-sized refinement tasks against the root representation.
-    auto crude = std::make_shared<std::vector<double>>();
+    auto crude = std::make_shared<std::vector<Real>>();
     auto hblock = std::make_shared<rt::Handle>("block");
     block_handles.push_back(hblock);
     graph.submit(K.bisect,
                  [bd, be, bn, crude, crude_tol] {
-                   *crude = lapack::bisect_all(bn, bd, be, 0.0, crude_tol);
+                   *crude = lapack::bisect_all(bn, bd, be, Real(0), crude_tol);
                  },
                  {{hblock.get(), rt::Access::InOut}});
     const index_t nchunks = (bn + opt.grain - 1) / opt.grain;
@@ -138,19 +143,19 @@ void mrrr_solve(index_t n, const double* d, const double* e, std::vector<double>
       const index_t k0 = c * opt.grain;
       const index_t k1 = std::min(k0 + opt.grain, bn);
       graph.submit(K.refine,
-                   [&, off, k0, k1, root, crude, crude_tol, spread] {
+                   [&, off, k0, k1, root, crude, crude_tol, spread, eps] {
                      WorkItem item;
                      item.rep = root;
                      item.k0 = k0;
                      item.k1 = k1;
                      item.lam_local.resize(k1 - k0);
                      for (index_t k = k0; k < k1; ++k) {
-                       const double w = (*crude)[k];
+                       const Real w = (*crude)[k];
                        // Refine against the root representation for high
                        // relative accuracy w.r.t. the shifted origin.
-                       const double lo = (w - root->sigma) - 4.0 * crude_tol - eps * spread;
-                       const double hi = (w - root->sigma) + 4.0 * crude_tol + eps * spread;
-                       item.lam_local[k - k0] = bisect_ldl(*item.rep, k, lo, hi, 0.0);
+                       const Real lo = (w - root->sigma) - Real(4) * crude_tol - eps * spread;
+                       const Real hi = (w - root->sigma) + Real(4) * crude_tol + eps * spread;
+                       item.lam_local[k - k0] = bisect_ldl(*item.rep, k, lo, hi, Real(0));
                      }
                      std::lock_guard<std::mutex> lk(next_mu);
                      // Block offset is folded in by shifting indices here.
@@ -204,16 +209,16 @@ void mrrr_solve(index_t n, const double* d, const double* e, std::vector<double>
       while (s < cnt) {
         index_t t = s;
         while (t + 1 < cnt) {
-          const double gap = item.lam_local[t + 1] - item.lam_local[t];
-          const double scale =
+          const Real gap = item.lam_local[t + 1] - item.lam_local[t];
+          const Real scale =
               std::max(std::fabs(item.lam_local[t]), std::fabs(item.lam_local[t + 1]));
-          if (gap > opt.gaptol * std::max(scale, lamch_safmin())) break;
+          if (gap > Real(opt.gaptol) * std::max(scale, safmin)) break;
           ++t;
         }
         const index_t g0 = item.k0 + s;          // global index of group start
         const index_t gcnt = t - s + 1;          // group size
         auto rep = item.rep;
-        std::vector<double> grp(item.lam_local.begin() + s, item.lam_local.begin() + s + gcnt);
+        std::vector<Real> grp(item.lam_local.begin() + s, item.lam_local.begin() + s + gcnt);
         const index_t boff = block_off[g0];
         if (gcnt == 1 || item.depth >= opt.max_depth) {
           // Singletons get the O(n) twisted-factorization vector. A group
@@ -227,7 +232,7 @@ void mrrr_solve(index_t n, const double* d, const double* e, std::vector<double>
               K.getvec,
               [&, rep, g0, grp, boff, degenerate_group] {
                 const index_t bn = rep->n();
-                std::vector<double> z(bn);
+                std::vector<Real> z(bn);
                 if (degenerate_group) {
                   Rng rng(0x9d5ULL ^ static_cast<std::uint64_t>(g0));
                   for (std::size_t j = 0; j < grp.size(); ++j) {
@@ -242,11 +247,11 @@ void mrrr_solve(index_t n, const double* d, const double* e, std::vector<double>
                 for (std::size_t j = 0; j < grp.size(); ++j) {
                   // grp values are already refined to full relative accuracy
                   // against this representation.
-                  double w = grp[j];
+                  Real w = grp[j];
                   auto r = twisted_eigenvector(*rep, w, z.data());
                   // One Rayleigh correction step sharpens the eigenvalue.
-                  const double corr = rayleigh_correction(r);
-                  if (std::isfinite(corr) && std::fabs(corr) < std::fabs(w) * 1e-2) {
+                  const Real corr = rayleigh_correction(r);
+                  if (std::isfinite(corr) && std::fabs(corr) < std::fabs(w) * Real(1e-2)) {
                     auto r2 = twisted_eigenvector(*rep, w + corr, z.data());
                     if (r2.resid < r.resid) {
                       r = r2;
@@ -265,30 +270,30 @@ void mrrr_solve(index_t n, const double* d, const double* e, std::vector<double>
           // refine the members against it.
           graph.submit(
               K.cluster,
-              [&, rep, g0, grp, boff, depth = item.depth] {
+              [&, rep, g0, grp, boff, eps, safmin, depth = item.depth] {
 
-                const double width = grp.back() - grp.front();
-                const double base = std::max(std::fabs(grp.front()), std::fabs(grp.back()));
+                const Real width = grp.back() - grp.front();
+                const Real base = std::max(std::fabs(grp.front()), std::fabs(grp.back()));
                 // Candidate shifts at either side of the cluster with a
                 // dlarrf-style element-growth acceptance test: a shift whose
                 // differential transform blows the pivots up does NOT yield
                 // a relatively robust representation and must be rejected,
                 // otherwise the refined cluster eigenvalues are garbage.
-                const double delta =
-                    std::max(width, 4.0 * lamch_eps() * std::max(base, lamch_safmin()));
-                double dmax_parent = 0.0;
-                for (double x : rep->d) dmax_parent = std::max(dmax_parent, std::fabs(x));
-                const double growth_limit = 64.0 * std::max(dmax_parent, base);
-                Representation child;
+                const Real delta =
+                    std::max(width, Real(4) * eps * std::max(base, safmin));
+                Real dmax_parent = 0;
+                for (Real x : rep->d) dmax_parent = std::max(dmax_parent, std::fabs(x));
+                const Real growth_limit = Real(64) * std::max(dmax_parent, base);
+                RepresentationT<Real> child;
                 bool ok = false;
                 for (double mult : {1.0, 4.0, 16.0, 0.25, 64.0}) {
                   for (int side = 0; side < 2 && !ok; ++side) {
-                    const double tau =
-                        side == 0 ? grp.front() - mult * delta : grp.back() + mult * delta;
-                    Representation cand;
+                    const Real tau = side == 0 ? grp.front() - Real(mult) * delta
+                                               : grp.back() + Real(mult) * delta;
+                    RepresentationT<Real> cand;
                     if (!dstqds(*rep, tau, cand)) continue;
-                    double growth = 0.0;
-                    for (double x : cand.d) growth = std::max(growth, std::fabs(x));
+                    Real growth = 0;
+                    for (Real x : cand.d) growth = std::max(growth, std::fabs(x));
                     if (growth > growth_limit) continue;
                     child = std::move(cand);
                     ok = true;
@@ -303,24 +308,26 @@ void mrrr_solve(index_t n, const double* d, const double* e, std::vector<double>
                   // O(eps) so deeper levels resolve the members.
                   Rng prng(0x5eedULL ^ (static_cast<std::uint64_t>(g0) << 20) ^
                            static_cast<std::uint64_t>(depth));
-                  for (auto& x : child.d) x *= 1.0 + 4.0 * lamch_eps() * prng.uniform_sym();
-                  for (auto& x : child.l) x *= 1.0 + 4.0 * lamch_eps() * prng.uniform_sym();
+                  for (auto& x : child.d)
+                    x *= Real(1) + Real(4) * eps * Real(prng.uniform_sym());
+                  for (auto& x : child.l)
+                    x *= Real(1) + Real(4) * eps * Real(prng.uniform_sym());
                 }
                 WorkItem childitem;
                 childitem.k0 = g0;
                 childitem.k1 = g0 + static_cast<index_t>(grp.size());
                 childitem.depth = depth + 1;
                 if (ok) {
-                  auto childrep = std::make_shared<Representation>(std::move(child));
+                  auto childrep = std::make_shared<RepresentationT<Real>>(std::move(child));
                   childitem.rep = childrep;
                   childitem.lam_local.resize(grp.size());
-                  const double tau = childrep->sigma - rep->sigma;
+                  const Real tau = childrep->sigma - rep->sigma;
                   for (std::size_t j = 0; j < grp.size(); ++j) {
                     const index_t klocal = g0 + static_cast<index_t>(j) - boff;
-                    const double guess = grp[j] - tau;
-                    const double pad = width + delta * 16.0 + lamch_safmin();
+                    const Real guess = grp[j] - tau;
+                    const Real pad = width + delta * Real(16) + safmin;
                     childitem.lam_local[j] =
-                        bisect_ldl(*childrep, klocal, guess - pad, guess + pad, 0.0);
+                        bisect_ldl(*childrep, klocal, guess - pad, guess + pad, Real(0));
                   }
                 } else {
                   // Could not build a child representation: fall back to
@@ -353,14 +360,17 @@ void mrrr_solve(index_t n, const double* d, const double* e, std::vector<double>
   // This is a robustness deviation from MR3-SMP, recorded in DESIGN.md.
   graph.submit(
       K.getvec,
-      [&, n] {
+      [&, n, eps, safmin] {
         std::vector<index_t> order(n);
         std::iota(order.begin(), order.end(), index_t{0});
         std::sort(order.begin(), order.end(),
                   [&](index_t a, index_t b) { return lam[a] < lam[b]; });
-        double lmax = 0.0;
-        for (double x : lam) lmax = std::max(lmax, std::fabs(x));
-        const double close = 64.0 * lamch_eps() * std::max(lmax, lamch_safmin());
+        Real lmax = 0;
+        for (Real x : lam) lmax = std::max(lmax, std::fabs(x));
+        const Real close = Real(64) * eps * std::max(lmax, safmin);
+        // The dot-product noise floor of unit vectors scales with eps, so
+        // the overlap trigger must too (1e-8 would fire on every fp32 pair).
+        const Real overlap_tol = std::is_same_v<Real, float> ? Real(1e-4) : Real(1e-8);
         index_t s = 0;
         while (s < n) {
           index_t t = s;
@@ -370,13 +380,13 @@ void mrrr_solve(index_t n, const double* d, const double* e, std::vector<double>
             for (index_t a = s; a <= t && !overlap; ++a)
               for (index_t b = a + 1; b <= t && !overlap; ++b)
                 if (std::fabs(blas::dot(n, v.data() + order[a] * v.ld(),
-                                        v.data() + order[b] * v.ld())) > 1e-8)
+                                        v.data() + order[b] * v.ld())) > overlap_tol)
                   overlap = true;
             if (overlap) {
               // Recompute the whole run by inverse iteration with
               // reorthogonalisation (copying into a contiguous panel so the
               // prev-columns stride is uniform).
-              Matrix panel(n, t - s + 1);
+              MatrixT<Real> panel(n, t - s + 1);
               Rng rng(0xfa11ULL ^ static_cast<std::uint64_t>(s));
               for (index_t a = s; a <= t; ++a) {
                 lapack::stein_vector(n, d, e, lam[order[a]], panel.data(), panel.ld(), a - s,
@@ -400,8 +410,8 @@ void mrrr_solve(index_t n, const double* d, const double* e, std::vector<double>
                  std::iota(order.begin(), order.end(), index_t{0});
                  std::sort(order.begin(), order.end(),
                            [&](index_t a, index_t b) { return lam[a] < lam[b]; });
-                 Matrix tmp(n, n);
-                 std::vector<double> ltmp(n);
+                 MatrixT<Real> tmp(n, n);
+                 std::vector<Real> ltmp(n);
                  for (index_t r = 0; r < n; ++r) {
                    ltmp[r] = lam[order[r]];
                    blas::copy(n, v.data() + order[r] * v.ld(), tmp.data() + r * tmp.ld());
@@ -433,15 +443,47 @@ void mrrr_solve(index_t n, const double* d, const double* e, std::vector<double>
     obs::SolveReport local;
     obs::SolveReport& rep = stats ? stats->report : local;
     scope.finish(rep, n, opt.threads, seconds, tr);
+    rep.precision = precision_name(opt.precision);
     // Workspace telemetry: the final sort task's n x n scratch matrix plus
     // its n-vector of reordered eigenvalues; the n x n eigenvector output;
     // the per-solve eigenvalue/work arrays (lam + the per-block d/l copies
     // are O(n) and folded into context_bytes).
     const std::uint64_t nn = static_cast<std::uint64_t>(n);
-    rep.memory.workspace_bytes = (nn * nn + nn) * sizeof(double);
-    rep.memory.output_bytes = nn * nn * sizeof(double);
-    rep.memory.context_bytes = 3u * nn * sizeof(double);
+    rep.memory.workspace_bytes = (nn * nn + nn) * sizeof(Real);
+    rep.memory.output_bytes = nn * nn * sizeof(Real);
+    rep.memory.context_bytes = 3u * nn * sizeof(Real);
     if (want_export) obs::export_solve_artifacts(rep, tr);
+  }
+}
+
+}  // namespace
+
+void mrrr_solve(index_t n, const double* d, const double* e, std::vector<double>& lam,
+                Matrix& v, const Options& opt, Stats* stats, const std::vector<int>& sim) {
+  if (opt.precision == Precision::F64 || n <= 1) {
+    mrrr_solve_impl<double>(n, d, e, lam, v, opt, stats, sim);
+    return;
+  }
+  // fp32 fast path: narrow the tridiagonal, run the whole representation
+  // tree in single precision, widen the eigenpairs back. Unlike the D&C
+  // drivers, mrrr_solve does not destroy its inputs, so the caller's (d, e)
+  // double the role of the fp64 reference matrix for refinement.
+  std::vector<float> d32(d, d + n), e32;
+  if (n > 1) e32.assign(e, e + n - 1);
+  std::vector<float> lam32;
+  MatrixT<float> v32;
+  mrrr_solve_impl<float>(n, d32.data(), e32.data(), lam32, v32, opt, stats, sim);
+  lam.assign(lam32.begin(), lam32.end());
+  v.resize(v32.rows(), v32.cols());
+  for (index_t j = 0; j < v32.cols(); ++j) {
+    const float* src = v32.data() + j * v32.ld();
+    double* dst = v.data() + j * v.ld();
+    for (index_t i = 0; i < v32.rows(); ++i) dst[i] = static_cast<double>(src[i]);
+  }
+  if (opt.precision == Precision::F32RefineF64 && n > 0) {
+    const lapack::RefineReport rr =
+        lapack::refine_eigenpairs(n, d, e, lam.data(), v.data(), v.ld(), v.cols());
+    if (stats) stats->refine = rr;
   }
 }
 

@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "common/matrix.hpp"
+#include "common/precision.hpp"
+#include "lapack/refine.hpp"
 #include "matgen/tridiag.hpp"
 #include "obs/report.hpp"
 #include "runtime/sched.hpp"
@@ -27,6 +29,11 @@ struct Options {
   /// Runtime scheduling policy (work-stealing by default; DNC_SCHED
   /// overrides the default at construction).
   rt::SchedPolicy sched = rt::default_sched_policy();
+  /// Working precision of the solve (DNC_PREC overrides the default).
+  /// F32 runs the whole representation tree in fp32; F32RefineF64 follows
+  /// the fp32 solve with fp64 Rayleigh-quotient refinement of the
+  /// eigenpairs (see lapack/refine.hpp).
+  Precision precision = default_precision();
   /// Relative gap below which neighbouring eigenvalues form a cluster.
   double gaptol = 1.0e-3;
   /// Maximum representation-tree depth; clusters still unresolved at this
@@ -49,6 +56,9 @@ struct Stats {
   /// the sturm/bisect-ldl counters and scheduler metrics apply). Exported
   /// to $DNC_REPORT / $DNC_TRACE when those are set.
   obs::SolveReport report;
+  /// Mixed-precision refinement telemetry (Precision::F32RefineF64 only:
+  /// checked == 0 under the pure-fp64 and pure-fp32 precisions).
+  lapack::RefineReport refine;
 };
 
 /// Computes all eigenpairs of the tridiagonal (d, e): lam ascending, v

@@ -41,6 +41,7 @@ bool extract_artifact(const json::Value& root, BenchArtifact& out, std::string* 
     BenchEntry be;
     be.driver = e.member_string("driver", "?");
     be.family = e.member_string("family", "?");
+    be.precision = e.member_string("precision", "f64");
     be.n = static_cast<long>(e.member_number("n", 0.0));
     be.reps = static_cast<int>(e.member_number("reps", 0.0));
     if (const json::Value* s = e.find("seconds"); s && s->is_object()) {
@@ -58,7 +59,11 @@ bool extract_artifact(const json::Value& root, BenchArtifact& out, std::string* 
 
 std::string BenchEntry::key() const {
   char buf[160];
-  std::snprintf(buf, sizeof buf, "%s|%s|%ld", driver.c_str(), family.c_str(), n);
+  if (precision.empty() || precision == "f64")
+    std::snprintf(buf, sizeof buf, "%s|%s|%ld", driver.c_str(), family.c_str(), n);
+  else
+    std::snprintf(buf, sizeof buf, "%s|%s|%ld|%s", driver.c_str(), family.c_str(), n,
+                  precision.c_str());
   return buf;
 }
 

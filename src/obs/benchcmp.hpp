@@ -17,6 +17,7 @@ namespace dnc::obs {
 struct BenchEntry {
   std::string driver;
   std::string family;
+  std::string precision = "f64";  ///< working precision ("f64" when absent)
   long n = 0;
   int reps = 0;
   double median = 0.0;  ///< seconds
@@ -24,7 +25,9 @@ struct BenchEntry {
   double q3 = 0.0;
   double min = 0.0;
 
-  std::string key() const;  ///< "driver|family|n", the match identity
+  /// "driver|family|n" (plus "|<precision>" for non-f64 rows, so artifacts
+  /// written before the precision dimension still match their f64 rows).
+  std::string key() const;
 };
 
 struct BenchArtifact {

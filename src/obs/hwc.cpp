@@ -323,9 +323,10 @@ std::vector<KindHwcTotals> kind_hwc_totals(const rt::Trace& trace) {
 }
 
 Roofline roofline(const rt::Trace& trace, double gemm_flops, double gemm_bytes,
-                  double peak_gflops) {
+                  double peak_gflops, int precision_bits) {
   Roofline r;
   r.backend = parse_hwc_backend(trace.hwc_backend);
+  r.precision_bits = precision_bits == 32 ? 32 : 64;
 
   const std::vector<KindHwcTotals> kinds = kind_hwc_totals(trace);
   double total_cycles = 0.0, total_seconds = 0.0;
@@ -335,12 +336,14 @@ Roofline roofline(const rt::Trace& trace, double gemm_flops, double gemm_bytes,
   }
   r.total_seconds = total_seconds;
 
-  // The roof. A caller-provided peak wins; with measured cycles the clock
-  // falls out of the data (cycles / busy-seconds across all workers) and
-  // the width is the widest double FMA pipe this kernel set targets
-  // (AVX2: 2 FMA/cycle x 4 doubles x 2 flops = 16 flops/cycle); without
-  // either, a nominal 3 GHz clock is assumed and flagged.
-  constexpr double kFlopsPerCycle = 16.0;
+  // The roof. A caller-provided peak wins (and is read as the peak for the
+  // trace's precision); with measured cycles the clock falls out of the
+  // data (cycles / busy-seconds across all workers) and the width is the
+  // widest FMA pipe this kernel set targets at the recorded precision
+  // (AVX2 fp64: 2 FMA/cycle x 4 lanes x 2 flops = 16 flops/cycle; fp32
+  // doubles the lanes to 32 flops/cycle); without either, a nominal 3 GHz
+  // clock is assumed and flagged.
+  const double kFlopsPerCycle = r.precision_bits == 32 ? 32.0 : 16.0;
   if (peak_gflops > 0.0) {
     r.peak_gflops = peak_gflops;
     r.peak_source = "flag";
@@ -403,8 +406,9 @@ Roofline roofline(const rt::Trace& trace, double gemm_flops, double gemm_bytes,
 std::string render_roofline(const Roofline& r) {
   std::string out;
   char buf[256];
-  std::snprintf(buf, sizeof buf, "roofline (backend %s, peak %.1f GF/s [%s])\n",
-                hwc_backend_name(r.backend), r.peak_gflops, r.peak_source.c_str());
+  std::snprintf(buf, sizeof buf, "roofline (backend %s, fp%d, peak %.1f GF/s [%s])\n",
+                hwc_backend_name(r.backend), r.precision_bits, r.peak_gflops,
+                r.peak_source.c_str());
   out += buf;
   const bool perf = r.backend == HwcBackend::kPerf;
   if (perf)

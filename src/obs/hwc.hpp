@@ -131,8 +131,11 @@ struct Roofline {
   HwcBackend backend = HwcBackend::kOff;
   double peak_gflops = 0.0;
   /// How peak_gflops was obtained: "flag" (caller-provided), "derived"
-  /// (clock from measured cycles x 16 flops/cycle), "assumed" (3 GHz x 16).
+  /// (clock from measured cycles x flops/cycle), "assumed" (3 GHz x
+  /// flops/cycle). Derived/assumed roofs use the per-precision SIMD width:
+  /// 16 flops/cycle for fp64 kernels, 32 for fp32.
   std::string peak_source;
+  int precision_bits = 64;     ///< working precision the roof was scaled for
   double total_seconds = 0.0;  ///< summed busy time across kinds
   std::vector<RooflineRow> rows;
 };
@@ -141,10 +144,12 @@ struct Roofline {
 /// deltas. `gemm_flops` / `gemm_bytes` are the solve-wide GEMM totals
 /// (obs counters kGemmFlops / kGemmPackedBytes); they are attributed to
 /// the kind that runs the GEMM panels ("UpdateVect", falling back to the
-/// busiest kind when absent). `peak_gflops` > 0 pins the roof; otherwise
-/// it is derived from measured cycles or assumed (see Roofline::peak_source).
+/// busiest kind when absent). `peak_gflops` > 0 pins the roof and is taken
+/// as the peak FOR THE GIVEN PRECISION (per-precision flag); otherwise the
+/// roof is derived from measured cycles or assumed, scaled by the SIMD
+/// width of the `precision_bits`-wide kernels (fp32 peak = 2x fp64).
 Roofline roofline(const rt::Trace& trace, double gemm_flops, double gemm_bytes,
-                  double peak_gflops = 0.0);
+                  double peak_gflops = 0.0, int precision_bits = 64);
 
 /// Renders the roofline as a one-page text table (column set depends on
 /// the backend: IPC/miss-rate under perf, fault/context-switch counts

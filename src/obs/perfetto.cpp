@@ -102,6 +102,10 @@ std::string perfetto_trace_json(const rt::Trace& trace, const SolveReport* repor
         if (!have("gemm_packed_bytes"))
           mc.emplace_back("gemm_packed_bytes",
                           static_cast<double>(report->counter(kGemmPackedBytes)));
+        // Working precision of the solve, so a reloaded trace can scale the
+        // roofline peak correctly (fp32 kernels peak at 2x the fp64 rate).
+        if (!have("precision_bits"))
+          mc.emplace_back("precision_bits", static_cast<double>(report->precision_bits()));
       }
       if (!mc.empty()) {
         meta += ",\"meta_counters\":{";

@@ -59,6 +59,7 @@ std::string SolveReport::to_json() const {
   appendf(out, "  \"threads\": %d,\n", threads);
   appendf(out, "  \"seconds\": %.9f,\n", seconds);
   appendf(out, "  \"simd_isa\": \"%s\",\n", rt::json_escape(simd_isa).c_str());
+  appendf(out, "  \"precision\": \"%s\",\n", rt::json_escape(precision).c_str());
   appendf(out, "  \"git_commit\": \"%s\",\n", rt::json_escape(git_commit).c_str());
   appendf(out, "  \"build_type\": \"%s\",\n", rt::json_escape(build_type).c_str());
   out += "  \"counters\": {";
@@ -154,6 +155,7 @@ std::string SolveReport::summary_text() const {
   appendf(out, "threads       : %d\n", threads);
   appendf(out, "wall time     : %.6f s\n", seconds);
   appendf(out, "simd kernels  : %s\n", simd_isa.c_str());
+  appendf(out, "precision     : %s (%d-bit kernels)\n", precision.c_str(), precision_bits());
   appendf(out, "revision      : %s (%s)\n", git_commit.c_str(), build_type.c_str());
   const long merged = merged_columns_total();
   appendf(out, "\n-- deflation (%zu merges) --\n", merges.size());

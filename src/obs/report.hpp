@@ -64,8 +64,13 @@ struct SolveReport {
   int threads = 0;
   double seconds = 0.0;
   std::string simd_isa;    ///< dispatched kernel table ("scalar"/"sse2"/"avx2")
+  std::string precision = "f64";  ///< working precision ("f64"/"f32"/"f32refine")
   std::string git_commit;  ///< configure-time revision (version::kGitCommit)
   std::string build_type;  ///< CMAKE_BUILD_TYPE the binary was built with
+
+  /// Bit width of the kernels' working precision (32 for both fp32 modes:
+  /// the f32refine epilogue is fp64 but every GEMM ran in fp32).
+  int precision_bits() const { return precision == "f64" || precision.empty() ? 64 : 32; }
 
   CounterArray counters{};  ///< deltas over the solve, indexed by obs::Counter
   std::vector<MergeRecord> merges;

@@ -99,9 +99,9 @@ TEST(Aux, Lanst) {
 
 TEST(Aux, LanstSmall) {
   const double d1[] = {-3.0};
-  EXPECT_DOUBLE_EQ(lanst_one(1, d1, nullptr), 3.0);
-  EXPECT_DOUBLE_EQ(lanst_max(1, d1, nullptr), 3.0);
-  EXPECT_DOUBLE_EQ(lanst_one(0, nullptr, nullptr), 0.0);
+  EXPECT_DOUBLE_EQ(lanst_one<double>(1, d1, nullptr), 3.0);
+  EXPECT_DOUBLE_EQ(lanst_max<double>(1, d1, nullptr), 3.0);
+  EXPECT_DOUBLE_EQ(lanst_one<double>(0, nullptr, nullptr), 0.0);
 }
 
 }  // namespace

@@ -77,20 +77,20 @@ TEST(Gemm, AlphaZeroScalesC) {
 TEST(Gemm, KZeroActsAsScale) {
   Matrix c(3, 3);
   c.fill(4.0);
-  gemm(Trans::No, Trans::No, 3, 3, 0, 1.0, nullptr, 1, nullptr, 1, 0.25, c.data(), 3);
+  gemm<double>(Trans::No, Trans::No, 3, 3, 0, 1.0, nullptr, 1, nullptr, 1, 0.25, c.data(), 3);
   EXPECT_DOUBLE_EQ(c(1, 1), 1.0);
 }
 
 TEST(Gemm, MZeroIsNoop) {
   // Degenerate row count: must return without touching memory (null
   // operands prove no access path runs).
-  gemm(Trans::No, Trans::No, 0, 5, 5, 1.0, nullptr, 1, nullptr, 1, 0.0, nullptr, 1);
+  gemm<double>(Trans::No, Trans::No, 0, 5, 5, 1.0, nullptr, 1, nullptr, 1, 0.0, nullptr, 1);
 }
 
 TEST(Gemm, NZeroIsNoop) {
   Matrix c(3, 3);
   c.fill(7.0);
-  gemm(Trans::No, Trans::No, 3, 0, 5, 1.0, nullptr, 3, nullptr, 5, 0.0, c.data(), 3);
+  gemm<double>(Trans::No, Trans::No, 3, 0, 5, 1.0, nullptr, 3, nullptr, 5, 0.0, c.data(), 3);
   for (index_t j = 0; j < 3; ++j)
     for (index_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(c(i, j), 7.0);  // untouched
 }
@@ -98,7 +98,7 @@ TEST(Gemm, NZeroIsNoop) {
 TEST(Gemm, AlphaZeroBetaZeroOverwritesNaN) {
   Matrix c(4, 4);
   c.fill(std::numeric_limits<double>::quiet_NaN());
-  gemm(Trans::No, Trans::No, 4, 4, 4, 0.0, nullptr, 4, nullptr, 4, 0.0, c.data(), 4);
+  gemm<double>(Trans::No, Trans::No, 4, 4, 4, 0.0, nullptr, 4, nullptr, 4, 0.0, c.data(), 4);
   for (index_t j = 0; j < 4; ++j)
     for (index_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(c(i, j), 0.0);
 }
@@ -106,7 +106,7 @@ TEST(Gemm, AlphaZeroBetaZeroOverwritesNaN) {
 TEST(Gemm, KZeroBetaZeroOverwritesNaN) {
   Matrix c(3, 3);
   c.fill(std::numeric_limits<double>::quiet_NaN());
-  gemm(Trans::No, Trans::No, 3, 3, 0, 1.0, nullptr, 1, nullptr, 1, 0.0, c.data(), 3);
+  gemm<double>(Trans::No, Trans::No, 3, 3, 0, 1.0, nullptr, 1, nullptr, 1, 0.0, c.data(), 3);
   for (index_t j = 0; j < 3; ++j)
     for (index_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(c(i, j), 0.0);
 }

@@ -7,12 +7,17 @@
 #include <numeric>
 #include <tuple>
 
+#include "../support/precision_testing.hpp"
 #include "dc/api.hpp"
 #include "matgen/tridiag.hpp"
 #include "verify/metrics.hpp"
 
 namespace dnc::dc {
 namespace {
+
+// Scales the fp64-calibrated literal tolerances when the suite re-runs
+// under DNC_PREC=f32 (1 under f64 and f32refine).
+const double kTolScale = test_support::tol_scale();
 
 using Case = std::tuple<int /*type*/, int /*n*/>;
 class TaskflowSweep : public ::testing::TestWithParam<Case> {};
@@ -30,13 +35,13 @@ TEST_P(TaskflowSweep, DecompositionInvariants) {
   stedc_taskflow(n, d.data(), e.data(), v, opt);
 
   EXPECT_TRUE(std::is_sorted(d.begin(), d.end()));
-  EXPECT_LT(verify::orthogonality(v), 1e-14);
-  EXPECT_LT(verify::reduction_residual(t, d, v), 1e-14);
+  EXPECT_LT(verify::orthogonality(v), 1e-14 * kTolScale);
+  EXPECT_LT(verify::reduction_residual(t, d, v), 1e-14 * kTolScale);
   const double tr_t = std::accumulate(t.d.begin(), t.d.end(), 0.0);
   const double tr_l = std::accumulate(d.begin(), d.end(), 0.0);
   double scale = 0.0;
   for (double x : t.d) scale += std::fabs(x);
-  EXPECT_NEAR(tr_t, tr_l, 1e-12 * std::max(scale, 1.0));
+  EXPECT_NEAR(tr_t, tr_l, 1e-12 * kTolScale * std::max(scale, 1.0));
 }
 
 INSTANTIATE_TEST_SUITE_P(TypesAndSizes, TaskflowSweep,
@@ -114,7 +119,8 @@ TEST(TaskflowProperties, ExtremeGranularities) {
     opt.nb = nb;
     opt.threads = 3;
     stedc_taskflow(n, d.data(), e.data(), v, opt);
-    EXPECT_LT(verify::reduction_residual(t, d, v), 1e-13) << "mp=" << mp << " nb=" << nb;
+    EXPECT_LT(verify::reduction_residual(t, d, v), 1e-13 * kTolScale)
+        << "mp=" << mp << " nb=" << nb;
   }
 }
 
@@ -130,8 +136,8 @@ TEST(TaskflowProperties, ReducibleMatrixWithZeroCouplings) {
   Options opt;
   opt.minpart = 16;
   stedc_taskflow(n, d.data(), e.data(), v, opt);
-  EXPECT_LT(verify::orthogonality(v), 1e-14);
-  EXPECT_LT(verify::reduction_residual(t, d, v), 1e-14);
+  EXPECT_LT(verify::orthogonality(v), 1e-14 * kTolScale);
+  EXPECT_LT(verify::reduction_residual(t, d, v), 1e-14 * kTolScale);
 }
 
 TEST(TaskflowProperties, AlternatingSignCouplings) {
@@ -141,7 +147,7 @@ TEST(TaskflowProperties, AlternatingSignCouplings) {
   std::vector<double> d = t.d, e = t.e;
   Matrix v;
   stedc_taskflow(n, d.data(), e.data(), v, {});
-  EXPECT_LT(verify::reduction_residual(t, d, v), 1e-14);
+  EXPECT_LT(verify::reduction_residual(t, d, v), 1e-14 * kTolScale);
 }
 
 }  // namespace

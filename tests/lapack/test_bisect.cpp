@@ -87,7 +87,7 @@ TEST(Bisect, MatchesAllVsSingle) {
 
 TEST(Bisect, SingleElement) {
   const double d[] = {-3.5};
-  EXPECT_NEAR(bisect_eigenvalue(1, d, nullptr, 0), -3.5, 1e-12);
+  EXPECT_NEAR(bisect_eigenvalue<double>(1, d, nullptr, 0), -3.5, 1e-12);
 }
 
 }  // namespace

@@ -33,7 +33,7 @@ TEST(Laev2, Diagonal) { check_2x2(3.0, 0.0, -1.0); }
 TEST(Laev2, EqualDiagonal) { check_2x2(2.0, 1.0, 2.0); }
 TEST(Laev2, ZeroMatrix) {
   double rt1, rt2, cs, sn;
-  laev2(0, 0, 0, rt1, rt2, cs, sn);
+  laev2(0.0, 0.0, 0.0, rt1, rt2, cs, sn);
   EXPECT_EQ(rt1, 0.0);
   EXPECT_EQ(rt2, 0.0);
 }

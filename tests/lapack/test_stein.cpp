@@ -24,7 +24,7 @@ TEST(SteinVector, SimpleEigenvector) {
   t.e = {0.1, 0.1};
   Rng rng(1);
   std::vector<double> z(3);
-  stein_vector(3, t.d.data(), t.e.data(), 5.0, nullptr, 1, 0, z.data(), rng);
+  stein_vector<double>(3, t.d.data(), t.e.data(), 5.0, nullptr, 1, 0, z.data(), rng);
   EXPECT_GT(std::fabs(z[1]), 0.99);
 }
 
@@ -32,7 +32,7 @@ TEST(SteinVector, OrthogonalizesAgainstPrev) {
   matgen::Tridiag t = matgen::onetwoone(20);
   Matrix prev(20, 1);
   Rng rng(2);
-  stein_vector(20, t.d.data(), t.e.data(), 2.0, nullptr, 1, 0, prev.data(), rng);
+  stein_vector<double>(20, t.d.data(), t.e.data(), 2.0, nullptr, 1, 0, prev.data(), rng);
   std::vector<double> z(20);
   stein_vector(20, t.d.data(), t.e.data(), 2.0, prev.data(), 20, 1, z.data(), rng);
   double dot = 0;

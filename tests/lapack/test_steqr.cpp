@@ -94,7 +94,7 @@ TEST(Steqr, ClementAnalytic) {
   const index_t n = 51;
   auto t = matgen::clement(n);
   std::vector<double> d = t.d, e = t.e;
-  steqr(CompZ::None, n, d.data(), e.data(), nullptr, 1);
+  steqr<double>(CompZ::None, n, d.data(), e.data(), nullptr, 1);
   for (index_t k = 0; k < n; ++k) {
     const double exact = -static_cast<double>(n - 1) + 2.0 * k;
     EXPECT_NEAR(d[k], exact, 1e-10);
@@ -129,7 +129,7 @@ TEST(Steqr, AgreesWithBisection) {
   for (auto& x : m.d) x = rng.uniform_sym();
   for (auto& x : m.e) x = rng.uniform_sym();
   std::vector<double> d = m.d, e = m.e;
-  steqr(CompZ::None, n, d.data(), e.data(), nullptr, 1);
+  steqr<double>(CompZ::None, n, d.data(), e.data(), nullptr, 1);
   const auto ref = bisect_all(n, m.d.data(), m.e.data());
   for (index_t i = 0; i < n; ++i) EXPECT_NEAR(d[i], ref[i], 1e-11);
 }
@@ -163,7 +163,7 @@ TEST(Steqr, WilkinsonPairs) {
   // but they are NOT equal. Check pairing structure.
   auto t = matgen::wilkinson(21);
   std::vector<double> d = t.d, e = t.e;
-  steqr(CompZ::None, 21, d.data(), e.data(), nullptr, 1);
+  steqr<double>(CompZ::None, 21, d.data(), e.data(), nullptr, 1);
   EXPECT_NEAR(d[20], 10.746194182903393, 1e-9);
   EXPECT_LT(d[20] - d[19], 1e-12);
   EXPECT_GT(d[20] - d[19], 0.0);
@@ -186,7 +186,7 @@ TEST(Steqr, VectorsModeAccumulates) {
 }
 
 TEST(Steqr, ZeroDimension) {
-  steqr(CompZ::None, 0, nullptr, nullptr, nullptr, 1);  // must not crash
+  steqr<double>(CompZ::None, 0, nullptr, nullptr, nullptr, 1);  // must not crash
 }
 
 }  // namespace

@@ -101,7 +101,7 @@ TEST(Ldl, BisectLdlFindsEigenvalues) {
 
 TEST(Ldl, SingleElement) {
   const double d[] = {3.0};
-  auto rep = ldl_factor(1, d, nullptr, 1.0);
+  auto rep = ldl_factor<double>(1, d, nullptr, 1.0);
   EXPECT_DOUBLE_EQ(rep.d[0], 2.0);
   EXPECT_EQ(sturm_count_ldl(rep, 1.0), 0);
   EXPECT_EQ(sturm_count_ldl(rep, 3.0), 1);

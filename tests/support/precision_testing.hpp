@@ -1,0 +1,46 @@
+// Precision-aware tolerances for tests that run the solvers through
+// Options::precision (and therefore honour DNC_PREC).
+//
+// The numerical suites are calibrated against fp64 machine epsilon. When the
+// whole suite re-runs under DNC_PREC=f32 (see tests/CMakeLists.txt) every
+// residual grows by eps32/eps64; under DNC_PREC=f32refine the refinement
+// epilogue restores fp64-grade residuals, so the fp64 tolerances stand.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/precision.hpp"
+
+namespace dnc::test_support {
+
+/// Machine epsilon of the precision the solve's *results* are accurate to:
+/// fp32 eps under DNC_PREC=f32, fp64 eps otherwise (F32RefineF64 refines
+/// eigenpairs back to fp64 residuals, so it keeps the fp64 epsilon).
+inline double result_eps() {
+  return default_precision() == Precision::F32
+             ? static_cast<double>(std::numeric_limits<float>::epsilon())
+             : std::numeric_limits<double>::epsilon();
+}
+
+/// Multiplier for tolerances written as fp64 literals (1e-13 and friends):
+/// 1 under f64/f32refine, eps32/eps64 (~5.4e8) under pure f32.
+inline double tol_scale() {
+  return result_eps() / std::numeric_limits<double>::epsilon();
+}
+
+/// True when the active precision narrows inputs to fp32 on entry -- tests
+/// whose data leaves the fp32 exponent range (|x| > ~3.4e38 or < ~1.2e-38)
+/// cannot survive the narrowing and should skip.
+inline bool inputs_narrowed_to_f32() { return default_precision() != Precision::F64; }
+
+}  // namespace dnc::test_support
+
+/// Skips the current test when inputs would over/underflow in fp32.
+#define DNC_SKIP_IF_F32_RANGE_EXCEEDED()                                              \
+  do {                                                                                \
+    if (dnc::test_support::inputs_narrowed_to_f32())                                  \
+      GTEST_SKIP() << "matrix entries exceed the fp32 exponent range; meaningless "   \
+                      "under DNC_PREC=" << precision_name(dnc::default_precision());  \
+  } while (0)

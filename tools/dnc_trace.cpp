@@ -203,16 +203,19 @@ int main(int argc, char** argv) {
   std::vector<rt::SimulationResult> simulated;
   obs::SolveReport report;
   double gemm_flops = 0.0, gemm_bytes = 0.0;
+  int precision_bits = 64;
   if (!a.load.empty()) {
     std::string err;
     if (!obs::load_perfetto_trace_file(a.load, trace, &err)) {
       std::fprintf(stderr, "failed to load %s: %s\n", a.load.c_str(), err.c_str());
       return 2;
     }
-    // The exporter embeds the solve-wide GEMM totals as named meta
-    // counters, so the roofline works on a bare trace file.
+    // The exporter embeds the solve-wide GEMM totals and the working
+    // precision as named meta counters, so the roofline works (and scales
+    // its peak correctly) on a bare trace file.
     gemm_flops = trace.meta_counter("gemm_flops");
     gemm_bytes = trace.meta_counter("gemm_packed_bytes");
+    if (trace.meta_counter("precision_bits") == 32.0) precision_bits = 32;
     std::printf("==== dnc_trace: %s ====\n", a.load.c_str());
   } else {
     // Solve mode with --roofline: turn per-task counter sampling on for
@@ -222,8 +225,9 @@ int main(int argc, char** argv) {
     if (!run_solver(a, trace, simulated, &report)) return 2;
     gemm_flops = static_cast<double>(report.counter(obs::kGemmFlops));
     gemm_bytes = static_cast<double>(report.counter(obs::kGemmPackedBytes));
-    std::printf("==== dnc_trace: %s solve, type %d, n=%ld ====\n", a.driver.c_str(), a.type,
-                a.n);
+    precision_bits = report.precision_bits();
+    std::printf("==== dnc_trace: %s solve, type %d, n=%ld, prec %s ====\n", a.driver.c_str(),
+                a.type, a.n, report.precision.empty() ? "f64" : report.precision.c_str());
   }
   std::printf("[build] %s (%s)\n\n", version::kGitCommit, version::kBuildType);
 
@@ -256,7 +260,8 @@ int main(int argc, char** argv) {
                   "(no hardware-counter data on this trace; re-run the solve with\n"
                   " DNC_HWC=1 so the slices carry counter deltas)\n\n");
     } else {
-      const obs::Roofline roof = obs::roofline(trace, gemm_flops, gemm_bytes, a.peak_gflops);
+      const obs::Roofline roof =
+          obs::roofline(trace, gemm_flops, gemm_bytes, a.peak_gflops, precision_bits);
       std::printf("-- roofline --\n%s\n", obs::render_roofline(roof).c_str());
     }
   }
