@@ -130,6 +130,7 @@ void finish_report(const obs::SolveScope& scope,
     rep.memory.context_bytes +=
         (2u * m + m * static_cast<std::uint64_t>(ctx->npanels)) * sizeof(Real);
   }
+  rep.merges.clear();  // reused reports must not accumulate merge records
   for (const auto& ctx : ctxs) {
     if (!ctx) continue;
     obs::MergeRecord mr;
@@ -229,9 +230,10 @@ void stedc_sequential_impl(index_t n, Real* d, Real* e, MatrixT<Real>& v, const 
 
 void stedc_sequential(index_t n, double* d, double* e, Matrix& v, const Options& opt,
                       SolveStats* stats) {
-  detail::run_with_precision(n, d, e, v, opt, stats, [&](auto* dd, auto* ee, auto& vv) {
-    stedc_sequential_impl(n, dd, ee, vv, opt, stats);
-  });
+  detail::run_with_precision(n, d, e, v, opt, stats,
+                             [&](auto* dd, auto* ee, auto& vv, SolveStats* st) {
+                               stedc_sequential_impl(n, dd, ee, vv, opt, st);
+                             });
 }
 
 }  // namespace dnc::dc

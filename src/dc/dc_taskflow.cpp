@@ -249,9 +249,10 @@ void stedc_taskflow_impl(index_t n, Real* d, Real* e, MatrixT<Real>& v, const Op
 
 void stedc_taskflow(index_t n, double* d, double* e, Matrix& v, const Options& opt,
                     SolveStats* stats, const std::vector<int>& simulate_workers) {
-  detail::run_with_precision(n, d, e, v, opt, stats, [&](auto* dd, auto* ee, auto& vv) {
-    stedc_taskflow_impl(n, dd, ee, vv, opt, stats, simulate_workers);
-  });
+  detail::run_with_precision(n, d, e, v, opt, stats,
+                             [&](auto* dd, auto* ee, auto& vv, SolveStats* st) {
+                               stedc_taskflow_impl(n, dd, ee, vv, opt, st, simulate_workers);
+                             });
 }
 
 }  // namespace dnc::dc

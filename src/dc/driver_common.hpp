@@ -9,6 +9,8 @@
 #include "dc/api.hpp"
 #include "dc/merge.hpp"
 #include "lapack/refine.hpp"
+#include "obs/health.hpp"
+#include "obs/telemetry.hpp"
 
 namespace dnc::dc::detail {
 
@@ -79,44 +81,67 @@ void finish_report(const obs::SolveScope& scope,
                    int threads, double seconds, const rt::Trace* trace, SolveStats* stats,
                    Precision prec);
 
-/// Precision dispatch shared by the public driver entry points. `solve` is
-/// a generic callable solve(Real* d, Real* e, MatrixT<Real>& v) running the
-/// driver body at the deduced precision.
+/// Precision dispatch + always-on telemetry epilogue shared by the public
+/// driver entry points. `solve` is a generic callable
+/// solve(Real* d, Real* e, MatrixT<Real>& v, SolveStats* st) running the
+/// driver body at the deduced precision; `st` is the caller's stats or, when
+/// the caller passed none but DNC_METRICS/DNC_FLIGHT want per-solve data, a
+/// local substitute (the report has to exist for telemetry to record it).
 ///
-///   F64           solve(d, e, v) on the caller's buffers, unchanged.
+///   F64           solve(d, e, v, st) on the caller's buffers, unchanged.
 ///   F32           narrow d/e to fp32, solve, widen eigenvalues + vectors.
 ///   F32RefineF64  as F32, but the ORIGINAL fp64 tridiagonal is saved
 ///                 before the solve destroys it (scaling + Cuppen boundary
 ///                 adjustment) and every returned eigenpair is polished to
 ///                 fp64-grade residuals by Rayleigh-quotient iteration.
+///
+/// After the solve (and refinement), the health probe -- armed with the
+/// fp64 tridiagonal snapshotted on entry -- checks sampled eigenpairs, and
+/// the report goes to the metrics registry / flight recorder. With both
+/// gates off this adds two relaxed loads to a solve.
 template <typename SolveFn>
 void run_with_precision(index_t n, double* d, double* e, Matrix& v, const Options& opt,
                         SolveStats* stats, SolveFn&& solve) {
+  const bool telemetry = obs::solve_telemetry_wanted() && n > 0;
+  // A reused SolveStats must not leak the previous solve's refinement
+  // epilogue into a run that never refines (the F64/F32 paths below skip it).
+  if (stats) stats->refine = lapack::RefineReport{};
+  SolveStats local;
+  SolveStats* st = stats ? stats : (telemetry ? &local : nullptr);
+  obs::HealthProbe probe;
+  if (telemetry) probe.arm(n, d, e);
   if (opt.precision == Precision::F64 || n <= 0) {
-    solve(d, e, v);
-    return;
+    solve(d, e, v, st);
+  } else {
+    std::vector<double> d64, e64;
+    if (opt.precision == Precision::F32RefineF64) {
+      d64.assign(d, d + n);
+      if (n > 1) e64.assign(e, e + n - 1);
+    }
+    std::vector<float> d32(d, d + n);
+    std::vector<float> e32;
+    if (n > 1) e32.assign(e, e + n - 1);
+    MatrixT<float> v32;
+    solve(d32.data(), e32.data(), v32, st);
+    for (index_t i = 0; i < n; ++i) d[i] = static_cast<double>(d32[i]);
+    v.resize(v32.rows(), v32.cols());
+    for (index_t j = 0; j < v32.cols(); ++j) {
+      const float* src = v32.data() + j * v32.ld();
+      double* dst = v.data() + j * v.ld();
+      for (index_t i = 0; i < v32.rows(); ++i) dst[i] = static_cast<double>(src[i]);
+    }
+    if (opt.precision == Precision::F32RefineF64) {
+      const lapack::RefineReport rr = lapack::refine_eigenpairs(
+          n, d64.data(), e64.data(), d, v.data(), v.ld(), v.cols());
+      if (st) st->refine = rr;
+    }
   }
-  std::vector<double> d64, e64;
-  if (opt.precision == Precision::F32RefineF64) {
-    d64.assign(d, d + n);
-    if (n > 1) e64.assign(e, e + n - 1);
-  }
-  std::vector<float> d32(d, d + n);
-  std::vector<float> e32;
-  if (n > 1) e32.assign(e, e + n - 1);
-  MatrixT<float> v32;
-  solve(d32.data(), e32.data(), v32);
-  for (index_t i = 0; i < n; ++i) d[i] = static_cast<double>(d32[i]);
-  v.resize(v32.rows(), v32.cols());
-  for (index_t j = 0; j < v32.cols(); ++j) {
-    const float* src = v32.data() + j * v32.ld();
-    double* dst = v.data() + j * v.ld();
-    for (index_t i = 0; i < v32.rows(); ++i) dst[i] = static_cast<double>(src[i]);
-  }
-  if (opt.precision == Precision::F32RefineF64) {
-    const lapack::RefineReport rr = lapack::refine_eigenpairs(
-        n, d64.data(), e64.data(), d, v.data(), v.ld(), v.cols());
-    if (stats) stats->refine = rr;
+  if (telemetry && st) {
+    // d now holds the ascending eigenvalues, v the eigenvectors.
+    st->report.health = probe.evaluate(d, v.data(), v.ld(), v.cols());
+    st->report.has_health = st->report.health.sampled_columns > 0;
+    obs::record_solve_telemetry(st->report,
+                                st->report.has_scheduler ? &st->trace : nullptr);
   }
 }
 

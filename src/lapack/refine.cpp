@@ -9,6 +9,7 @@
 #include "common/error.hpp"
 #include "common/real_traits.hpp"
 #include "lapack/bisect.hpp"
+#include "obs/metrics.hpp"
 
 namespace dnc::lapack {
 namespace {
@@ -285,6 +286,21 @@ RefineReport refine_eigenpairs(index_t n, const double* d, const double* e, doub
     if (nrm > 0.0) blas::scal(n, 1.0 / nrm, vk);
   }
 
+  if (obs::metrics::enabled()) {
+    namespace m = obs::metrics;
+    m::add(m::register_metric(m::Kind::Counter, "dnc_refine_columns_total",
+                              "result=\"checked\"",
+                              "Eigenpairs examined/improved by fp64 refinement"),
+           static_cast<double>(rep.checked));
+    m::add(m::register_metric(m::Kind::Counter, "dnc_refine_columns_total",
+                              "result=\"refined\"",
+                              "Eigenpairs examined/improved by fp64 refinement"),
+           static_cast<double>(rep.refined));
+    if (rep.checked > 0)
+      m::observe(m::register_metric(m::Kind::Histogram, "dnc_refine_steps", "",
+                                    "Rayleigh-quotient iterations per refinement call"),
+                 static_cast<double>(rep.iterations));
+  }
   return rep;
 }
 

@@ -18,6 +18,8 @@
 #include "lapack/stein.hpp"
 #include "mrrr/getvec.hpp"
 #include "mrrr/ldl.hpp"
+#include "obs/health.hpp"
+#include "obs/telemetry.hpp"
 #include "runtime/engine.hpp"
 
 namespace dnc::mrrr {
@@ -460,30 +462,45 @@ void mrrr_solve_impl(index_t n, const Real* d, const Real* e, std::vector<Real>&
 
 void mrrr_solve(index_t n, const double* d, const double* e, std::vector<double>& lam,
                 Matrix& v, const Options& opt, Stats* stats, const std::vector<int>& sim) {
+  // Always-on telemetry (DNC_METRICS / DNC_FLIGHT): the report must exist
+  // for the epilogue to record it, so substitute a local Stats when the
+  // caller passed none. mrrr_solve keeps (d, e) intact, so the health probe
+  // needs no snapshot -- it reads the caller's buffers after the solve.
+  const bool telemetry = obs::solve_telemetry_wanted() && n > 0;
+  Stats local;
+  Stats* st = stats ? stats : (telemetry ? &local : nullptr);
   if (opt.precision == Precision::F64 || n <= 1) {
-    mrrr_solve_impl<double>(n, d, e, lam, v, opt, stats, sim);
-    return;
+    mrrr_solve_impl<double>(n, d, e, lam, v, opt, st, sim);
+  } else {
+    // fp32 fast path: narrow the tridiagonal, run the whole representation
+    // tree in single precision, widen the eigenpairs back. Unlike the D&C
+    // drivers, mrrr_solve does not destroy its inputs, so the caller's (d, e)
+    // double the role of the fp64 reference matrix for refinement.
+    std::vector<float> d32(d, d + n), e32;
+    if (n > 1) e32.assign(e, e + n - 1);
+    std::vector<float> lam32;
+    MatrixT<float> v32;
+    mrrr_solve_impl<float>(n, d32.data(), e32.data(), lam32, v32, opt, st, sim);
+    lam.assign(lam32.begin(), lam32.end());
+    v.resize(v32.rows(), v32.cols());
+    for (index_t j = 0; j < v32.cols(); ++j) {
+      const float* src = v32.data() + j * v32.ld();
+      double* dst = v.data() + j * v.ld();
+      for (index_t i = 0; i < v32.rows(); ++i) dst[i] = static_cast<double>(src[i]);
+    }
+    if (opt.precision == Precision::F32RefineF64 && n > 0) {
+      const lapack::RefineReport rr =
+          lapack::refine_eigenpairs(n, d, e, lam.data(), v.data(), v.ld(), v.cols());
+      if (st) st->refine = rr;
+    }
   }
-  // fp32 fast path: narrow the tridiagonal, run the whole representation
-  // tree in single precision, widen the eigenpairs back. Unlike the D&C
-  // drivers, mrrr_solve does not destroy its inputs, so the caller's (d, e)
-  // double the role of the fp64 reference matrix for refinement.
-  std::vector<float> d32(d, d + n), e32;
-  if (n > 1) e32.assign(e, e + n - 1);
-  std::vector<float> lam32;
-  MatrixT<float> v32;
-  mrrr_solve_impl<float>(n, d32.data(), e32.data(), lam32, v32, opt, stats, sim);
-  lam.assign(lam32.begin(), lam32.end());
-  v.resize(v32.rows(), v32.cols());
-  for (index_t j = 0; j < v32.cols(); ++j) {
-    const float* src = v32.data() + j * v32.ld();
-    double* dst = v.data() + j * v.ld();
-    for (index_t i = 0; i < v32.rows(); ++i) dst[i] = static_cast<double>(src[i]);
-  }
-  if (opt.precision == Precision::F32RefineF64 && n > 0) {
-    const lapack::RefineReport rr =
-        lapack::refine_eigenpairs(n, d, e, lam.data(), v.data(), v.ld(), v.cols());
-    if (stats) stats->refine = rr;
+  if (telemetry && st && !lam.empty()) {
+    obs::HealthProbe probe;
+    probe.arm(n, d, e);
+    st->report.health =
+        probe.evaluate(lam.data(), v.data(), v.ld(), v.cols());
+    st->report.has_health = st->report.health.sampled_columns > 0;
+    obs::record_solve_telemetry(st->report, &st->trace);
   }
 }
 

@@ -1,0 +1,66 @@
+#include "obs/health.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dnc::obs {
+
+void HealthProbe::arm(index_t n, const double* d, const double* e) {
+  if (n <= 0 || !d) return;
+  n_ = n;
+  d_.assign(d, d + n);
+  if (n > 1 && e)
+    e_.assign(e, e + n - 1);
+  else
+    e_.clear();
+}
+
+HealthMetrics HealthProbe::evaluate(const double* lam, const double* v, index_t ldv,
+                                    index_t nvec, int samples) const {
+  HealthMetrics h;
+  if (!armed() || !lam || !v || nvec <= 0 || ldv < n_) return h;
+  nvec = std::min(nvec, n_);
+
+  // ||T||_1 = max_j |e_{j-1}| + |d_j| + |e_j|; 1.0 floor guards the zero
+  // matrix (whose residuals are exactly 0 anyway).
+  double norm1 = 0.0;
+  for (index_t j = 0; j < n_; ++j) {
+    double col = std::fabs(d_[j]);
+    if (j > 0) col += std::fabs(e_[j - 1]);
+    if (j + 1 < n_) col += std::fabs(e_[j]);
+    norm1 = std::max(norm1, col);
+  }
+  const double denom = norm1 > 0.0 ? norm1 : 1.0;
+
+  const int s = std::min<index_t>(std::max(samples, 1), nvec);
+  const double* prev = nullptr;
+  for (int k = 0; k < s; ++k) {
+    // Evenly spaced across the spectrum, first and last included.
+    const index_t j = s == 1 ? 0 : k * (nvec - 1) / (s - 1);
+    const double* col = v + j * ldv;
+    double resid = 0.0, nrm2 = 0.0;
+    for (index_t i = 0; i < n_; ++i) {
+      double tv = d_[i] * col[i];
+      if (i > 0) tv += e_[i - 1] * col[i - 1];
+      if (i + 1 < n_) tv += e_[i] * col[i + 1];
+      resid = std::max(resid, std::fabs(tv - lam[j] * col[i]));
+      nrm2 += col[i] * col[i];
+    }
+    h.max_rel_residual = std::max(h.max_rel_residual, resid / denom);
+    h.max_ortho_error = std::max(h.max_ortho_error, std::fabs(1.0 - nrm2));
+    // Immediate neighbour in the full spectrum, not the previous sample:
+    // adjacent eigenvectors share near-degenerate eigenvalues and are the
+    // first to lose orthogonality.
+    const double* nb = j + 1 < nvec ? col + ldv : prev;
+    if (nb && nb != col) {
+      double dot = 0.0;
+      for (index_t i = 0; i < n_; ++i) dot += col[i] * nb[i];
+      h.max_ortho_error = std::max(h.max_ortho_error, std::fabs(dot));
+    }
+    prev = col;
+    ++h.sampled_columns;
+  }
+  return h;
+}
+
+}  // namespace dnc::obs

@@ -117,6 +117,32 @@ std::string perfetto_trace_json(const rt::Trace& trace, const SolveReport* repor
         meta += "}";
       }
     }
+    // String metadata, same top-up rule: the report's hostname/timestamp
+    // stamps keep traces from different machines and runs distinguishable.
+    {
+      std::vector<std::pair<std::string, std::string>> ms = trace.meta_strings;
+      const auto have = [&](const char* name) {
+        for (const auto& [k, v] : ms)
+          if (k == name) return true;
+        return false;
+      };
+      if (report) {
+        if (!have("hostname") && !report->hostname.empty())
+          ms.emplace_back("hostname", report->hostname);
+        if (!have("timestamp") && !report->timestamp.empty())
+          ms.emplace_back("timestamp", report->timestamp);
+      }
+      if (!ms.empty()) {
+        meta += ",\"meta_strings\":{";
+        for (std::size_t i = 0; i < ms.size(); ++i) {
+          std::snprintf(buf, sizeof buf, "%s\"%s\":\"%s\"", i ? "," : "",
+                        rt::json_escape(ms[i].first).c_str(),
+                        rt::json_escape(ms[i].second).c_str());
+          meta += buf;
+        }
+        meta += "}";
+      }
+    }
     meta += "}}";
     emit(meta.c_str());
   }

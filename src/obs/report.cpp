@@ -1,10 +1,13 @@
 #include "obs/report.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <fstream>
 
 #include "common/cpu_features.hpp"
@@ -62,6 +65,8 @@ std::string SolveReport::to_json() const {
   appendf(out, "  \"precision\": \"%s\",\n", rt::json_escape(precision).c_str());
   appendf(out, "  \"git_commit\": \"%s\",\n", rt::json_escape(git_commit).c_str());
   appendf(out, "  \"build_type\": \"%s\",\n", rt::json_escape(build_type).c_str());
+  appendf(out, "  \"hostname\": \"%s\",\n", rt::json_escape(hostname).c_str());
+  appendf(out, "  \"timestamp\": \"%s\",\n", rt::json_escape(timestamp).c_str());
   out += "  \"counters\": {";
   for (int c = 0; c < kNumCounters; ++c) {
     appendf(out, "%s\n    \"%s\": %llu", c ? "," : "", counter_name(c), ull(counters[c]));
@@ -115,6 +120,15 @@ std::string SolveReport::to_json() const {
     }
     out += kind_hwc.empty() ? "]\n  },\n" : "\n    ]\n  },\n";
   }
+  if (has_health) {
+    appendf(out,
+            "  \"health\": {\n"
+            "    \"sampled_columns\": %d,\n"
+            "    \"max_rel_residual\": %.17g,\n"
+            "    \"max_ortho_error\": %.17g\n"
+            "  },\n",
+            health.sampled_columns, health.max_rel_residual, health.max_ortho_error);
+  }
   appendf(out, "  \"has_scheduler\": %s", has_scheduler ? "true" : "false");
   if (has_scheduler) {
     appendf(out,
@@ -157,6 +171,11 @@ std::string SolveReport::summary_text() const {
   appendf(out, "simd kernels  : %s\n", simd_isa.c_str());
   appendf(out, "precision     : %s (%d-bit kernels)\n", precision.c_str(), precision_bits());
   appendf(out, "revision      : %s (%s)\n", git_commit.c_str(), build_type.c_str());
+  if (!hostname.empty())
+    appendf(out, "host / time   : %s  %s\n", hostname.c_str(), timestamp.c_str());
+  if (has_health)
+    appendf(out, "health        : resid %.3e, ortho %.3e (%d sampled columns)\n",
+            health.max_rel_residual, health.max_ortho_error, health.sampled_columns);
   const long merged = merged_columns_total();
   appendf(out, "\n-- deflation (%zu merges) --\n", merges.size());
   appendf(out, "merged columns: %ld\n", merged);
@@ -303,11 +322,23 @@ void SolveScope::finish(SolveReport& out, long n, int threads, double seconds,
   if (out.simd_isa.empty()) out.simd_isa = simd_isa_name(requested_simd_isa());
   out.git_commit = version::kGitCommit;
   out.build_type = version::kBuildType;
+  out.hostname = current_hostname();
+  out.timestamp = iso8601_timestamp_utc();
   out.counters = delta_since(begin_);
   out.memory.rss_hwm_bytes = current_peak_rss_bytes();
   out.memory.rss_hwm_delta_bytes = out.memory.rss_hwm_bytes > rss_hwm_begin_
                                        ? out.memory.rss_hwm_bytes - rss_hwm_begin_
                                        : 0;
+  // A reused report must not keep the previous solve's aggregates: an
+  // hwc-off or sequential rerun would otherwise still show the old
+  // scheduler/hwc/health blocks (the context_bytes lesson from PR 5).
+  out.has_scheduler = false;
+  out.scheduler = SchedulerMetrics{};
+  out.hwc_backend.clear();
+  out.hwc_slot_names.clear();
+  out.kind_hwc.clear();
+  out.has_health = false;
+  out.health = HealthMetrics{};
   if (trace) {
     out.has_scheduler = true;
     out.scheduler = scheduler_metrics(*trace);
@@ -349,14 +380,61 @@ std::string sequenced_export_path(const std::string& base, unsigned seq) {
 
 void reset_export_sequence() noexcept { g_export_seq.store(0); }
 
+std::string expand_path_placeholders(const std::string& path, unsigned long seq) {
+  std::string out = path;
+  char buf[32];
+  for (std::size_t pos; (pos = out.find("%p")) != std::string::npos;) {
+    std::snprintf(buf, sizeof buf, "%ld", static_cast<long>(::getpid()));
+    out.replace(pos, 2, buf);
+  }
+  for (std::size_t pos; (pos = out.find("%s")) != std::string::npos;) {
+    std::snprintf(buf, sizeof buf, "%lu", seq);
+    out.replace(pos, 2, buf);
+  }
+  return out;
+}
+
+std::string current_hostname() {
+  static const std::string cached = [] {
+    char buf[256] = {};
+    if (::gethostname(buf, sizeof buf - 1) != 0 || buf[0] == '\0') return std::string("unknown");
+    return std::string(buf);
+  }();
+  return cached;
+}
+
+std::string iso8601_timestamp_utc() {
+  std::time_t now = std::time(nullptr);
+  std::tm tm_utc{};
+  gmtime_r(&now, &tm_utc);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  return buf;
+}
+
+namespace {
+
+// %s names each export's file itself; %p alone separates processes but the
+// in-process repeats still need the ".N" suffix; no placeholder keeps the
+// original sequencing behaviour.
+std::string resolved_export_path(const std::string& base, unsigned seq) {
+  if (base.find("%s") != std::string::npos)
+    return expand_path_placeholders(base, seq + 1);
+  if (base.find("%p") != std::string::npos)
+    return sequenced_export_path(expand_path_placeholders(base, seq + 1), seq);
+  return sequenced_export_path(base, seq);
+}
+
+}  // namespace
+
 void export_solve_artifacts(const SolveReport& report, const rt::Trace* trace) {
   const unsigned seq = g_export_seq.fetch_add(1);
   if (const char* path = std::getenv("DNC_TRACE"); path && *path && trace) {
-    std::ofstream f(sequenced_export_path(path, seq));
+    std::ofstream f(resolved_export_path(path, seq));
     if (f) f << perfetto_trace_json(*trace, &report);
   }
   if (const char* path = std::getenv("DNC_REPORT"); path && *path) {
-    const std::string p = sequenced_export_path(path, seq);
+    const std::string p = resolved_export_path(path, seq);
     std::ofstream f(p);
     if (f) f << report.to_json();
     std::ofstream t(p + ".txt");

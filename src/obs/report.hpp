@@ -58,6 +58,17 @@ struct SchedulerMetrics {
   long placed_min = 0;      ///< fewest submitter placements on one worker
 };
 
+/// Cheap per-solve numerical-health estimate: s sampled eigenpairs checked
+/// for residual and orthogonality in O(n*s), not the O(n^2*s) full check
+/// (that is tests/support territory). Feeds the metrics histograms and the
+/// flight-recorder anomaly triggers.
+struct HealthMetrics {
+  int sampled_columns = 0;        ///< s (0 = probe never ran)
+  double max_rel_residual = 0.0;  ///< max_i ||T v_i - lam_i v_i||_inf / ||T||_1
+  double max_ortho_error = 0.0;   ///< max over samples of |v_i.v_j| (j a
+                                  ///< neighbour) and |1 - ||v_i||^2|
+};
+
 struct SolveReport {
   std::string driver;  ///< "sequential", "taskflow", "lapack_model", ...
   long n = 0;
@@ -67,6 +78,8 @@ struct SolveReport {
   std::string precision = "f64";  ///< working precision ("f64"/"f32"/"f32refine")
   std::string git_commit;  ///< configure-time revision (version::kGitCommit)
   std::string build_type;  ///< CMAKE_BUILD_TYPE the binary was built with
+  std::string hostname;    ///< machine that ran the solve
+  std::string timestamp;   ///< ISO-8601 UTC wall-clock time of solve end
 
   /// Bit width of the kernels' working precision (32 for both fp32 modes:
   /// the f32refine epilogue is fp64 but every GEMM ran in fp32).
@@ -77,6 +90,9 @@ struct SolveReport {
 
   bool has_scheduler = false;
   SchedulerMetrics scheduler;
+
+  bool has_health = false;
+  HealthMetrics health;
 
   // --- hardware-counter attribution (DNC_HWC; empty backend = off) ---
   std::string hwc_backend;                  ///< "perf" / "rusage" / ""
@@ -150,5 +166,17 @@ std::string sequenced_export_path(const std::string& base, unsigned seq);
 /// plain path again. Tests that re-point DNC_TRACE/DNC_REPORT per case and
 /// expect the unsuffixed file must call this in their setup.
 void reset_export_sequence() noexcept;
+
+/// Expands %p -> pid and %s -> `seq` in an export path. Paths carrying a
+/// placeholder opt out of the automatic ".N" sequence suffix: with %s each
+/// export names its own file; with only %p concurrent *processes* are
+/// disambiguated while repeats within the process still get the suffix.
+std::string expand_path_placeholders(const std::string& path, unsigned long seq);
+
+/// This machine's hostname ("unknown" when gethostname fails). Cached.
+std::string current_hostname();
+
+/// Current wall-clock time as ISO-8601 UTC ("2026-08-08T12:34:56Z").
+std::string iso8601_timestamp_utc();
 
 }  // namespace dnc::obs

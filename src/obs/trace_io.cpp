@@ -89,6 +89,10 @@ bool load_perfetto_trace(const std::string& json_text, rt::Trace& out, std::stri
           for (const auto& [key, val] : mc->object)
             out.meta_counters.emplace_back(key, val.number_or(0.0));
         }
+        if (const json::Value* ms = args->find("meta_strings"); ms && ms->is_object()) {
+          for (const auto& [key, val] : ms->object)
+            out.meta_strings.emplace_back(key, val.string_or(""));
+        }
       } else if (name == "dnc_edges") {
         const json::Value* args = ev.find("args");
         const json::Value* edges = args ? args->find("edges") : nullptr;

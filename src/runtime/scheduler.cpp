@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "obs/hwc.hpp"
+#include "obs/metrics.hpp"
 
 namespace dnc::rt {
 
@@ -109,6 +110,34 @@ void Scheduler::stop_workers() {
   for (auto& w : workers_) w.join();
   workers_.clear();
   graph_.on_ready = nullptr;
+  // Always-on scheduler metrics (DNC_METRICS; one branch when disabled).
+  // Workers are joined, so the per-worker counters are final and plain
+  // relaxed reads see everything.
+  if (obs::metrics::enabled()) {
+    namespace m = obs::metrics;
+    std::string pl = "policy=\"";
+    pl += sched_policy_name(policy_);
+    pl += "\"";
+    long tasks = 0;
+    for (int w = 0; w < thread_count_; ++w)
+      tasks += counters_[w].executed.load(std::memory_order_relaxed);
+    double idle = 0.0;
+    for (double d : idle_) idle += d;
+    m::add(m::register_metric(m::Kind::Counter, "dnc_sched_runs_total", pl,
+                              "Scheduler lifetimes (one per parallel solve)"));
+    m::add(m::register_metric(m::Kind::Counter, "dnc_sched_tasks_total", pl,
+                              "Tasks executed by the runtime"),
+           static_cast<double>(tasks));
+    m::add(m::register_metric(m::Kind::Counter, "dnc_sched_steals_total", pl,
+                              "Successful work steals"),
+           static_cast<double>(total_steals_.load(std::memory_order_relaxed)));
+    m::add(m::register_metric(m::Kind::Counter, "dnc_sched_worker_idle_seconds_total", pl,
+                              "Summed per-worker idle time (s)"),
+           idle);
+    m::observe(m::register_metric(m::Kind::Histogram, "dnc_sched_queue_depth_peak", pl,
+                                  "Peak ready-queue depth per scheduler lifetime"),
+               static_cast<double>(depth_peak_.load(std::memory_order_relaxed)));
+  }
 }
 
 void Scheduler::enqueue(TaskNode* node, int worker) {

@@ -160,6 +160,12 @@ double Trace::meta_counter(const std::string& name) const {
   return 0.0;
 }
 
+std::string Trace::meta_string(const std::string& name) const {
+  for (const auto& [k, v] : meta_strings)
+    if (k == name) return v;
+  return "";
+}
+
 std::string chrome_metadata_json(int workers) {
   // One process_name block per export call -- this helper is the single
   // source of the metadata prologue for both exporters, so sequence exports

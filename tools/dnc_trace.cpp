@@ -17,6 +17,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,7 @@
 #include "mrrr/mrrr.hpp"
 #include "obs/analysis.hpp"
 #include "obs/hwc.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace_io.hpp"
 #include "runtime/sched.hpp"
 #include "runtime/trace.hpp"
@@ -51,6 +53,10 @@ struct Args {
   /// peak. In solve mode this turns DNC_HWC sampling on for the run.
   bool roofline = false;
   double peak_gflops = 0.0;  ///< 0 = derive/assume (see obs::roofline)
+  /// Metrics-snapshot modes (render one / diff two DNC_METRICS .json
+  /// exports); when set, no solve or trace load happens.
+  std::string metrics;
+  std::string metrics_diff_a, metrics_diff_b;
 };
 
 void usage(const char* argv0) {
@@ -59,8 +65,9 @@ void usage(const char* argv0) {
       "          [--type 1..15] [--n N] [--minpart M] [--nb NB]\n"
       "          [--workers 1,2,4,8,16,32] [--nb-sweep] [--json out.json]\n"
       "          [--profile-width W] [--sched central|steal]\n"
-      "          [--roofline] [--peak-gflops G] [--version]\n",
-      argv0);
+      "          [--roofline] [--peak-gflops G] [--version]\n"
+      "       %s --metrics snap.json | --metrics-diff a.json b.json\n",
+      argv0, argv0);
 }
 
 std::vector<int> parse_int_list(const std::string& s) {
@@ -125,6 +132,16 @@ bool parse_args(int argc, char** argv, Args& a) {
       a.sched = v;
     } else if (flag == "--roofline") {
       a.roofline = true;
+    } else if (flag == "--metrics") {
+      const char* v = next();
+      if (!v) return false;
+      a.metrics = v;
+    } else if (flag == "--metrics-diff") {
+      const char* va = next();
+      const char* vb = next();
+      if (!va || !vb) return false;
+      a.metrics_diff_a = va;
+      a.metrics_diff_b = vb;
     } else if (flag == "--peak-gflops") {
       const char* v = next();
       if (!v) return false;
@@ -197,6 +214,32 @@ int main(int argc, char** argv) {
   if (!parse_args(argc, argv, a)) {
     usage(argv[0]);
     return 2;
+  }
+
+  // Metrics-snapshot modes: pure file -> text renderings, no solve.
+  if (!a.metrics.empty() || !a.metrics_diff_a.empty()) {
+    namespace m = obs::metrics;
+    const auto load = [](const std::string& path, m::Snapshot& out) {
+      std::ifstream f(path);
+      std::string text((std::istreambuf_iterator<char>(f)), std::istreambuf_iterator<char>());
+      std::string err;
+      if (!f || !m::parse_snapshot(text, out, &err)) {
+        std::fprintf(stderr, "failed to load metrics snapshot %s: %s\n", path.c_str(),
+                     err.empty() ? "cannot read file" : err.c_str());
+        return false;
+      }
+      return true;
+    };
+    if (!a.metrics.empty()) {
+      m::Snapshot s;
+      if (!load(a.metrics, s)) return 2;
+      std::fputs(m::render_snapshot(s).c_str(), stdout);
+      return 0;
+    }
+    m::Snapshot sa, sb;
+    if (!load(a.metrics_diff_a, sa) || !load(a.metrics_diff_b, sb)) return 2;
+    std::fputs(m::render_diff(sa, sb).c_str(), stdout);
+    return 0;
   }
 
   rt::Trace trace;
