@@ -72,6 +72,18 @@ bool init_enabled() {
   return on;
 }
 
+std::string ring_jsonl_locked(const State& s) {
+  std::string body;
+  for (const Entry& en : s.ring) {
+    body += "{\"seq\": ";
+    body += std::to_string(en.seq);
+    body += ", \"timestamp\": \"" + en.timestamp + "\"";
+    body += ", \"reason\": \"" + en.reason + "\"";
+    body += ", \"report\": " + compact_json(en.report.to_json()) + "}\n";
+  }
+  return body;
+}
+
 std::string trigger_reason(const State& s, const SolveReport& rep) {
   if (rep.has_health && rep.health.max_rel_residual > s.th.max_rel_residual)
     return "residual";
@@ -154,13 +166,7 @@ std::string observe(const SolveReport& report, const rt::Trace* trace) {
     std::string prefix = expand_path_placeholders(s.prefix, s.dumps) + base;
     jsonl_path = prefix + ".jsonl";
     trace_path = prefix + ".trace.json";
-    for (const Entry& en : s.ring) {
-      jsonl_body += "{\"seq\": ";
-      jsonl_body += std::to_string(en.seq);
-      jsonl_body += ", \"timestamp\": \"" + en.timestamp + "\"";
-      jsonl_body += ", \"reason\": \"" + en.reason + "\"";
-      jsonl_body += ", \"report\": " + compact_json(en.report.to_json()) + "}\n";
-    }
+    jsonl_body = ring_jsonl_locked(s);
     dump_trace = trace;
   }
   if (std::FILE* f = std::fopen(jsonl_path.c_str(), "w")) {
@@ -177,6 +183,16 @@ std::string observe(const SolveReport& report, const rt::Trace* trace) {
     }
   }
   return jsonl_path;
+}
+
+std::string ring_jsonl(bool best_effort) {
+  State& s = state();
+  if (best_effort) {
+    std::unique_lock<std::mutex> lk(s.mu, std::try_to_lock);
+    return lk.owns_lock() ? ring_jsonl_locked(s) : std::string();
+  }
+  std::lock_guard<std::mutex> lk(s.mu);
+  return ring_jsonl_locked(s);
 }
 
 std::size_t ring_size() {

@@ -2,7 +2,9 @@
 
 #include <string>
 
+#include "obs/crash.hpp"
 #include "obs/flight.hpp"
+#include "obs/httpd.hpp"
 #include "obs/metrics.hpp"
 
 namespace dnc::obs {
@@ -61,7 +63,8 @@ void record_metrics(const SolveReport& rep) {
 }  // namespace
 
 bool solve_telemetry_wanted() noexcept {
-  return metrics::enabled() || flight::enabled();
+  return metrics::enabled() || flight::enabled() || httpd::enabled() ||
+         crash::enabled();
 }
 
 const char* solve_size_class(long n) noexcept {
@@ -79,6 +82,14 @@ void record_solve_telemetry(const SolveReport& report, const rt::Trace* trace) {
     if (!dumped.empty() && m::enabled())
       m::add(m::register_metric(m::Kind::Counter, "dnc_flight_dumps_total", "",
                                 "Flight-recorder anomaly dumps written"));
+  }
+  // Live introspection boots from the first observed solve: a process run
+  // with only DNC_HTTP (or DNC_CRASH_DUMP) set needs no other call site.
+  if (crash::enabled()) crash::ensure_installed();
+  if (httpd::enabled()) {
+    httpd::ensure_started();
+    httpd::note_solve(report);
+    if (httpd::trace_capture_armed()) httpd::offer_captured_trace(report, trace);
   }
 }
 

@@ -14,7 +14,10 @@ struct Trace;
 
 namespace dnc::obs {
 
-/// True when either subsystem wants per-solve data. Drivers use this to
+/// True when any consumer wants per-solve data: metrics, flight recorder,
+/// the DNC_HTTP introspection server (its /healthz and one-shot /trace
+/// capture feed off solve epilogues) or the DNC_CRASH_DUMP handlers (which
+/// install lazily from the first solve). Drivers use this to
 /// decide whether to arm the HealthProbe and to substitute a local
 /// SolveStats when the caller passed none (the report must exist for the
 /// telemetry to have something to record).

@@ -7,6 +7,7 @@
 #include "common/timer.hpp"
 #include "obs/hwc.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 
 namespace dnc::rt {
 
@@ -182,6 +183,17 @@ void Scheduler::worker_loop(int worker_id) {
   const bool sampling = hwc.active();
   if (sampling) hwc_active_.store(true, std::memory_order_relaxed);
   std::uint64_t c0[kHwcSlots], c1[kHwcSlots];
+  // Sampling-profiler registration (DNC_PROFILE_HZ / DNC_HTTP's /profile).
+  // One relaxed load + branch when both are off. When on, profiler samples
+  // taken on this thread attribute to "worker:<id>" and, via set_task below,
+  // to the task kind the worker is executing. Kind names are interned once
+  // per worker because the TaskGraph (and its kind table) dies with the
+  // solve while samples outlive it in the profiler aggregate.
+  obs::profiler::ThreadRegistration preg("worker", worker_id);
+  std::vector<const char*> kind_names;
+  if (preg.active())
+    for (const TaskKind& k : graph_.kinds())
+      kind_names.push_back(obs::profiler::intern(k.name));
   // Idle accounting: everything between "done with the previous task" (or
   // thread start) and "starting the next task" counts as idle. The marks
   // reuse the trace timestamps, so this adds no clock reads on the task
@@ -194,7 +206,12 @@ void Scheduler::worker_loop(int worker_id) {
     node->t_start = now_seconds();
     idle_[worker_id] += node->t_start - idle_mark;
     if (sampling) hwc.read(c0);
+    if (preg.active())
+      preg.set_task(node->kind >= 0 && node->kind < static_cast<int>(kind_names.size())
+                        ? kind_names[node->kind]
+                        : nullptr);
     if (node->fn) node->fn();
+    if (preg.active()) preg.set_task(nullptr);
     if (sampling) {
       hwc.read(c1);
       for (int i = 0; i < kHwcSlots; ++i) node->hwc[i] = c1[i] - c0[i];

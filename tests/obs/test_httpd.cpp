@@ -1,0 +1,201 @@
+// Introspection-server tests: URL/env parsing, endpoint round trips over
+// real sockets on an ephemeral port, the one-shot /trace capture handshake,
+// and the acceptance path: /profile during a live taskflow solve returns
+// folded stacks attributed to a scheduler worker.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dc/api.hpp"
+#include "matgen/tridiag.hpp"
+#include "obs/flight.hpp"
+#include "obs/httpd.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/report.hpp"
+
+namespace dnc {
+namespace {
+
+namespace hd = obs::httpd;
+namespace m = obs::metrics;
+
+/// Clears every introspection knob for the test and restores the caller's
+/// environment (and the process-wide singletons) afterwards.
+class HttpdTest : public ::testing::Test {
+ protected:
+  static constexpr const char* kVars[] = {"DNC_HTTP",    "DNC_METRICS",
+                                          "DNC_FLIGHT",  "DNC_PROFILE_HZ",
+                                          "DNC_PROFILE", "DNC_CRASH_DUMP"};
+  void SetUp() override {
+    for (const char* var : kVars) {
+      const char* v = std::getenv(var);
+      saved_.emplace_back(var, v ? std::string(v) : std::string());
+      saved_set_.push_back(v != nullptr);
+      ::unsetenv(var);
+    }
+    hd::stop_for_tests();
+    hd::refresh_from_env();
+    obs::profiler::reset_for_tests();
+    m::reset_for_tests();
+  }
+  void TearDown() override {
+    hd::stop_for_tests();
+    obs::profiler::reset_for_tests();
+    for (std::size_t i = 0; i < saved_.size(); ++i) {
+      if (saved_set_[i])
+        ::setenv(saved_[i].first, saved_[i].second.c_str(), 1);
+      else
+        ::unsetenv(saved_[i].first);
+    }
+    hd::refresh_from_env();
+    obs::profiler::refresh_from_env();
+    m::reset_for_tests();
+  }
+
+  std::vector<std::pair<const char*, std::string>> saved_;
+  std::vector<bool> saved_set_;
+};
+
+std::string get_or_die(std::uint16_t port, const std::string& target, int expect = 200) {
+  int status = 0;
+  std::string body, err;
+  EXPECT_TRUE(hd::http_get("127.0.0.1", port, target, status, body, &err)) << err;
+  EXPECT_EQ(status, expect) << target << ": " << body;
+  return body;
+}
+
+TEST_F(HttpdTest, ParseUrl) {
+  std::string host, path;
+  std::uint16_t port = 0;
+  EXPECT_TRUE(hd::parse_url("http://127.0.0.1:8080/metrics", host, port, path));
+  EXPECT_EQ(host, "127.0.0.1");
+  EXPECT_EQ(port, 8080);
+  EXPECT_EQ(path, "/metrics");
+  EXPECT_TRUE(hd::parse_url("localhost:9091", host, port, path));
+  EXPECT_EQ(path, "/");
+  EXPECT_FALSE(hd::parse_url("http://127.0.0.1/varz", host, port, path));  // no port
+  EXPECT_FALSE(hd::parse_url("http://host:notaport/x", host, port, path));
+}
+
+TEST_F(HttpdTest, EnvGate) {
+  EXPECT_FALSE(hd::enabled());
+  ::setenv("DNC_HTTP", "0", 1);
+  hd::refresh_from_env();
+  EXPECT_FALSE(hd::enabled());
+  ::setenv("DNC_HTTP", "127.0.0.1:0", 1);
+  hd::refresh_from_env();
+  EXPECT_TRUE(hd::enabled());
+  EXPECT_FALSE(hd::running());  // enabled != started
+}
+
+TEST_F(HttpdTest, ServesEndpointsOnEphemeralPort) {
+  ASSERT_TRUE(hd::start("127.0.0.1", 0));
+  ASSERT_TRUE(hd::running());
+  const std::uint16_t port = hd::bound_port();
+  ASSERT_GT(port, 0);
+
+  // Index + 404.
+  EXPECT_NE(get_or_die(port, "/").find("/metrics"), std::string::npos);
+  get_or_die(port, "/nope", 404);
+
+  // Live metrics: record something while enabled, then scrape both formats.
+  ::setenv("DNC_METRICS", "1", 1);
+  m::refresh_from_env();
+  m::add(m::register_metric(m::Kind::Counter, "dnc_httpd_test_total", "", "test"), 3);
+  const std::string prom = get_or_die(port, "/metrics");
+  EXPECT_NE(prom.find("# dnc metrics"), std::string::npos);
+  EXPECT_NE(prom.find("dnc_httpd_test_total 3"), std::string::npos);
+  const std::string varz = get_or_die(port, "/varz");
+  m::Snapshot snap;
+  std::string err;
+  ASSERT_TRUE(m::parse_snapshot(varz, snap, &err)) << err;
+  EXPECT_FALSE(snap.metrics.empty());
+
+  // Healthz carries build provenance and, after note_solve, the last solve.
+  obs::SolveReport rep;
+  rep.driver = "taskflow";
+  rep.n = 777;
+  rep.seconds = 0.5;
+  rep.has_health = true;
+  rep.health.max_rel_residual = 1e-13;
+  hd::note_solve(rep);
+  const std::string hz = get_or_die(port, "/healthz");
+  EXPECT_NE(hz.find("\"status\": \"ok\""), std::string::npos);
+  EXPECT_NE(hz.find("\"git_commit\""), std::string::npos);
+  EXPECT_NE(hz.find("\"n\": 777"), std::string::npos);
+  EXPECT_NE(hz.find("\"max_rel_residual\""), std::string::npos);
+
+  // Flight ring JSONL (empty ring -> empty 200 body is fine).
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(hd::http_get("127.0.0.1", port, "/flight", status, body));
+  EXPECT_EQ(status, 200);
+
+  EXPECT_GE(hd::requests_served(), 6u);
+  hd::stop_for_tests();
+  EXPECT_FALSE(hd::running());
+  EXPECT_EQ(hd::bound_port(), 0);
+}
+
+TEST_F(HttpdTest, TraceCaptureHandshake) {
+  ASSERT_TRUE(hd::start("127.0.0.1", 0));
+  const std::uint16_t port = hd::bound_port();
+
+  get_or_die(port, "/trace", 404);  // nothing armed
+  EXPECT_NE(get_or_die(port, "/trace?next=1").find("armed"), std::string::npos);
+  EXPECT_TRUE(hd::trace_capture_armed());
+
+  // The "next solve": a real taskflow run so the trace is non-trivial.
+  matgen::Tridiag t = matgen::table3_matrix(4, 300);
+  Matrix v;
+  dc::SolveStats st;
+  std::vector<double> d = t.d, e = t.e;
+  dc::stedc_taskflow(t.n(), d.data(), e.data(), v, {}, &st);
+  hd::offer_captured_trace(st.report, &st.trace);
+  EXPECT_FALSE(hd::trace_capture_armed());
+
+  // perfetto_trace_json emits the bare trace-event array form.
+  const std::string trace = get_or_die(port, "/trace");
+  ASSERT_FALSE(trace.empty());
+  EXPECT_EQ(trace[0], '[');
+  EXPECT_NE(trace.find("\"ph\""), std::string::npos);
+  get_or_die(port, "/trace", 404);  // one-shot: collected, gone
+}
+
+// Acceptance: /profile?seconds=N during a multi-threaded solve returns at
+// least one folded stack attributed to a scheduler worker. DNC_HTTP (not
+// DNC_PROFILE_HZ) gates worker registration here, proving the on-demand
+// path works without continuous profiling.
+TEST_F(HttpdTest, ProfileEndpointAttributesSchedulerWorkers) {
+  ::setenv("DNC_HTTP", "127.0.0.1:0", 1);
+  hd::refresh_from_env();
+  obs::profiler::refresh_from_env();
+  ASSERT_TRUE(hd::ensure_started());
+  const std::uint16_t port = hd::bound_port();
+  ASSERT_GT(port, 0);
+
+  std::atomic<bool> stop{false};
+  std::thread solver([&] {
+    matgen::Tridiag t = matgen::table3_matrix(4, 768);
+    dc::Options opt;
+    opt.threads = 4;
+    while (!stop.load()) {
+      std::vector<double> d = t.d, e = t.e;
+      Matrix v;
+      dc::stedc_taskflow(t.n(), d.data(), e.data(), v, opt, nullptr);
+    }
+  });
+  const std::string folded = get_or_die(port, "/profile?seconds=1&hz=397");
+  stop.store(true);
+  solver.join();
+  EXPECT_NE(folded.find("# dnc profile"), std::string::npos);
+  EXPECT_NE(folded.find("worker:"), std::string::npos) << folded;
+}
+
+}  // namespace
+}  // namespace dnc

@@ -1,0 +1,245 @@
+// Sampling-profiler tests: the zero-cost gate, interning, folded-stack
+// export of a profiled taskflow solve (worker + task-kind attribution and a
+// sample count consistent with wall time x HZ), windowed profile_for, and
+// the DNC_CRASH_DUMP last-gasp handler (death test).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dc/api.hpp"
+#include "matgen/tridiag.hpp"
+#include "obs/crash.hpp"
+#include "obs/httpd.hpp"
+#include "obs/profiler.hpp"
+
+namespace dnc {
+namespace {
+
+namespace prof = obs::profiler;
+
+class ProfilerTest : public ::testing::Test {
+ protected:
+  static constexpr const char* kVars[] = {"DNC_HTTP", "DNC_PROFILE_HZ",
+                                          "DNC_PROFILE", "DNC_CRASH_DUMP",
+                                          "DNC_METRICS"};
+  void SetUp() override {
+    for (const char* var : kVars) {
+      const char* v = std::getenv(var);
+      saved_.emplace_back(var, v ? std::string(v) : std::string());
+      saved_set_.push_back(v != nullptr);
+      ::unsetenv(var);
+    }
+    obs::httpd::refresh_from_env();
+    prof::reset_for_tests();
+  }
+  void TearDown() override {
+    prof::reset_for_tests();
+    for (std::size_t i = 0; i < saved_.size(); ++i) {
+      if (saved_set_[i])
+        ::setenv(saved_[i].first, saved_[i].second.c_str(), 1);
+      else
+        ::unsetenv(saved_[i].first);
+    }
+    obs::httpd::refresh_from_env();
+    prof::refresh_from_env();
+  }
+
+  /// Arms registration via the DNC_HTTP gate (on-demand mode), avoiding
+  /// DNC_PROFILE_HZ so continuous mode (background drainer + atexit dump)
+  /// never boots inside the test binary.
+  void want_registration() {
+    ::setenv("DNC_HTTP", "127.0.0.1:0", 1);
+    obs::httpd::refresh_from_env();
+    prof::refresh_from_env();
+    ASSERT_TRUE(prof::registration_wanted());
+  }
+
+  std::vector<std::pair<const char*, std::string>> saved_;
+  std::vector<bool> saved_set_;
+};
+
+TEST_F(ProfilerTest, ZeroCostWhenOff) {
+  EXPECT_FALSE(prof::env_enabled());
+  EXPECT_FALSE(prof::registration_wanted());
+  prof::ThreadRegistration reg("worker", 0);
+  EXPECT_FALSE(reg.active());
+  EXPECT_EQ(prof::registered_threads(), 0u);
+  reg.set_task("ignored");  // must be a harmless no-op
+}
+
+TEST_F(ProfilerTest, EnvParsing) {
+  ::setenv("DNC_PROFILE_HZ", "on", 1);
+  prof::refresh_from_env();
+  EXPECT_TRUE(prof::env_enabled());
+  EXPECT_EQ(prof::env_hz(), prof::kDefaultHz);
+  ::setenv("DNC_PROFILE_HZ", "250", 1);
+  prof::refresh_from_env();
+  EXPECT_EQ(prof::env_hz(), 250);
+  ::setenv("DNC_PROFILE_HZ", "off", 1);
+  prof::refresh_from_env();
+  EXPECT_FALSE(prof::env_enabled());
+}
+
+TEST_F(ProfilerTest, InternIsStable) {
+  const char* a = prof::intern("UpdateVect");
+  const char* b = prof::intern("UpdateVect");
+  EXPECT_EQ(a, b);
+  EXPECT_STREQ(a, "UpdateVect");
+  EXPECT_NE(prof::intern("LAED4"), a);
+}
+
+// Sample counts track CPU time x HZ. A registered spin thread burns CPU at
+// a known rate (1 CPU-second per wall-second), making the expected count
+// deterministic in a way a solve -- whose workers idle at merge barriers --
+// is not. Wide bounds absorb kernel-tick quantisation of CPU-time timers.
+TEST_F(ProfilerTest, SampleCountTracksCpuTimeTimesHz) {
+  want_registration();
+  std::atomic<bool> stop{false};
+  std::thread busy([&] {
+    prof::ThreadRegistration reg("pool", 1);
+    volatile double x = 1.0;
+    while (!stop.load(std::memory_order_relaxed)) x = x * 1.0000001 + 1e-9;
+  });
+  while (prof::registered_threads() == 0) std::this_thread::yield();
+  const int hz = 97;
+  ASSERT_TRUE(prof::start(hz));
+  const auto t0 = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  prof::stop();
+  stop.store(true);
+  busy.join();
+  const prof::Totals totals = prof::totals();
+  EXPECT_GE(totals.samples, static_cast<std::uint64_t>(hz * wall * 0.25)) << wall;
+  EXPECT_LE(totals.samples, static_cast<std::uint64_t>(hz * wall * 4 + 16)) << wall;
+  EXPECT_EQ(totals.dropped, 0u);
+}
+
+// The ISSUE acceptance test: a profiled n>=512 taskflow solve yields folded
+// stacks containing a known solver frame, attributed to scheduler workers
+// and task kinds.
+TEST_F(ProfilerTest, ProfiledTaskflowSolveAttributesWorkAndKinds) {
+  want_registration();
+  const int hz = 997;  // fast sampling keeps the solve count low
+  ASSERT_TRUE(prof::start(hz));
+  const auto t0 = std::chrono::steady_clock::now();
+  matgen::Tridiag t = matgen::table3_matrix(4, 1024);
+  dc::Options opt;
+  opt.threads = 4;
+  double wall = 0.0;
+  // Solve until samples accumulate; CPU-time timers fire only while the
+  // workers are busy, so slow machines just take more wall time.
+  do {
+    std::vector<double> d = t.d, e = t.e;
+    Matrix v;
+    dc::SolveStats st;
+    dc::stedc_taskflow(t.n(), d.data(), e.data(), v, opt, &st);
+    wall = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  } while (prof::totals().samples < 8 && wall < 20.0);
+  prof::stop();
+
+  const prof::Totals totals = prof::totals();
+  EXPECT_GE(totals.samples, 8u) << wall;
+  // Upper bound: at most threads x wall CPU-seconds were available.
+  EXPECT_LE(totals.samples,
+            static_cast<std::uint64_t>(hz * wall * (opt.threads + 1) * 2 + 64))
+      << wall;
+
+  const std::string folded = prof::folded_text();
+  EXPECT_NE(folded.find("# dnc profile"), std::string::npos);
+  EXPECT_NE(folded.find("worker:"), std::string::npos) << folded.substr(0, 500);
+  EXPECT_NE(folded.find("task:"), std::string::npos) << folded.substr(0, 500);
+  // A known solver frame must symbolize: every sampled worker stack passes
+  // through the scheduler's worker loop.
+  EXPECT_NE(folded.find("worker_loop"), std::string::npos) << folded.substr(0, 500);
+
+  // The Perfetto merge view renders the same aggregate.
+  const std::string json = prof::perfetto_samples_json();
+  EXPECT_NE(json.find("traceEvents"), std::string::npos);
+  EXPECT_NE(json.find("\"stack\""), std::string::npos);
+}
+
+TEST_F(ProfilerTest, ProfileForWindowsTheAggregate) {
+  want_registration();
+  std::atomic<bool> stop{false};
+  std::thread busy([&] {
+    prof::ThreadRegistration reg("pool", 7);
+    volatile double x = 1.0;
+    while (!stop.load(std::memory_order_relaxed)) x = x * 1.0000001 + 1e-9;
+  });
+  while (prof::registered_threads() == 0) std::this_thread::yield();
+  const std::string w1 = prof::profile_for(0.25, 397);
+  stop.store(true);
+  busy.join();
+  EXPECT_FALSE(prof::active());  // profile_for started it, so it stopped it
+  EXPECT_NE(w1.find("# dnc profile"), std::string::npos);
+  EXPECT_NE(w1.find("pool:7"), std::string::npos) << w1.substr(0, 500);
+}
+
+TEST_F(ProfilerTest, RegistrationLifecycle) {
+  want_registration();
+  {
+    prof::ThreadRegistration reg("worker", 3);
+    EXPECT_TRUE(reg.active());
+    EXPECT_EQ(prof::registered_threads(), 1u);
+  }
+  EXPECT_EQ(prof::registered_threads(), 0u);
+}
+
+// --- crash dump -------------------------------------------------------------
+
+namespace crash = obs::crash;
+
+TEST_F(ProfilerTest, CrashDumpTextCarriesProvenance) {
+  const std::string text = crash::dump_text(0);
+  EXPECT_NE(text.find("# dnc crash dump"), std::string::npos);
+  EXPECT_NE(text.find("# signal: test"), std::string::npos);
+  EXPECT_NE(text.find("# git_commit: "), std::string::npos);
+}
+
+TEST_F(ProfilerTest, CrashGateOffByDefault) {
+  crash::refresh_from_env();
+  EXPECT_FALSE(crash::enabled());
+  EXPECT_EQ(crash::dump_path(), "");
+  EXPECT_FALSE(crash::ensure_installed());
+}
+
+using ProfilerDeathTest = ProfilerTest;
+
+TEST_F(ProfilerDeathTest, LastGaspDumpSurvivesAbort) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const std::string path = ::testing::TempDir() + "dnc_crash_test.txt";
+  std::remove(path.c_str());
+  std::remove((path + ".jsonl").c_str());
+  ::setenv("DNC_CRASH_DUMP", path.c_str(), 1);
+  EXPECT_EXIT(
+      {
+        crash::refresh_from_env();
+        crash::ensure_installed();
+        std::abort();
+      },
+      ::testing::KilledBySignal(SIGABRT), "");
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good()) << "crash handler did not write " << path;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  EXPECT_NE(ss.str().find("# dnc crash dump"), std::string::npos);
+  EXPECT_NE(ss.str().find("SIGABRT"), std::string::npos);
+  std::remove(path.c_str());
+  std::remove((path + ".jsonl").c_str());
+  ::unsetenv("DNC_CRASH_DUMP");
+  crash::refresh_from_env();
+}
+
+}  // namespace
+}  // namespace dnc

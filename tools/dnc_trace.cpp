@@ -13,11 +13,13 @@
 // worker counts, the parallelism profile (ASCII), and -- in solve mode with
 // --nb-sweep -- the panel-width granularity trade-off. --json dumps the
 // same analysis machine-readably.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iterator>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -57,6 +59,10 @@ struct Args {
   /// exports); when set, no solve or trace load happens.
   std::string metrics;
   std::string metrics_diff_a, metrics_diff_b;
+  /// Profile mode: render a folded-stack dump (DNC_PROFILE / the /profile
+  /// endpoint) as hot-stack and hot-frame tables; no solve happens.
+  std::string profile;
+  int top = 15;
 };
 
 void usage(const char* argv0) {
@@ -66,8 +72,9 @@ void usage(const char* argv0) {
       "          [--workers 1,2,4,8,16,32] [--nb-sweep] [--json out.json]\n"
       "          [--profile-width W] [--sched central|steal]\n"
       "          [--roofline] [--peak-gflops G] [--version]\n"
-      "       %s --metrics snap.json | --metrics-diff a.json b.json\n",
-      argv0, argv0);
+      "       %s --metrics snap.json | --metrics-diff a.json b.json\n"
+      "       %s --profile profile.folded [--top N]\n",
+      argv0, argv0, argv0);
 }
 
 std::vector<int> parse_int_list(const std::string& s) {
@@ -142,6 +149,15 @@ bool parse_args(int argc, char** argv, Args& a) {
       if (!va || !vb) return false;
       a.metrics_diff_a = va;
       a.metrics_diff_b = vb;
+    } else if (flag == "--profile") {
+      const char* v = next();
+      if (!v) return false;
+      a.profile = v;
+    } else if (flag == "--top") {
+      const char* v = next();
+      if (!v) return false;
+      a.top = std::atoi(v);
+      if (a.top < 1) return false;
     } else if (flag == "--peak-gflops") {
       const char* v = next();
       if (!v) return false;
@@ -207,6 +223,129 @@ bool run_solver(const Args& a, rt::Trace& trace, std::vector<rt::SimulationResul
   return true;
 }
 
+// --- profile mode -----------------------------------------------------------
+
+/// One parsed folded line: attribution tokens + call chain (root first).
+struct FoldedStack {
+  std::string worker;  ///< "worker:3" / "pool:1" ("" = unattributed)
+  std::string task;    ///< task kind ("" = none)
+  std::vector<std::string> frames;
+  long long count = 0;
+};
+
+bool parse_folded_line(const std::string& line, FoldedStack& out) {
+  const std::size_t sp = line.rfind(' ');
+  if (sp == std::string::npos || sp + 1 >= line.size()) return false;
+  out.count = std::atoll(line.c_str() + sp + 1);
+  if (out.count <= 0) return false;
+  std::size_t pos = 0;
+  const std::string stack = line.substr(0, sp);
+  while (pos <= stack.size()) {
+    std::size_t semi = stack.find(';', pos);
+    if (semi == std::string::npos) semi = stack.size();
+    std::string tok = stack.substr(pos, semi - pos);
+    pos = semi + 1;
+    if (tok.empty()) continue;
+    if (out.frames.empty() && out.worker.empty() &&
+        (tok.rfind("worker:", 0) == 0 || tok.rfind("pool:", 0) == 0))
+      out.worker = tok;
+    else if (out.frames.empty() && tok.rfind("task:", 0) == 0)
+      out.task = tok.substr(5);
+    else
+      out.frames.push_back(std::move(tok));
+  }
+  return !out.frames.empty() || !out.worker.empty();
+}
+
+std::string clip(const std::string& s, std::size_t w) {
+  return s.size() <= w ? s : s.substr(0, w - 3) + "...";
+}
+
+int run_profile(const std::string& path, int top) {
+  std::ifstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "failed to open profile %s\n", path.c_str());
+    return 2;
+  }
+  std::vector<FoldedStack> stacks;
+  long long total = 0;
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    FoldedStack fs;
+    if (parse_folded_line(line, fs)) {
+      total += fs.count;
+      stacks.push_back(std::move(fs));
+    }
+  }
+  if (total == 0) {
+    std::fprintf(stderr, "%s: no samples\n", path.c_str());
+    return 2;
+  }
+  const auto pct = [&](long long c) { return 100.0 * static_cast<double>(c) / total; };
+
+  std::printf("profile: %lld samples, %zu unique stacks (%s)\n\n", total, stacks.size(),
+              path.c_str());
+
+  // Hot stacks: the folded lines themselves, largest first.
+  std::vector<const FoldedStack*> by_count;
+  for (const FoldedStack& fs : stacks) by_count.push_back(&fs);
+  std::sort(by_count.begin(), by_count.end(),
+            [](const FoldedStack* x, const FoldedStack* y) { return x->count > y->count; });
+  std::printf("hot stacks (top %d):\n", top);
+  std::printf("  %7s %6s  %-10s %-16s %s\n", "samples", "%", "worker", "task", "leaf frame");
+  for (int i = 0; i < top && i < static_cast<int>(by_count.size()); ++i) {
+    const FoldedStack& fs = *by_count[i];
+    std::printf("  %7lld %5.1f%%  %-10s %-16s %s\n", fs.count, pct(fs.count),
+                fs.worker.empty() ? "-" : fs.worker.c_str(),
+                fs.task.empty() ? "-" : clip(fs.task, 16).c_str(),
+                fs.frames.empty() ? "?" : clip(fs.frames.back(), 90).c_str());
+  }
+
+  // Hot frames: self = leaf occurrences, total = stacks containing the
+  // frame (each stack counted once, so recursion does not double-count).
+  std::map<std::string, std::pair<long long, long long>> frames;  // self, total
+  for (const FoldedStack& fs : stacks) {
+    std::map<std::string, bool> seen;
+    for (const std::string& fr : fs.frames)
+      if (!seen[fr]) {
+        seen[fr] = true;
+        frames[fr].second += fs.count;
+      }
+    if (!fs.frames.empty()) frames[fs.frames.back()].first += fs.count;
+  }
+  std::vector<std::pair<std::string, std::pair<long long, long long>>> fsorted(frames.begin(),
+                                                                               frames.end());
+  std::sort(fsorted.begin(), fsorted.end(), [](const auto& x, const auto& y) {
+    return x.second.first != y.second.first ? x.second.first > y.second.first
+                                            : x.second.second > y.second.second;
+  });
+  std::printf("\nhot frames (top %d):\n", top);
+  std::printf("  %6s %6s  %s\n", "self%", "total%", "frame");
+  for (int i = 0; i < top && i < static_cast<int>(fsorted.size()); ++i)
+    std::printf("  %5.1f%% %5.1f%%  %s\n", pct(fsorted[i].second.first),
+                pct(fsorted[i].second.second), clip(fsorted[i].first, 110).c_str());
+
+  // Attribution rollups.
+  std::map<std::string, long long> by_task, by_worker;
+  for (const FoldedStack& fs : stacks) {
+    by_task[fs.task.empty() ? "(none)" : fs.task] += fs.count;
+    by_worker[fs.worker.empty() ? "(none)" : fs.worker] += fs.count;
+  }
+  const auto print_rollup = [&](const char* title,
+                                const std::map<std::string, long long>& m) {
+    std::vector<std::pair<std::string, long long>> rows(m.begin(), m.end());
+    std::sort(rows.begin(), rows.end(),
+              [](const auto& x, const auto& y) { return x.second > y.second; });
+    std::printf("\n%s:\n", title);
+    for (const auto& [k, c] : rows)
+      std::printf("  %6.1f%%  %7lld  %s\n", pct(c), c, k.c_str());
+  };
+  print_rollup("by task kind", by_task);
+  print_rollup("by worker", by_worker);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -215,6 +354,9 @@ int main(int argc, char** argv) {
     usage(argv[0]);
     return 2;
   }
+
+  // Profile mode: render a folded-stack dump, no solve.
+  if (!a.profile.empty()) return run_profile(a.profile, a.top);
 
   // Metrics-snapshot modes: pure file -> text renderings, no solve.
   if (!a.metrics.empty() || !a.metrics_diff_a.empty()) {
