@@ -11,9 +11,9 @@
 namespace dnc::blas {
 namespace {
 
-// Thread-local packing workspaces: each thread (main, or a fork/join pool
-// worker running a slab of parallel_gemm, or a runtime worker executing an
-// UpdateVect task) reuses one aligned arena across all its GEMM calls, so
+// Thread-local packing workspaces: each thread (main, or a runtime worker
+// executing an UpdateVect task or a parallel_gemm slab subtask) reuses one
+// aligned arena across all its GEMM calls, so
 // the thousands of small panel products in a merge tree never touch malloc
 // after warm-up. Capacity is tracked in bytes, so the same two arenas serve
 // the double and float instantiations.

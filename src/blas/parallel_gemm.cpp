@@ -1,33 +1,45 @@
 #include "blas/parallel_gemm.hpp"
 
+#include <algorithm>
+
 #include "blas/simd/kernels.hpp"
+#include "runtime/scheduler.hpp"
 
 namespace dnc::blas {
 
 template <typename Real>
-void parallel_gemm(ThreadPool& pool, Trans transa, Trans transb, index_t m, index_t n,
-                   index_t k, Real alpha, const Real* a, index_t lda, const Real* b,
-                   index_t ldb, Real beta, Real* c, index_t ldc) {
+void parallel_gemm(Trans transa, Trans transb, index_t m, index_t n, index_t k, Real alpha,
+                   const Real* a, index_t lda, const Real* b, index_t ldb, Real beta, Real* c,
+                   index_t ldc, int max_slabs) {
   if (m <= 0 || n <= 0) return;
-  // Column slabs of C are disjoint, so each worker runs an independent
-  // sequential GEMM on its slab; the surrounding parallel_for is the join.
-  // Each worker packs into its own thread-local workspace (see gemm.cpp),
-  // so the slabs share nothing but the read-only A and B panels. The
-  // dispatched microkernel (simd::kernels()) is resolved once per slab
-  // inside gemm; slab boundaries need no tile alignment because partial
-  // micro-tiles are handled by the packed zero-padding.
-  pool.parallel_for(0, n, [&](index_t j0, index_t j1) {
-    const index_t nb = j1 - j0;
+  // Column slabs of C are disjoint, so each subtask runs an independent
+  // sequential GEMM on its slab; the spawn-and-wait is the join. Each
+  // worker packs into its own thread-local workspace (see gemm.cpp), so
+  // the slabs share nothing but the read-only A and B panels. Slab
+  // boundaries need no tile alignment because partial micro-tiles are
+  // handled by the packed zero-padding.
+  rt::Scheduler* sched = rt::Scheduler::current();
+  if (max_slabs <= 0) max_slabs = sched != nullptr ? sched->threads() : 1;
+  const index_t nslabs = std::min<index_t>(n, max_slabs);
+  if (nslabs <= 1 || sched == nullptr) {
+    gemm(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+    return;
+  }
+  const index_t chunk = (n + nslabs - 1) / nslabs;
+  sched->spawn_and_wait("slab", nslabs, [&](long s) {
+    const index_t j0 = static_cast<index_t>(s) * chunk;
+    const index_t j1 = std::min(j0 + chunk, n);
+    if (j0 >= j1) return;
     const Real* bsub = (transb == Trans::No) ? b + j0 * ldb : b + j0;
-    gemm(transa, transb, m, nb, k, alpha, a, lda, bsub, ldb, beta, c + j0 * ldc, ldc);
+    gemm(transa, transb, m, j1 - j0, k, alpha, a, lda, bsub, ldb, beta, c + j0 * ldc, ldc);
   });
 }
 
-template void parallel_gemm<double>(ThreadPool&, Trans, Trans, index_t, index_t, index_t,
-                                    double, const double*, index_t, const double*, index_t,
-                                    double, double*, index_t);
-template void parallel_gemm<float>(ThreadPool&, Trans, Trans, index_t, index_t, index_t,
-                                   float, const float*, index_t, const float*, index_t,
-                                   float, float*, index_t);
+template void parallel_gemm<double>(Trans, Trans, index_t, index_t, index_t, double,
+                                    const double*, index_t, const double*, index_t, double,
+                                    double*, index_t, int);
+template void parallel_gemm<float>(Trans, Trans, index_t, index_t, index_t, float,
+                                   const float*, index_t, const float*, index_t, float, float*,
+                                   index_t, int);
 
 }  // namespace dnc::blas

@@ -1,20 +1,25 @@
-// Fork/join multithreaded GEMM.
+// Runtime-backed multithreaded GEMM.
 //
 // This models the "multithreaded BLAS" execution mode of MKL that the
-// paper's LAPACK baseline relies on: one logical GEMM forks across a thread
-// pool by column slabs and joins at the end. The task-flow solver never
+// paper's LAPACK baseline relies on: one logical GEMM fans out across
+// column slabs and joins at the end. Unlike the original fork/join
+// implementation it owns no threads -- called from inside a runtime task
+// it spawns child subtasks onto the caller's rt::Scheduler (help-first
+// join, so the calling core keeps working), and called from a plain thread
+// it degrades to the sequential gemm(). The task-flow solver proper never
 // calls this; it calls the sequential gemm() from inside independent tasks.
 #pragma once
 
 #include "blas/gemm.hpp"
-#include "common/thread_pool.hpp"
 
 namespace dnc::blas {
 
 /// Same contract as gemm(), parallelised over column slabs of C.
+/// `max_slabs` caps the fan-out (0 = number of scheduler workers, the
+/// fork/join-BLAS model; larger values expose more stealable parallelism).
 template <typename Real>
-void parallel_gemm(ThreadPool& pool, Trans transa, Trans transb, index_t m, index_t n,
-                   index_t k, Real alpha, const Real* a, index_t lda, const Real* b,
-                   index_t ldb, Real beta, Real* c, index_t ldc);
+void parallel_gemm(Trans transa, Trans transb, index_t m, index_t n, index_t k, Real alpha,
+                   const Real* a, index_t lda, const Real* b, index_t ldb, Real beta, Real* c,
+                   index_t ldc, int max_slabs = 0);
 
 }  // namespace dnc::blas

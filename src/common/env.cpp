@@ -1,0 +1,68 @@
+#include "common/env.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace dnc::env {
+
+const char* raw(const char* name) noexcept { return std::getenv(name); }
+
+bool is_set(const char* name) noexcept {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0';
+}
+
+std::string str(const char* name, const std::string& dflt) {
+  const char* v = std::getenv(name);
+  return (v != nullptr && *v != '\0') ? std::string(v) : dflt;
+}
+
+bool flag(const char* name, bool dflt) noexcept {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return dflt;
+  return !(std::strcmp(v, "0") == 0 || std::strcmp(v, "off") == 0 ||
+           std::strcmp(v, "false") == 0 || std::strcmp(v, "no") == 0);
+}
+
+long integer(const char* name, long dflt) noexcept {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return dflt;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  return end != v ? parsed : dflt;
+}
+
+double number(const char* name, double dflt) noexcept {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return dflt;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  return end != v ? parsed : dflt;
+}
+
+const Knob* knob_reference() noexcept {
+  // Keep alphabetical; README's knob table mirrors this list.
+  static const Knob kKnobs[] = {
+      {"DNC_CRASH_DUMP", "directory", "write crash dumps (flight-recorder state) here on fatal signals"},
+      {"DNC_FLIGHT", "0/1", "anomaly flight recorder: keep ring-buffer traces of anomalous solves"},
+      {"DNC_FLIGHT_K", "float", "flight-recorder anomaly threshold (robust z-score multiplier)"},
+      {"DNC_FLIGHT_MAX_DUMPS", "int", "cap on flight-recorder dump files per process"},
+      {"DNC_HTTP", "[addr:]port", "serve /healthz /metrics /profile /trace over HTTP"},
+      {"DNC_HWC", "off/on/perf/rusage", "per-task hardware-counter sampling backend"},
+      {"DNC_METRICS", "0/1", "always-on metrics registry (Prometheus text on /metrics)"},
+      {"DNC_METRICS_INTERVAL", "seconds", "metrics sampler period"},
+      {"DNC_PREC", "f64/f32/f32_refine", "solve precision path override"},
+      {"DNC_PROFILE", "path", "write folded-stack profile here at exit"},
+      {"DNC_PROFILE_HZ", "int", "sampling-profiler frequency (0 = off)"},
+      {"DNC_REPORT", "path", "write the SolveReport JSON of each solve here"},
+      {"DNC_SCHED", "steal/central", "runtime scheduling policy"},
+      {"DNC_SIMD", "scalar/sse2/avx2", "clamp the SIMD kernel dispatch level"},
+      {"DNC_TOPOLOGY", "sockets x l3 x cpus | flat", "override the detected CPU topology for steal ordering"},
+      {"DNC_TRACE", "path", "write the Perfetto trace of each solve here"},
+      {"DNC_TUNE_TABLE", "path", "consult this dnc_tune table for nb/policy defaults at solve time"},
+      {nullptr, nullptr, nullptr},
+  };
+  return kKnobs;
+}
+
+}  // namespace dnc::env

@@ -10,8 +10,9 @@
 //                 throughput with fp64-grade residuals
 #pragma once
 
-#include <cstdlib>
 #include <cstring>
+
+#include "common/env.hpp"
 
 namespace dnc {
 
@@ -48,7 +49,7 @@ inline Precision parse_precision(const char* s) noexcept {
 /// Default for Options::precision: $DNC_PREC, read at each Options
 /// construction (same pattern as rt::default_sched_policy / DNC_SCHED).
 inline Precision default_precision() noexcept {
-  return parse_precision(std::getenv("DNC_PREC"));
+  return parse_precision(env::raw("DNC_PREC"));
 }
 
 }  // namespace dnc

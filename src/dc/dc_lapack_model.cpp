@@ -17,6 +17,7 @@
 #include "dc/task_kinds.hpp"
 #include "runtime/dot.hpp"
 #include "runtime/engine.hpp"
+#include "runtime/scheduler.hpp"
 
 namespace dnc::dc {
 namespace {
@@ -91,18 +92,22 @@ void stedc_lapack_model_impl(index_t n, Real* d, Real* e, MatrixT<Real>& v,
       secular_vectors_panel(ctx->defl, ctx->deltam(ws), ctx->zhat.data(), 0, ctx->node.m,
                             ctx->smat(ws));
     });
-    // The one parallel region: the GEMM fans out over column chunks (this
-    // is the multithreaded-BLAS fork) and joins right after.
-    for (index_t p = 0; p < ctx->npanels; ++p) {
-      const index_t j0 = p * nb;
-      const index_t j1 = std::min(j0 + nb, node.m);
-      graph.submit(K.updatevect,
-                   [&, ctx, j0, j1] {
-                     update_vectors_panel(ctx->defl, ctx->w1(ws), ctx->w2(ws), ctx->smat(ws),
-                                          j0, j1, ctx->qblock(v));
-                   },
-                   {{&hseq, rt::Access::GatherV}});
-    }
+    // The one parallel region: the GEMM fans out over column chunks (the
+    // multithreaded-BLAS fork) and joins right after. Expressed as a
+    // single chained task whose body spawns panel subtasks back into the
+    // scheduler (help-first join) -- the runtime is the only thread
+    // source, and the children show up in traces as "UpdateVect/panel"
+    // nested under this task.
+    chain(K.updatevect, [&, ctx] {
+      const index_t m = ctx->node.m;
+      const long npanels = static_cast<long>(ctx->npanels);
+      rt::spawn_and_wait("panel", npanels, [&, ctx, m](long p) {
+        const index_t j0 = static_cast<index_t>(p) * nb;
+        const index_t j1 = std::min(j0 + nb, m);
+        update_vectors_panel(ctx->defl, ctx->w1(ws), ctx->w2(ws), ctx->smat(ws), j0, j1,
+                             ctx->qblock(v));
+      });
+    });
   }
 
   chain(K.sort, [&, n] {
@@ -117,6 +122,7 @@ void stedc_lapack_model_impl(index_t n, Real* d, Real* e, MatrixT<Real>& v,
   const rt::Trace* tr = nullptr;
   if (stats || obs::trace_export_requested() || obs::report_export_requested()) {
     trace = runtime.trace();
+    detail::stamp_trace_meta(trace, n, opt);
     tr = &trace;
   }
   if (stats) {
@@ -134,9 +140,11 @@ void stedc_lapack_model_impl(index_t n, Real* d, Real* e, MatrixT<Real>& v,
 
 void stedc_lapack_model(index_t n, double* d, double* e, Matrix& v, const Options& opt,
                         SolveStats* stats, const std::vector<int>& simulate_workers) {
-  detail::run_with_precision(n, d, e, v, opt, stats,
+  Options topt = opt;
+  tune::apply_env_tuning(topt, n);
+  detail::run_with_precision(n, d, e, v, topt, stats,
                              [&](auto* dd, auto* ee, auto& vv, SolveStats* st) {
-                               stedc_lapack_model_impl(n, dd, ee, vv, opt, st,
+                               stedc_lapack_model_impl(n, dd, ee, vv, topt, st,
                                                        simulate_workers);
                              });
 }

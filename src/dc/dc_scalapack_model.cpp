@@ -178,6 +178,7 @@ void stedc_scalapack_model_impl(index_t n, Real* d, Real* e, MatrixT<Real>& v,
   const rt::Trace* tr = nullptr;
   if (stats || obs::trace_export_requested() || obs::report_export_requested()) {
     trace = runtime.trace();
+    detail::stamp_trace_meta(trace, n, opt);
     tr = &trace;
   }
   if (stats) {
@@ -195,9 +196,11 @@ void stedc_scalapack_model_impl(index_t n, Real* d, Real* e, MatrixT<Real>& v,
 
 void stedc_scalapack_model(index_t n, double* d, double* e, Matrix& v, const Options& opt,
                            SolveStats* stats, const std::vector<int>& simulate_workers) {
-  detail::run_with_precision(n, d, e, v, opt, stats,
+  Options topt = opt;
+  tune::apply_env_tuning(topt, n);
+  detail::run_with_precision(n, d, e, v, topt, stats,
                              [&](auto* dd, auto* ee, auto& vv, SolveStats* st) {
-                               stedc_scalapack_model_impl(n, dd, ee, vv, opt, st,
+                               stedc_scalapack_model_impl(n, dd, ee, vv, topt, st,
                                                           simulate_workers);
                              });
 }

@@ -114,6 +114,8 @@ void finish_report(const obs::SolveScope& scope,
   rep.simd_isa = blas::simd::kernels_t<Real>().name;
   rep.precision = precision_name(prec);
   scope.finish(rep, n, threads, seconds, trace);
+  // Record whether (and which) DNC_TUNE_TABLE entry configured this solve.
+  tune::stamp_report(rep);
   // Workspace telemetry: the solve-wide scratch (Workspace: n x n qwork +
   // 2n x n xwork), the n x n eigenvector output, and the per-merge contexts
   // (z + zhat + the m x npanels partial-product matrix each). All of it is
@@ -230,9 +232,11 @@ void stedc_sequential_impl(index_t n, Real* d, Real* e, MatrixT<Real>& v, const 
 
 void stedc_sequential(index_t n, double* d, double* e, Matrix& v, const Options& opt,
                       SolveStats* stats) {
-  detail::run_with_precision(n, d, e, v, opt, stats,
+  Options topt = opt;
+  tune::apply_env_tuning(topt, n);
+  detail::run_with_precision(n, d, e, v, topt, stats,
                              [&](auto* dd, auto* ee, auto& vv, SolveStats* st) {
-                               stedc_sequential_impl(n, dd, ee, vv, opt, st);
+                               stedc_sequential_impl(n, dd, ee, vv, topt, st);
                              });
 }
 

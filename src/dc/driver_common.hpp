@@ -8,11 +8,22 @@
 
 #include "dc/api.hpp"
 #include "dc/merge.hpp"
+#include "dc/tune.hpp"
 #include "lapack/refine.hpp"
 #include "obs/health.hpp"
 #include "obs/telemetry.hpp"
 
 namespace dnc::dc::detail {
+
+/// Stamps the solve parameters a tuning sweep needs onto the trace before
+/// export: problem size, panel width, and working precision become
+/// meta_counters/meta_strings so `dnc_tune` can group recorded traces into
+/// (n, precision, workers) cells without side-channel bookkeeping.
+inline void stamp_trace_meta(rt::Trace& trace, index_t n, const Options& opt) {
+  trace.meta_counters.emplace_back("n", static_cast<double>(n));
+  trace.meta_counters.emplace_back("nb", static_cast<double>(opt.nb));
+  trace.meta_strings.emplace_back("precision", precision_name(opt.precision));
+}
 
 /// Scheduling priority of a D&C task: deeper merge-tree levels outrank
 /// shallower ones (leaves are deepest, the root is level 0) so subtrees

@@ -22,6 +22,13 @@ void appendf(std::string& out, const char* fmt, ...) {
 
 double duration(const rt::TraceEvent& e) { return std::max(0.0, e.t_end - e.t_start); }
 
+/// Child subtasks (spawn_and_wait) are excluded from the DAG analyses: a
+/// parent's [t_start, t_end] window is inclusive of the children it fanned
+/// out, so counting both would double the work, and children carry no
+/// dependency edges. Using the parent's inclusive duration keeps the
+/// engine-vs-simulator critical-path cross-check exact for nested graphs.
+bool analyzed(const rt::TraceEvent& e) { return !e.is_child(); }
+
 /// Predecessor/successor adjacency over Trace::edges, restricted to edges
 /// whose both endpoints exist in the trace. Successor lists preserve edge
 /// order so the FIFO replay visits tasks exactly like rt::simulate_schedule.
@@ -73,10 +80,12 @@ CriticalPath critical_path(const rt::Trace& trace) {
   while (!order.empty()) {
     const std::size_t i = order.front();
     order.pop();
-    dist[i] += duration(trace.events[i]);
-    cp.total_work += duration(trace.events[i]);
-    if (!any || dist[i] > dist[best]) best = i;
-    any = true;
+    if (analyzed(trace.events[i])) {
+      dist[i] += duration(trace.events[i]);
+      cp.total_work += duration(trace.events[i]);
+      if (!any || dist[i] > dist[best]) best = i;
+      any = true;
+    }
     for (std::size_t s : adj.succ[i]) {
       if (dist[i] > dist[s]) {
         dist[s] = dist[i];
@@ -154,6 +163,7 @@ ParallelismProfile parallelism_profile(const rt::Trace& trace) {
   bool any = false;
   for (const auto& e : trace.events) {
     if (e.worker < 0) continue;  // never executed
+    if (!analyzed(e)) continue;  // nested work shows as its parent's window
     if (!any) {
       p.t0 = e.t_start;
       p.t1 = e.t_end;
@@ -294,7 +304,10 @@ rt::SimulationResult replay_trace(const rt::Trace& trace, int workers,
 
   std::vector<double> dur(n);
   std::vector<char> membound(n, 0);
+  std::size_t replayed = 0;  // child subtasks are not replayed (see analyzed())
   for (std::size_t i = 0; i < n; ++i) {
+    if (!analyzed(trace.events[i])) continue;
+    ++replayed;
     dur[i] = duration(trace.events[i]);
     res.total_work += dur[i];
     const int k = trace.events[i].kind;
@@ -303,6 +316,7 @@ rt::SimulationResult replay_trace(const rt::Trace& trace, int workers,
                       ? 1
                       : 0;
   }
+  if (replayed == 0) return res;
   res.critical_path = critical_path(trace).length;
 
   // From here on the code is rt::simulate_schedule's scheduling loop,
@@ -339,7 +353,7 @@ rt::SimulationResult replay_trace(const rt::Trace& trace, int workers,
   };
   std::vector<int> remaining(adj.npred);
   for (std::size_t i = 0; i < n; ++i)
-    if (remaining[i] == 0) push_ready(i);
+    if (remaining[i] == 0 && analyzed(trace.events[i])) push_ready(i);
 
   res.schedule.workers = workers;
   res.schedule.kind_names = trace.kind_names;
@@ -351,7 +365,7 @@ rt::SimulationResult replay_trace(const rt::Trace& trace, int workers,
   int idle_workers = workers;
   int running_membound = 0;
   std::size_t completed = 0;
-  while (completed < n) {
+  while (completed < replayed) {
     while (idle_workers > 0 && !ready.empty()) {
       const std::size_t t = ready.top().task;
       ready.pop();

@@ -10,6 +10,7 @@
 #include <cstring>
 #include <mutex>
 
+#include "common/env.hpp"
 #include "common/version.hpp"
 #include "obs/flight.hpp"
 #include "obs/metrics.hpp"
@@ -32,7 +33,7 @@ std::mutex g_mu;
 struct sigaction g_old[sizeof kSignals / sizeof kSignals[0]];
 
 bool parse_env(std::string& path) {
-  const char* e = std::getenv("DNC_CRASH_DUMP");
+  const char* e = env::raw("DNC_CRASH_DUMP");
   if (!e || !*e || !std::strcmp(e, "0") || !std::strcmp(e, "off")) return false;
   path = expand_path_placeholders((!std::strcmp(e, "1") || !std::strcmp(e, "on"))
                                       ? "dnc_crash.%p.txt"

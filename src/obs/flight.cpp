@@ -7,6 +7,7 @@
 #include <deque>
 #include <mutex>
 
+#include "common/env.hpp"
 #include "obs/perfetto.hpp"
 #include "runtime/trace.hpp"
 
@@ -40,23 +41,18 @@ State& state() {
 
 std::atomic<int> g_enabled{-1};
 
-double env_double(const char* var, double dflt) {
-  const char* v = std::getenv(var);
-  return v && *v ? std::atof(v) : dflt;
-}
-
 bool read_env(State& s) {
-  const char* e = std::getenv("DNC_FLIGHT");
+  const char* e = env::raw("DNC_FLIGHT");
   if (!e || !*e || !std::strcmp(e, "0") || !std::strcmp(e, "off")) return false;
   s.prefix = (!std::strcmp(e, "1") || !std::strcmp(e, "on") || !std::strcmp(e, "true"))
                  ? "dnc_flight.%p"
                  : e;
-  long k = static_cast<long>(env_double("DNC_FLIGHT_K", 8));
+  long k = static_cast<long>(env::number("DNC_FLIGHT_K", 8));
   s.capacity = static_cast<std::size_t>(k < 1 ? 1 : k);
-  s.th.max_rel_residual = env_double("DNC_FLIGHT_RESID", 1e-8);
-  s.th.max_seconds = env_double("DNC_FLIGHT_LATENCY", 0.0);
-  s.th.min_deflated_fraction = env_double("DNC_FLIGHT_DEFL", 0.0);
-  long md = static_cast<long>(env_double("DNC_FLIGHT_MAX_DUMPS", 4));
+  s.th.max_rel_residual = env::number("DNC_FLIGHT_RESID", 1e-8);
+  s.th.max_seconds = env::number("DNC_FLIGHT_LATENCY", 0.0);
+  s.th.min_deflated_fraction = env::number("DNC_FLIGHT_DEFL", 0.0);
+  long md = static_cast<long>(env::number("DNC_FLIGHT_MAX_DUMPS", 4));
   s.max_dumps = static_cast<unsigned long>(md < 0 ? 0 : md);
   return true;
 }

@@ -16,6 +16,8 @@
 #include <mutex>
 #include <thread>
 
+#include "common/cpu_features.hpp"
+#include "common/env.hpp"
 #include "common/version.hpp"
 #include "obs/flight.hpp"
 #include "obs/metrics.hpp"
@@ -45,6 +47,8 @@ struct State {
   double last_seconds = 0.0;
   bool last_has_health = false;
   double last_residual = 0.0, last_ortho = 0.0;
+  bool last_tuned = false;
+  std::string last_tune_entry, last_tune_source;
   std::uint64_t solves = 0;
   // /trace one-shot capture (armed flag is lock-free for the telemetry-side
   // fast path; the payload lives under mu).
@@ -83,12 +87,18 @@ bool parse_env_spec(const char* e, std::string& addr, std::uint16_t& port) {
   return true;
 }
 
+/// Single point that reads DNC_HTTP into the state (init and refresh both
+/// go through here; the spec used to be parsed in two places).
+bool read_env_spec(State& s) {
+  return parse_env_spec(env::raw("DNC_HTTP"), s.addr, s.port);
+}
+
 bool init_enabled() {
   State& s = state();
   std::lock_guard<std::mutex> lk(s.mu);
   int cur = g_enabled.load(std::memory_order_relaxed);
   if (cur >= 0) return cur != 0;
-  bool on = parse_env_spec(std::getenv("DNC_HTTP"), s.addr, s.port);
+  bool on = read_env_spec(s);
   g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
   return on;
 }
@@ -177,6 +187,10 @@ std::string healthz_body() {
       solve_block += std::string("    \"seconds\": ") + num + ",\n";
       solve_block += "    \"precision\": " + json_str(s.last_precision) + ",\n";
       solve_block += "    \"timestamp\": " + json_str(s.last_timestamp);
+      if (s.last_tuned) {
+        solve_block += ",\n    \"tune_entry\": " + json_str(s.last_tune_entry);
+        solve_block += ",\n    \"tune_table\": " + json_str(s.last_tune_source);
+      }
       if (s.last_has_health) {
         std::snprintf(num, sizeof num, "%.6g", s.last_residual);
         solve_block += std::string(",\n    \"max_rel_residual\": ") + num;
@@ -191,6 +205,16 @@ std::string healthz_body() {
   std::snprintf(num, sizeof num, "%llu", static_cast<unsigned long long>(solves));
   out += std::string("  \"solves_observed\": ") + num + ",\n";
   out += solve_block;
+  // Detected machine hierarchy the scheduler's victim ordering uses.
+  const CpuTopology& topo = cpu_topology();
+  out += "  \"topology\": {\n";
+  out += "    \"source\": " + json_str(topo.source) + ",\n";
+  std::snprintf(num, sizeof num, "%d", topo.cpus);
+  out += std::string("    \"cpus\": ") + num + ",\n";
+  std::snprintf(num, sizeof num, "%d", topo.sockets);
+  out += std::string("    \"sockets\": ") + num + ",\n";
+  std::snprintf(num, sizeof num, "%d", topo.l3_domains);
+  out += std::string("    \"l3_domains\": ") + num + "\n  },\n";
   std::snprintf(num, sizeof num, "%lu", flight::dump_count());
   out += std::string("  \"flight_dumps\": ") + num + ",\n";
   std::snprintf(num, sizeof num, "%zu", flight::ring_size());
@@ -371,7 +395,7 @@ bool enabled() noexcept {
 void refresh_from_env() noexcept {
   State& s = state();
   std::lock_guard<std::mutex> lk(s.mu);
-  bool on = parse_env_spec(std::getenv("DNC_HTTP"), s.addr, s.port);
+  bool on = read_env_spec(s);
   g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
 }
 
@@ -432,6 +456,9 @@ void note_solve(const SolveReport& report) {
   s.last_has_health = report.has_health;
   s.last_residual = report.health.max_rel_residual;
   s.last_ortho = report.health.max_ortho_error;
+  s.last_tuned = report.tuned;
+  s.last_tune_entry = report.tune_entry;
+  s.last_tune_source = report.tune_source;
 }
 
 void stop_for_tests() {

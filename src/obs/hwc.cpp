@@ -7,6 +7,8 @@
 #include <cstring>
 #include <mutex>
 
+#include "common/env.hpp"
+
 #if defined(__linux__)
 #include <linux/perf_event.h>
 #include <sys/ioctl.h>
@@ -117,7 +119,7 @@ HwcBackend parse_hwc_backend(const std::string& name) {
 }
 
 bool hwc_requested() noexcept {
-  return parse_request(std::getenv("DNC_HWC")) != HwcRequest::kOff;
+  return parse_request(env::raw("DNC_HWC")) != HwcRequest::kOff;
 }
 
 HwcBackend hwc_active_backend() noexcept {
@@ -129,7 +131,7 @@ HwcBackend hwc_active_backend() noexcept {
 // ThreadHwc
 
 ThreadHwc::ThreadHwc() {
-  const HwcRequest req = parse_request(std::getenv("DNC_HWC"));
+  const HwcRequest req = parse_request(env::raw("DNC_HWC"));
   if (req == HwcRequest::kOff) return;
 
   // Process-wide consistency: exactly one thread probes (under call_once,

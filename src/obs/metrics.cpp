@@ -16,6 +16,7 @@
 #include <mutex>
 #include <thread>
 
+#include "common/env.hpp"
 #include "common/json.hpp"
 #include "obs/report.hpp"
 #include "runtime/trace.hpp"
@@ -82,10 +83,10 @@ State& state() {
 std::atomic<int> g_enabled{-1};
 
 bool read_env(std::string* path, double* interval) {
-  const char* e = std::getenv("DNC_METRICS");
+  const char* e = env::raw("DNC_METRICS");
   if (!e || !*e || !std::strcmp(e, "0") || !std::strcmp(e, "off")) return false;
   if (std::strcmp(e, "1") && std::strcmp(e, "on") && std::strcmp(e, "true")) *path = e;
-  if (const char* iv = std::getenv("DNC_METRICS_INTERVAL")) *interval = std::atof(iv);
+  *interval = env::number("DNC_METRICS_INTERVAL", *interval);
   return true;
 }
 

@@ -67,9 +67,12 @@ std::string perfetto_trace_json(const rt::Trace& trace, const SolveReport* repor
         const rt::WorkerSchedCounters& c = trace.sched_counters[w];
         std::snprintf(buf, sizeof buf,
                       "%s{\"executed\":%ld,\"local_pops\":%ld,\"steals\":%ld,"
-                      "\"steal_attempts\":%ld,\"failed_steals\":%ld,\"placed\":%ld}",
+                      "\"steal_attempts\":%ld,\"failed_steals\":%ld,\"placed\":%ld,"
+                      "\"steals_same_l3\":%ld,\"steals_same_socket\":%ld,"
+                      "\"steals_cross_socket\":%ld}",
                       w ? "," : "", c.executed, c.local_pops, c.steals, c.steal_attempts,
-                      c.failed_steals, c.placed);
+                      c.failed_steals, c.placed, c.steals_same_l3, c.steals_same_socket,
+                      c.steals_cross_socket);
         meta += buf;
       }
       meta += "]";
@@ -192,6 +195,16 @@ std::string perfetto_trace_json(const rt::Trace& trace, const SolveReport* repor
     }
     if (e.priority != 0) {
       std::snprintf(a, sizeof a, ",\"prio\":%d", e.priority);
+      args += a;
+    }
+    // Nested subtasks: parent id + the parent-side helped-time so a
+    // reloaded trace reconstructs self-time accounting losslessly.
+    if (e.is_child()) {
+      std::snprintf(a, sizeof a, ",\"parent\":%lld", e.parent);
+      args += a;
+    }
+    if (e.nested > 0.0) {
+      std::snprintf(a, sizeof a, ",\"nested_us\":%.3f", us(e.nested));
       args += a;
     }
     if (!trace.hwc_backend.empty()) {

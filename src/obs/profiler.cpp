@@ -23,6 +23,8 @@
 #include <ucontext.h>
 #include <vector>
 
+#include "common/env.hpp"
+
 #include "obs/httpd.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
@@ -99,7 +101,7 @@ std::atomic<bool> g_active{false};
 std::atomic<int> g_env_hz{-1};
 
 int parse_env_hz() {
-  const char* e = std::getenv("DNC_PROFILE_HZ");
+  const char* e = env::raw("DNC_PROFILE_HZ");
   if (!e || !*e || !std::strcmp(e, "0") || !std::strcmp(e, "off")) return 0;
   if (!std::strcmp(e, "1") || !std::strcmp(e, "on") || !std::strcmp(e, "true"))
     return kDefaultHz;
@@ -585,7 +587,7 @@ void ensure_continuous() {
     }
   }).detach();
   std::atexit([] {
-    const char* e = std::getenv("DNC_PROFILE");
+    const char* e = env::raw("DNC_PROFILE");
     std::string path = e && *e ? e : "dnc_profile.folded";
     path = expand_path_placeholders(path, 0);
     stop();

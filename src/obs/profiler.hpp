@@ -70,7 +70,7 @@ const char* intern(const std::string& s);
 
 /// RAII registration of the calling thread as a sampling target. `tag`
 /// must be a string with static (or interned) lifetime -- "worker" for
-/// scheduler workers, "pool" for ThreadPool workers. When a profiling
+/// scheduler workers (the process's only thread source). When a profiling
 /// session is already active, the constructor arms this thread's timer
 /// immediately; the destructor disarms, blocks SIGPROF on the thread and
 /// drains the remaining samples into the aggregate.

@@ -10,6 +10,7 @@
 #include <ctime>
 #include <fstream>
 
+#include "common/env.hpp"
 #include "common/cpu_features.hpp"
 #include "common/version.hpp"
 #include "obs/perfetto.hpp"
@@ -22,9 +23,19 @@ void appendf(std::string& out, const char* fmt, ...) {
   char buf[512];
   va_list ap;
   va_start(ap, fmt);
-  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_list ap2;
+  va_copy(ap2, ap);
+  const int need = std::vsnprintf(buf, sizeof buf, fmt, ap);
   va_end(ap);
-  out += buf;
+  if (need >= 0 && static_cast<std::size_t>(need) < sizeof buf) {
+    out += buf;
+  } else if (need > 0) {  // blocks larger than the stack buffer (e.g. the
+    std::string big(static_cast<std::size_t>(need) + 1, '\0');  // scheduler one)
+    std::vsnprintf(big.data(), big.size(), fmt, ap2);
+    big.resize(static_cast<std::size_t>(need));
+    out += big;
+  }
+  va_end(ap2);
 }
 
 unsigned long long ull(std::uint64_t v) { return static_cast<unsigned long long>(v); }
@@ -148,14 +159,24 @@ std::string SolveReport::to_json() const {
             "    \"failed_steals\": %ld,\n"
             "    \"local_pops\": %ld,\n"
             "    \"placed_max\": %ld,\n"
-            "    \"placed_min\": %ld\n"
+            "    \"placed_min\": %ld,\n"
+            "    \"steals_same_l3\": %ld,\n"
+            "    \"steals_same_socket\": %ld,\n"
+            "    \"steals_cross_socket\": %ld,\n"
+            "    \"child_tasks\": %ld\n"
             "  }",
             scheduler.workers, scheduler.tasks, scheduler.makespan, scheduler.total_busy,
             scheduler.efficiency, scheduler.avg_ready_wait, scheduler.max_ready_wait,
             scheduler.total_idle, scheduler.max_queue_depth,
             rt::json_escape(scheduler.policy).c_str(), scheduler.steals,
             scheduler.steal_attempts, scheduler.failed_steals, scheduler.local_pops,
-            scheduler.placed_max, scheduler.placed_min);
+            scheduler.placed_max, scheduler.placed_min, scheduler.steals_same_l3,
+            scheduler.steals_same_socket, scheduler.steals_cross_socket,
+            scheduler.child_tasks);
+  }
+  if (tuned) {
+    appendf(out, ",\n  \"tuning\": {\n    \"source\": \"%s\",\n    \"entry\": \"%s\"\n  }",
+            rt::json_escape(tune_source).c_str(), rt::json_escape(tune_entry).c_str());
   }
   out += "\n}\n";
   return out;
@@ -263,12 +284,21 @@ std::string SolveReport::summary_text() const {
       if (scheduler.policy == "steal") {
         appendf(out, "steals        : %ld ok / %ld attempts / %ld dry scans\n",
                 scheduler.steals, scheduler.steal_attempts, scheduler.failed_steals);
+        if (scheduler.steals > 0)
+          appendf(out, "steal locality: %ld same-L3 / %ld same-socket / %ld cross-socket\n",
+                  scheduler.steals_same_l3, scheduler.steals_same_socket,
+                  scheduler.steals_cross_socket);
         appendf(out, "local pops    : %ld\n", scheduler.local_pops);
         appendf(out, "placement     : %ld..%ld per worker (submitter round-robin)\n",
                 scheduler.placed_min, scheduler.placed_max);
       }
     }
+    if (scheduler.child_tasks > 0)
+      appendf(out, "child tasks   : %ld (task-internal spawn_and_wait)\n",
+              scheduler.child_tasks);
   }
+  if (tuned) appendf(out, "\n-- tuning --\ntable         : %s\nentry         : %s\n",
+                     tune_source.c_str(), tune_entry.c_str());
   return out;
 }
 
@@ -282,6 +312,7 @@ SchedulerMetrics scheduler_metrics(const rt::Trace& trace) {
   for (const auto& e : trace.events) {
     if (e.worker < 0) continue;
     ++m.tasks;
+    if (e.is_child()) ++m.child_tasks;
     if (e.t_ready > 0.0) {
       const double w = std::max(e.t_start - e.t_ready, 0.0);
       wait_sum += w;
@@ -305,6 +336,9 @@ SchedulerMetrics scheduler_metrics(const rt::Trace& trace) {
       m.local_pops += c.local_pops;
       m.placed_max = std::max(m.placed_max, c.placed);
       m.placed_min = std::min(m.placed_min, c.placed);
+      m.steals_same_l3 += c.steals_same_l3;
+      m.steals_same_socket += c.steals_same_socket;
+      m.steals_cross_socket += c.steals_cross_socket;
     }
   }
   return m;
@@ -351,12 +385,12 @@ void SolveScope::finish(SolveReport& out, long n, int threads, double seconds,
 }
 
 bool trace_export_requested() noexcept {
-  const char* p = std::getenv("DNC_TRACE");
+  const char* p = env::raw("DNC_TRACE");
   return p && *p;
 }
 
 bool report_export_requested() noexcept {
-  const char* p = std::getenv("DNC_REPORT");
+  const char* p = env::raw("DNC_REPORT");
   return p && *p;
 }
 
@@ -429,11 +463,11 @@ std::string resolved_export_path(const std::string& base, unsigned seq) {
 
 void export_solve_artifacts(const SolveReport& report, const rt::Trace* trace) {
   const unsigned seq = g_export_seq.fetch_add(1);
-  if (const char* path = std::getenv("DNC_TRACE"); path && *path && trace) {
+  if (const char* path = env::raw("DNC_TRACE"); path && *path && trace) {
     std::ofstream f(resolved_export_path(path, seq));
     if (f) f << perfetto_trace_json(*trace, &report);
   }
-  if (const char* path = std::getenv("DNC_REPORT"); path && *path) {
+  if (const char* path = env::raw("DNC_REPORT"); path && *path) {
     const std::string p = resolved_export_path(path, seq);
     std::ofstream f(p);
     if (f) f << report.to_json();

@@ -56,6 +56,12 @@ struct SchedulerMetrics {
   long local_pops = 0;      ///< own-deque pops, summed over workers
   long placed_max = 0;      ///< most submitter placements on one worker
   long placed_min = 0;      ///< fewest submitter placements on one worker
+  // --- steal locality under the topology-aware victim order (PR 9) ---
+  long steals_same_l3 = 0;      ///< victim shared the thief's L3 domain
+  long steals_same_socket = 0;  ///< same socket, different L3
+  long steals_cross_socket = 0; ///< crossed the socket interconnect
+  // --- nested subtasks (spawn_and_wait) ---
+  long child_tasks = 0;  ///< child subtasks spawned from inside tasks
 };
 
 /// Cheap per-solve numerical-health estimate: s sampled eigenpairs checked
@@ -90,6 +96,13 @@ struct SolveReport {
 
   bool has_scheduler = false;
   SchedulerMetrics scheduler;
+
+  /// Tuning-table consultation (DNC_TUNE_TABLE): when the solve applied a
+  /// table entry to fill Options defaults, the entry is stamped here so
+  /// reports (and /healthz) show which cell drove the run.
+  bool tuned = false;
+  std::string tune_source;  ///< path of the consulted table
+  std::string tune_entry;   ///< compact entry id, e.g. "n=1000 nb=96 sched=steal"
 
   bool has_health = false;
   HealthMetrics health;

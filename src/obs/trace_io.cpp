@@ -77,6 +77,11 @@ bool load_perfetto_trace(const std::string& json_text, rt::Trace& out, std::stri
             wc.steal_attempts = static_cast<long>(c.member_number("steal_attempts", 0.0));
             wc.failed_steals = static_cast<long>(c.member_number("failed_steals", 0.0));
             wc.placed = static_cast<long>(c.member_number("placed", 0.0));
+            wc.steals_same_l3 = static_cast<long>(c.member_number("steals_same_l3", 0.0));
+            wc.steals_same_socket =
+                static_cast<long>(c.member_number("steals_same_socket", 0.0));
+            wc.steals_cross_socket =
+                static_cast<long>(c.member_number("steals_cross_socket", 0.0));
             out.sched_counters.push_back(wc);
           }
         }
@@ -133,6 +138,8 @@ bool load_perfetto_trace(const std::string& json_text, rt::Trace& out, std::stri
       te.size = static_cast<long>(args->member_number("size", -1.0));
       te.panel = static_cast<long>(args->member_number("panel", -1.0));
       te.priority = static_cast<int>(args->member_number("prio", 0.0));
+      te.parent = static_cast<long long>(args->member_number("parent", -1.0));
+      te.nested = sec(args->member_number("nested_us", 0.0));
       if (const json::Value* h = args->find("hwc"); h && h->is_array()) {
         for (int s = 0; s < rt::kHwcSlots && s < static_cast<int>(h->array.size()); ++s)
           te.hwc[s] = static_cast<std::uint64_t>(h->array[s].number_or(0.0));

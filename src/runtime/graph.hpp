@@ -67,8 +67,24 @@ struct TaskNode {
   long obs_panel = -1;  ///< panel index within the merge
   /// Hardware-counter deltas sampled around fn() by the executing worker
   /// (obs::ThreadHwc); all zero when DNC_HWC sampling is off. Written only
-  /// by the executing worker, read by trace() after wait_all().
+  /// by the executing worker, read by trace() after wait_all(). For a task
+  /// that help-executed nested subtasks these are SELF deltas: the helped
+  /// tasks' inclusive deltas are subtracted so per-kind aggregates add up.
   std::uint64_t hwc[4] = {0, 0, 0, 0};
+
+  // --- nested subtask state (task-internal spawning) ---
+  /// Non-null marks a child subtask spawned from inside a running task
+  /// (Scheduler::spawn_and_wait). On completion the worker decrements this
+  /// join counter instead of calling TaskGraph::complete(); the node is
+  /// owned by the Scheduler, not the TaskGraph.
+  std::atomic<long>* join = nullptr;
+  /// Id of the spawning parent task (child subtasks only).
+  std::uint64_t parent_id = 0;
+  bool is_child = false;
+  /// Seconds of directly-nested helped tasks executed inside this task's
+  /// [t_start, t_end] window by the same worker (help-first waiting). The
+  /// task's self time is (t_end - t_start) - t_nested.
+  double t_nested = 0.0;
 
   TaskNode* annotate(int level, long size, long panel = -1) {
     obs_level = level;

@@ -1,6 +1,8 @@
 #include "runtime/sched.hpp"
 
 #include <cstdlib>
+
+#include "common/env.hpp"
 #include <cstring>
 
 namespace dnc::rt {
@@ -28,7 +30,7 @@ bool parse_sched_policy(const char* s, SchedPolicy& out) noexcept {
 
 SchedPolicy default_sched_policy() noexcept {
   SchedPolicy p = SchedPolicy::Steal;
-  parse_sched_policy(std::getenv("DNC_SCHED"), p);
+  parse_sched_policy(env::raw("DNC_SCHED"), p);
   return p;
 }
 

@@ -36,6 +36,14 @@ class CentralScheduler final : public Scheduler {
     return node;
   }
 
+  TaskNode* try_acquire(int /*worker*/) override {
+    // Help-first path: one locked pop, never sleeps.
+    std::lock_guard<std::mutex> lk(mu_);
+    TaskNode* node = queue_.pop_oldest();
+    if (node != nullptr) took();
+    return node;
+  }
+
   void wake_all() override {
     // Empty critical section: a worker between its predicate check and the
     // actual wait holds mu_, so taking it here orders the notify after.

@@ -14,6 +14,14 @@
 // independent work). Priority dominates recency everywhere: every pop
 // takes from the highest non-empty priority bucket.
 //
+// Victim order is topology-aware (arXiv 1401.4950's locality argument):
+// worker w is notionally pinned to cpu w % ncpu, and its steal cycle
+// visits same-L3 victims first, then same-socket, then cross-socket --
+// rotated within each class so thieves don't convoy on one victim. Every
+// successful steal is classified into the same three buckets
+// (steals_same_l3 / steals_same_socket / steals_cross_socket), which flow
+// Trace -> SolveReport -> Perfetto -> /metrics.
+//
 // Idle path: after a failed full scan a worker backs off with
 // exponentially growing yield bursts, then parks on a condition variable.
 // The sleep handshake is the flag-and-check protocol: a producer pushes,
@@ -27,7 +35,9 @@
 // Stop: stop_ is only honored after a failed full scan with queued_ == 0,
 // so destruction drains remaining tasks exactly like the central policy.
 #include <thread>
+#include <vector>
 
+#include "common/cpu_features.hpp"
 #include "runtime/scheduler.hpp"
 
 namespace dnc::rt {
@@ -42,12 +52,16 @@ struct alignas(64) WorkerQueue {
   PrioDeque q;
 };
 
+/// Steal distance between a thief and a victim deque.
+enum class StealClass : int { SameL3 = 0, SameSocket = 1, CrossSocket = 2 };
+
 class StealScheduler final : public Scheduler {
  public:
   StealScheduler(TaskGraph& graph, int threads)
       : Scheduler(graph, threads, SchedPolicy::Steal),
         queues_(std::make_unique<WorkerQueue[]>(threads)),
         nqueues_(threads) {
+    build_victim_orders();
     start();
   }
 
@@ -80,40 +94,61 @@ class StealScheduler final : public Scheduler {
     }
   }
 
+  /// One full non-blocking pass: own deque newest-first, overflow, steal
+  /// cycle. Shared by the blocking acquire() and the help-first
+  /// try_acquire(). Bumps failed_steals on a fruitless full scan.
+  TaskNode* scan(int worker) {
+    // 1. Own deque, newest first.
+    TaskNode* node = nullptr;
+    {
+      std::lock_guard<std::mutex> lk(queues_[worker].mu);
+      node = queues_[worker].q.pop_newest();
+    }
+    if (node != nullptr) {
+      counters_[worker].local_pops.fetch_add(1, std::memory_order_relaxed);
+      return take(node);
+    }
+    // 2. Shared overflow, oldest first.
+    {
+      std::lock_guard<std::mutex> lk(overflow_mu_);
+      node = overflow_.pop_oldest();
+    }
+    if (node != nullptr) return take(node);
+    // 3. Steal cycle over the other deques, nearest victims first.
+    for (const auto& [victim, cls] : victims_[worker]) {
+      counters_[worker].steal_attempts.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lk(queues_[victim].mu);
+        node = queues_[victim].q.pop_oldest();
+      }
+      if (node != nullptr) {
+        counters_[worker].steals.fetch_add(1, std::memory_order_relaxed);
+        switch (cls) {
+          case StealClass::SameL3:
+            counters_[worker].steals_same_l3.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case StealClass::SameSocket:
+            counters_[worker].steals_same_socket.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case StealClass::CrossSocket:
+            counters_[worker].steals_cross_socket.fetch_add(1, std::memory_order_relaxed);
+            break;
+        }
+        record_steal();
+        return take(node);
+      }
+    }
+    counters_[worker].failed_steals.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+
+  TaskNode* try_acquire(int worker) override { return scan(worker); }
+
   TaskNode* acquire(int worker) override {
     int spins = 0;
     for (;;) {
-      // 1. Own deque, newest first.
-      TaskNode* node = nullptr;
-      {
-        std::lock_guard<std::mutex> lk(queues_[worker].mu);
-        node = queues_[worker].q.pop_newest();
-      }
-      if (node != nullptr) {
-        counters_[worker].local_pops.fetch_add(1, std::memory_order_relaxed);
-        return take(node);
-      }
-      // 2. Shared overflow, oldest first.
-      {
-        std::lock_guard<std::mutex> lk(overflow_mu_);
-        node = overflow_.pop_oldest();
-      }
-      if (node != nullptr) return take(node);
-      // 3. Steal cycle over the other deques, oldest first.
-      for (int k = 1; k < nqueues_; ++k) {
-        const int victim = (worker + k) % nqueues_;
-        counters_[worker].steal_attempts.fetch_add(1, std::memory_order_relaxed);
-        {
-          std::lock_guard<std::mutex> lk(queues_[victim].mu);
-          node = queues_[victim].q.pop_oldest();
-        }
-        if (node != nullptr) {
-          counters_[worker].steals.fetch_add(1, std::memory_order_relaxed);
-          record_steal();
-          return take(node);
-        }
-      }
-      counters_[worker].failed_steals.fetch_add(1, std::memory_order_relaxed);
+      TaskNode* node = scan(worker);
+      if (node != nullptr) return node;
       if (queued_.load(std::memory_order_seq_cst) > 0) continue;  // raced with a push
       // Stop only after a failed full scan so destruction drains the queues.
       if (stop_.load(std::memory_order_seq_cst)) return nullptr;
@@ -147,8 +182,47 @@ class StealScheduler final : public Scheduler {
     return node;
   }
 
+  /// Precomputes each worker's steal cycle: every other worker exactly
+  /// once, grouped same-L3 -> same-socket -> cross-socket under the
+  /// detected (or DNC_TOPOLOGY-overridden) hierarchy, rotated within each
+  /// class by the thief's id so concurrent thieves fan out over distinct
+  /// victims. Workers map onto cpus round-robin (worker w -> cpu w % ncpu)
+  /// -- the runtime does not pin threads, so this is the same static
+  /// approximation an OS scheduler's initial placement gives; on a flat
+  /// (undetected) topology every victim classifies as same-L3 and the
+  /// order degenerates to the classic (w + k) % n ring.
+  void build_victim_orders() {
+    const CpuTopology& topo = cpu_topology();
+    victims_.resize(static_cast<std::size_t>(nqueues_));
+    for (int w = 0; w < nqueues_; ++w) {
+      auto& order = victims_[static_cast<std::size_t>(w)];
+      order.reserve(static_cast<std::size_t>(nqueues_ - 1));
+      const int wcpu = topo.cpus > 0 ? w % topo.cpus : 0;
+      for (const StealClass cls :
+           {StealClass::SameL3, StealClass::SameSocket, StealClass::CrossSocket}) {
+        for (int k = 1; k < nqueues_; ++k) {
+          const int v = (w + k) % nqueues_;  // rotation inside the class
+          const int vcpu = topo.cpus > 0 ? v % topo.cpus : 0;
+          StealClass vc;
+          if (topo.l3_of[static_cast<std::size_t>(vcpu)] ==
+              topo.l3_of[static_cast<std::size_t>(wcpu)]) {
+            vc = StealClass::SameL3;
+          } else if (topo.socket_of[static_cast<std::size_t>(vcpu)] ==
+                     topo.socket_of[static_cast<std::size_t>(wcpu)]) {
+            vc = StealClass::SameSocket;
+          } else {
+            vc = StealClass::CrossSocket;
+          }
+          if (vc == cls) order.emplace_back(v, cls);
+        }
+      }
+    }
+  }
+
   std::unique_ptr<WorkerQueue[]> queues_;
   int nqueues_;
+  /// Per-thief victim order, nearest class first: (victim deque, class).
+  std::vector<std::vector<std::pair<int, StealClass>>> victims_;
   std::atomic<unsigned> rr_{0};
   std::mutex overflow_mu_;
   PrioDeque overflow_;

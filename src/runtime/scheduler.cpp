@@ -2,6 +2,9 @@
 
 #include <bit>
 #include <cassert>
+#include <chrono>
+#include <cstring>
+#include <thread>
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
@@ -11,12 +14,48 @@
 
 namespace dnc::rt {
 
+/// Per-worker execution context. One per worker thread, stack-allocated in
+/// worker_loop; the frame fields implement the nested-task accounting that
+/// keeps self-time / self-hwc sums exact under spawn_and_wait's help-first
+/// waiting (a worker executes children *inside* its parent's timestamps).
+struct WorkerCtx {
+  WorkerCtx(int id, const TaskGraph& graph) : worker_id(id), preg("worker", id) {
+    sampling = hwc.active();
+    if (preg.active())
+      for (const TaskKind& k : graph.kinds()) kind_names.push_back(obs::profiler::intern(k.name));
+  }
+
+  int worker_id;
+  /// Per-thread hardware-counter sampler (DNC_HWC). Inactive (one branch
+  /// per task, no reads) unless requested.
+  obs::ThreadHwc hwc;
+  bool sampling = false;
+  /// Sampling-profiler registration (DNC_PROFILE_HZ / DNC_HTTP's
+  /// /profile). Kind names are interned because the TaskGraph (and its
+  /// kind table) dies with the solve while samples outlive it.
+  obs::profiler::ThreadRegistration preg;
+  std::vector<const char*> kind_names;
+
+  // --- nested-frame accounting (see Scheduler::run_task) ---
+  /// Innermost task this worker is executing (nullptr between tasks).
+  TaskNode* running = nullptr;
+  /// Seconds of helped child tasks executed inside the *current* frame.
+  double frame_nested = 0.0;
+  /// Inclusive hwc deltas of helped child tasks inside the current frame.
+  std::uint64_t frame_hwc[kHwcSlots] = {0, 0, 0, 0};
+};
+
 namespace {
 /// Worker id of the current thread (-1 on non-worker threads). Lets
 /// enqueue() attribute pushes to the releasing worker even when they come
 /// through graph.on_ready -- e.g. the MRRR driver submits tasks from inside
 /// task bodies, and those should land on the submitting worker's deque.
 thread_local int tls_worker_id = -1;
+/// Scheduler owning the current worker thread plus its context; set for
+/// the lifetime of worker_loop. Scheduler::current() / spawn_and_wait use
+/// them to detect "am I on a worker?" without any plumbing.
+thread_local Scheduler* tls_scheduler = nullptr;
+thread_local WorkerCtx* tls_ctx = nullptr;
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -132,6 +171,23 @@ void Scheduler::stop_workers() {
     m::add(m::register_metric(m::Kind::Counter, "dnc_sched_steals_total", pl,
                               "Successful work steals"),
            static_cast<double>(total_steals_.load(std::memory_order_relaxed)));
+    long same_l3 = 0, same_socket = 0, cross_socket = 0;
+    for (int w = 0; w < thread_count_; ++w) {
+      same_l3 += counters_[w].steals_same_l3.load(std::memory_order_relaxed);
+      same_socket += counters_[w].steals_same_socket.load(std::memory_order_relaxed);
+      cross_socket += counters_[w].steals_cross_socket.load(std::memory_order_relaxed);
+    }
+    if (same_l3 + same_socket + cross_socket > 0) {
+      m::add(m::register_metric(m::Kind::Counter, "dnc_sched_steals_same_l3_total", pl,
+                                "Steals whose victim shares the thief's L3 domain"),
+             static_cast<double>(same_l3));
+      m::add(m::register_metric(m::Kind::Counter, "dnc_sched_steals_same_socket_total", pl,
+                                "Steals within the thief's socket but across L3 domains"),
+             static_cast<double>(same_socket));
+      m::add(m::register_metric(m::Kind::Counter, "dnc_sched_steals_cross_socket_total", pl,
+                                "Steals that crossed the socket interconnect"),
+             static_cast<double>(cross_socket));
+    }
     m::add(m::register_metric(m::Kind::Counter, "dnc_sched_worker_idle_seconds_total", pl,
                               "Summed per-worker idle time (s)"),
            idle);
@@ -172,62 +228,202 @@ void Scheduler::record_steal() {
   steal_series_.push(now_seconds(), static_cast<int>(n));
 }
 
-void Scheduler::worker_loop(int worker_id) {
-  tls_worker_id = worker_id;
-  // Per-thread hardware-counter sampler (DNC_HWC). Inactive (one branch per
-  // task, no reads) unless requested; when active, every task body is
-  // bracketed by two counter reads -- rdpmc (no syscall) or one grouped
-  // read() under the perf backend, getrusage under the software fallback --
-  // and the deltas land on the node like its timestamps.
-  obs::ThreadHwc hwc;
-  const bool sampling = hwc.active();
-  if (sampling) hwc_active_.store(true, std::memory_order_relaxed);
-  std::uint64_t c0[kHwcSlots], c1[kHwcSlots];
-  // Sampling-profiler registration (DNC_PROFILE_HZ / DNC_HTTP's /profile).
-  // One relaxed load + branch when both are off. When on, profiler samples
-  // taken on this thread attribute to "worker:<id>" and, via set_task below,
-  // to the task kind the worker is executing. Kind names are interned once
-  // per worker because the TaskGraph (and its kind table) dies with the
-  // solve while samples outlive it in the profiler aggregate.
-  obs::profiler::ThreadRegistration preg("worker", worker_id);
-  std::vector<const char*> kind_names;
-  if (preg.active())
-    for (const TaskKind& k : graph_.kinds())
-      kind_names.push_back(obs::profiler::intern(k.name));
-  // Idle accounting: everything between "done with the previous task" (or
-  // thread start) and "starting the next task" counts as idle. The marks
-  // reuse the trace timestamps, so this adds no clock reads on the task
-  // path.
-  double idle_mark = now_seconds();
-  for (;;) {
-    TaskNode* node = acquire(worker_id);
-    if (node == nullptr) return;
-    node->worker = worker_id;
-    node->t_start = now_seconds();
-    idle_[worker_id] += node->t_start - idle_mark;
-    if (sampling) hwc.read(c0);
-    if (preg.active())
-      preg.set_task(node->kind >= 0 && node->kind < static_cast<int>(kind_names.size())
-                        ? kind_names[node->kind]
-                        : nullptr);
-    if (node->fn) node->fn();
-    if (preg.active()) preg.set_task(nullptr);
-    if (sampling) {
-      hwc.read(c1);
-      for (int i = 0; i < kHwcSlots; ++i) node->hwc[i] = c1[i] - c0[i];
+Scheduler* Scheduler::current() { return tls_scheduler; }
+
+const char* Scheduler::interned_kind(WorkerCtx& ctx, int kind) {
+  if (kind < 0) return nullptr;
+  if (kind >= static_cast<int>(ctx.kind_names.size())) {
+    // Extend the worker's cache: graph kinds up to the child base, then the
+    // scheduler-side child kinds (registered mid-run by spawn_and_wait).
+    std::lock_guard<std::mutex> lk(child_mu_);
+    const auto& gk = graph_.kinds();
+    const std::size_t base = child_kinds_.empty() ? gk.size() : child_kind_base_;
+    while (ctx.kind_names.size() < base && ctx.kind_names.size() < gk.size())
+      ctx.kind_names.push_back(obs::profiler::intern(gk[ctx.kind_names.size()].name));
+    while (ctx.kind_names.size() < base + child_kinds_.size())
+      ctx.kind_names.push_back(
+          obs::profiler::intern(child_kinds_[ctx.kind_names.size() - base].name));
+  }
+  return kind < static_cast<int>(ctx.kind_names.size()) ? ctx.kind_names[kind] : nullptr;
+}
+
+KindId Scheduler::child_kind(KindId parent_kind, const char* suffix) {
+  std::lock_guard<std::mutex> lk(child_mu_);
+  const auto key = std::make_pair(parent_kind, std::string(suffix));
+  const auto it = child_kind_ids_.find(key);
+  if (it != child_kind_ids_.end()) return it->second;
+  if (child_kinds_.empty()) {
+    child_kind_base_ = graph_.kinds().size();
+  } else {
+    // Child ids extend the graph's kind table; a graph that keeps
+    // registering kinds after the first child kind would alias them.
+    DNC_REQUIRE(graph_.kinds().size() == child_kind_base_,
+                "TaskGraph registered kinds after the first child kind");
+  }
+  const auto& gk = graph_.kinds();
+  // The parent may itself be a child kind (two-level nesting): resolve it
+  // from whichever table owns the id so "Outer/mid" children become
+  // "Outer/mid/leaf".
+  const TaskKind* parent = nullptr;
+  if (parent_kind >= 0 && parent_kind < static_cast<int>(gk.size())) {
+    parent = &gk[parent_kind];
+  } else if (const std::size_t ci = static_cast<std::size_t>(parent_kind) - child_kind_base_;
+             parent_kind >= 0 && ci < child_kinds_.size()) {
+    parent = &child_kinds_[ci];
+  }
+  TaskKind k;
+  if (parent != nullptr) {
+    k.name = parent->name + "/" + suffix;
+    k.memory_bound = parent->memory_bound;  // children inherit the model
+    k.color = parent->color;
+  } else {
+    k.name = std::string("task/") + suffix;
+  }
+  const KindId id = static_cast<KindId>(child_kind_base_ + child_kinds_.size());
+  child_kinds_.push_back(std::move(k));
+  child_kind_ids_.emplace(key, id);
+  return id;
+}
+
+void Scheduler::spawn_and_wait(const char* suffix, long count,
+                               const std::function<void(long)>& body, int priority) {
+  if (count <= 0) return;
+  WorkerCtx* ctx = tls_ctx;
+  if (tls_scheduler != this || ctx == nullptr || ctx->running == nullptr) {
+    // Not inside one of this scheduler's tasks: degrade to a sequential
+    // loop so library code works with or without a runtime underneath.
+    for (long i = 0; i < count; ++i) body(i);
+    return;
+  }
+  // Join counter on the spawner's stack: children decrement it as their
+  // very last access, and this frame outlives them because it only returns
+  // once the counter hits zero.
+  std::atomic<long> pending{count};
+  const KindId kind = child_kind(ctx->running->kind, suffix);
+  std::vector<TaskNode*> children(static_cast<std::size_t>(count));
+  {
+    std::lock_guard<std::mutex> lk(child_mu_);
+    child_nodes_.reserve(child_nodes_.size() + static_cast<std::size_t>(count));
+    for (long i = 0; i < count; ++i) {
+      auto node = std::make_unique<TaskNode>();
+      node->id = next_child_id_++;
+      node->kind = kind;
+      node->priority = priority;
+      node->is_child = true;
+      node->join = &pending;
+      node->parent_id = ctx->running->id;
+      node->obs_level = ctx->running->obs_level;
+      node->obs_size = ctx->running->obs_size;
+      node->obs_panel = i;
+      node->fn = [&body, i] { body(i); };
+      children[static_cast<std::size_t>(i)] = node.get();
+      child_nodes_.push_back(std::move(node));
     }
-    node->t_end = now_seconds();
-    idle_mark = node->t_end;
-    counters_[worker_id].executed.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Children land on the spawner's own queue (locality); other workers
+  // steal them like any ready task, which is what spreads a panel fan-out
+  // across the machine.
+  for (TaskNode* c : children) enqueue(c, ctx->worker_id);
+  // Help-first wait: drain own/stolen work instead of parking the core.
+  // Anything acquired here -- a child, or an unrelated ready task -- runs
+  // nested inside this task's frame; the frame stack keeps self-time sums
+  // exact. Brief yields (escalating to short sleeps) cover the tail where
+  // the last children run on other workers.
+  int misses = 0;
+  while (pending.load(std::memory_order_acquire) > 0) {
+    TaskNode* t = try_acquire(ctx->worker_id);
+    if (t != nullptr) {
+      run_task(t, *ctx);
+      misses = 0;
+    } else if (++misses < 16) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+}
+
+void Scheduler::run_task(TaskNode* node, WorkerCtx& ctx) {
+  // Open a fresh frame for this task; remember the enclosing one (non-null
+  // exactly when we are help-executing inside spawn_and_wait).
+  TaskNode* const enclosing = ctx.running;
+  const double saved_nested = ctx.frame_nested;
+  std::uint64_t saved_hwc[kHwcSlots];
+  std::memcpy(saved_hwc, ctx.frame_hwc, sizeof saved_hwc);
+  ctx.running = node;
+  ctx.frame_nested = 0.0;
+  std::memset(ctx.frame_hwc, 0, sizeof ctx.frame_hwc);
+
+  node->worker = ctx.worker_id;
+  node->t_start = now_seconds();
+  std::uint64_t c0[kHwcSlots], c1[kHwcSlots];
+  if (ctx.sampling) ctx.hwc.read(c0);
+  if (ctx.preg.active()) ctx.preg.set_task(interned_kind(ctx, node->kind));
+  if (node->fn) node->fn();
+  if (ctx.preg.active())
+    ctx.preg.set_task(enclosing ? interned_kind(ctx, enclosing->kind) : nullptr);
+  std::uint64_t incl[kHwcSlots] = {0, 0, 0, 0};
+  if (ctx.sampling) {
+    ctx.hwc.read(c1);
+    // Self deltas: helped children already claimed their inclusive share.
+    for (int i = 0; i < kHwcSlots; ++i) {
+      incl[i] = c1[i] - c0[i];
+      node->hwc[i] = incl[i] - ctx.frame_hwc[i];
+    }
+  }
+  node->t_end = now_seconds();
+  node->t_nested = ctx.frame_nested;
+
+  // Close the frame: credit this task's inclusive cost to the enclosing
+  // frame so *its* self time subtracts us in turn.
+  ctx.running = enclosing;
+  ctx.frame_nested = saved_nested;
+  std::memcpy(ctx.frame_hwc, saved_hwc, sizeof saved_hwc);
+  if (enclosing != nullptr) {
+    ctx.frame_nested += node->t_end - node->t_start;
+    if (ctx.sampling)
+      for (int i = 0; i < kHwcSlots; ++i) ctx.frame_hwc[i] += incl[i];
+  }
+
+  counters_[ctx.worker_id].executed.fetch_add(1, std::memory_order_relaxed);
+  if (node->is_child) {
+    // Child subtask: wake the spawner's join instead of the graph. The
+    // fetch_sub is the last access to the counter -- it lives on the
+    // spawner's stack, which survives until pending reaches zero.
+    node->join->fetch_sub(1, std::memory_order_acq_rel);
+  } else {
     const std::vector<TaskNode*> newly_ready = graph_.complete(node);
     // Successors enter inflight_ before this task leaves it, so inflight_
     // never dips to zero while work remains.
-    for (TaskNode* r : newly_ready) enqueue(r, worker_id);
-    if (inflight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      std::lock_guard<std::mutex> lk(idle_mu_);  // notify under the waiter's mutex
-      cv_idle_.notify_all();
-    }
+    for (TaskNode* r : newly_ready) enqueue(r, ctx.worker_id);
   }
+  if (inflight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lk(idle_mu_);  // notify under the waiter's mutex
+    cv_idle_.notify_all();
+  }
+}
+
+void Scheduler::worker_loop(int worker_id) {
+  tls_worker_id = worker_id;
+  WorkerCtx ctx(worker_id, graph_);
+  if (ctx.sampling) hwc_active_.store(true, std::memory_order_relaxed);
+  tls_scheduler = this;
+  tls_ctx = &ctx;
+  // Idle accounting: everything between "done with the previous task" (or
+  // thread start) and "starting the next task" counts as idle. The marks
+  // reuse the trace timestamps, so this adds no clock reads on the task
+  // path. Help-first waiting inside a task never counts as idle here --
+  // the parent's [t_start, t_end] window covers it.
+  double idle_mark = now_seconds();
+  for (;;) {
+    TaskNode* node = acquire(worker_id);
+    if (node == nullptr) break;
+    run_task(node, ctx);
+    idle_[worker_id] += node->t_start - idle_mark;
+    idle_mark = node->t_end;
+  }
+  tls_scheduler = nullptr;
+  tls_ctx = nullptr;
 }
 
 void Scheduler::wait_all() {
@@ -240,13 +436,18 @@ Trace Scheduler::trace() const {
   t.workers = threads();
   t.sched_policy = sched_policy_name(policy_);
   const bool hwc = hwc_active_.load(std::memory_order_relaxed);
-  for (const auto& node : graph_.nodes()) {
-    TraceEvent e{node->id,       node->kind,     node->worker,    node->t_start,
-                 node->t_end,    node->t_ready,  node->obs_level, node->obs_size,
-                 node->obs_panel, node->priority};
+  const auto to_event = [hwc](const TaskNode& node) {
+    TraceEvent e{node.id,       node.kind,     node.worker,    node.t_start,
+                 node.t_end,    node.t_ready,  node.obs_level, node.obs_size,
+                 node.obs_panel, node.priority};
     if (hwc)
-      for (int i = 0; i < kHwcSlots; ++i) e.hwc[i] = node->hwc[i];
-    t.events.push_back(e);
+      for (int i = 0; i < kHwcSlots; ++i) e.hwc[i] = node.hwc[i];
+    e.nested = node.t_nested;
+    if (node.is_child) e.parent = static_cast<long long>(node.parent_id);
+    return e;
+  };
+  for (const auto& node : graph_.nodes()) {
+    t.events.push_back(to_event(*node));
     for (std::uint64_t p : node->pred_ids) t.edges.emplace_back(p, node->id);
   }
   if (hwc) {
@@ -257,6 +458,16 @@ Trace Scheduler::trace() const {
   for (const TaskKind& k : graph_.kinds()) {
     t.kind_names.push_back(k.name);
     t.kind_memory_bound.push_back(k.memory_bound ? 1 : 0);
+  }
+  {
+    // Child subtasks and their kinds, appended after the graph's. No edges:
+    // the parent link rides on the event itself.
+    std::lock_guard<std::mutex> lk(child_mu_);
+    for (const auto& node : child_nodes_) t.events.push_back(to_event(*node));
+    for (const TaskKind& k : child_kinds_) {
+      t.kind_names.push_back(k.name);
+      t.kind_memory_bound.push_back(k.memory_bound ? 1 : 0);
+    }
   }
   t.worker_idle = idle_;
   t.queue_samples = queue_series_.snapshot();
@@ -272,6 +483,9 @@ Trace Scheduler::trace() const {
     out.steal_attempts = c.steal_attempts.load(std::memory_order_relaxed);
     out.failed_steals = c.failed_steals.load(std::memory_order_relaxed);
     out.placed = c.placed.load(std::memory_order_relaxed);
+    out.steals_same_l3 = c.steals_same_l3.load(std::memory_order_relaxed);
+    out.steals_same_socket = c.steals_same_socket.load(std::memory_order_relaxed);
+    out.steals_cross_socket = c.steals_cross_socket.load(std::memory_order_relaxed);
   }
   return t;
 }

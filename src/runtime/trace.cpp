@@ -26,7 +26,7 @@ double Trace::total_busy() const {
   double s = 0.0;
   for (const auto& e : events) {
     if (e.worker < 0) continue;  // consistent with makespan()
-    s += e.t_end - e.t_start;
+    s += e.self_duration();
   }
   return s;
 }
@@ -41,7 +41,7 @@ std::vector<double> Trace::busy_by_kind() const {
   std::vector<double> acc(kind_names.size(), 0.0);
   for (const auto& e : events) {
     if (e.worker < 0) continue;
-    if (e.kind >= 0 && e.kind < static_cast<int>(acc.size())) acc[e.kind] += e.t_end - e.t_start;
+    if (e.kind >= 0 && e.kind < static_cast<int>(acc.size())) acc[e.kind] += e.self_duration();
   }
   return acc;
 }

@@ -47,7 +47,23 @@ struct TraceEvent {
   int priority = 0;
   /// Hardware-counter deltas sampled around the task body (all zero when
   /// sampling was off; interpret via Trace::hwc_backend / hwc_slot_names).
+  /// Self deltas for tasks that help-executed nested subtasks (see `nested`).
   std::array<std::uint64_t, kHwcSlots> hwc{};
+  /// Id of the spawning parent task for nested subtasks (task-internal
+  /// spawning), -1 for ordinary graph tasks. Child events carry the work a
+  /// parent fanned out; their time lies inside the parent's window when the
+  /// parent's own worker help-executed them.
+  long long parent = -1;
+  /// Seconds of directly-nested helped tasks executed by the same worker
+  /// inside this event's window. Self time = (t_end - t_start) - nested;
+  /// total_busy()/busy_by_kind() use self time so nothing double-counts.
+  double nested = 0.0;
+
+  bool is_child() const { return parent >= 0; }
+  double self_duration() const {
+    const double d = t_end - t_start - nested;
+    return d > 0.0 ? d : 0.0;
+  }
 };
 
 /// One sampled point of the ready-queue depth (taken on every enqueue and
@@ -67,6 +83,11 @@ struct WorkerSchedCounters {
   long steal_attempts = 0; ///< victim deques probed (hit or miss)
   long failed_steals = 0;  ///< full victim scans that found nothing
   long placed = 0;         ///< ready tasks the submitter placed on this deque
+  // Locality split of `steals` under the topology-aware victim order
+  // (thief and victim pinned to cpus thief%ncpu / victim%ncpu):
+  long steals_same_l3 = 0;      ///< victim shares the thief's L3 domain
+  long steals_same_socket = 0;  ///< same socket, different L3
+  long steals_cross_socket = 0; ///< crossed the socket interconnect
 };
 
 struct Trace {

@@ -8,6 +8,8 @@
 
 #include "blas/parallel_gemm.hpp"
 #include "common/rng.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/scheduler.hpp"
 
 namespace dnc::blas {
 namespace {
@@ -159,17 +161,44 @@ TEST(Gemm, IdentityPreserves) {
   EXPECT_LT(max_diff(c, a), 1e-13);
 }
 
-TEST(ParallelGemm, MatchesSequential) {
+TEST(ParallelGemm, MatchesSequentialOffRuntime) {
+  // Called from a plain thread parallel_gemm degrades to sequential gemm().
   const index_t m = 65, n = 91, k = 77;
   Matrix a = randmat(m, k, 11);
   Matrix b = randmat(k, n, 12);
   Matrix c1 = randmat(m, n, 13);
   Matrix c2 = c1;
   gemm(Trans::No, Trans::No, m, n, k, 1.0, a.data(), m, b.data(), k, 0.5, c1.data(), m);
-  ThreadPool pool(4);
-  parallel_gemm(pool, Trans::No, Trans::No, m, n, k, 1.0, a.data(), m, b.data(), k, 0.5,
-                c2.data(), m);
+  parallel_gemm(Trans::No, Trans::No, m, n, k, 1.0, a.data(), m, b.data(), k, 0.5, c2.data(),
+                m);
   EXPECT_LT(max_diff(c1, c2), 1e-12);
+}
+
+TEST(ParallelGemm, SpawnsPanelSubtasksInsideRuntime) {
+  // Inside a runtime task the column slabs fan out as child subtasks and
+  // the result matches the sequential reference bit-for-bit (disjoint
+  // slabs, same sequential kernel per slab).
+  const index_t m = 65, n = 91, k = 77;
+  Matrix a = randmat(m, k, 11);
+  Matrix b = randmat(k, n, 12);
+  Matrix c1 = randmat(m, n, 13);
+  Matrix c2 = c1;
+  gemm(Trans::No, Trans::No, m, n, k, 1.0, a.data(), m, b.data(), k, 0.5, c1.data(), m);
+  rt::TaskGraph graph;
+  const rt::KindId kind = graph.register_kind("gemm");
+  rt::Runtime runtime(graph, 4);
+  graph.submit(kind, [&] {
+    parallel_gemm(Trans::No, Trans::No, m, n, k, 1.0, a.data(), m, b.data(), k, 0.5, c2.data(),
+                  m);
+  }, {});
+  runtime.wait_all();
+  EXPECT_EQ(max_diff(c1, c2), 0.0);
+  // The fan-out is visible in the trace as "gemm/slab" children of the task.
+  const rt::Trace tr = runtime.trace();
+  long children = 0;
+  for (const auto& e : tr.events)
+    if (e.is_child()) ++children;
+  EXPECT_GT(children, 0);
 }
 
 TEST(ParallelGemm, TransB) {
@@ -180,9 +209,14 @@ TEST(ParallelGemm, TransB) {
   c1.fill(0);
   c2.fill(0);
   gemm(Trans::No, Trans::Yes, m, n, k, 1.0, a.data(), m, b.data(), n, 0.0, c1.data(), m);
-  ThreadPool pool(3);
-  parallel_gemm(pool, Trans::No, Trans::Yes, m, n, k, 1.0, a.data(), m, b.data(), n, 0.0,
-                c2.data(), m);
+  rt::TaskGraph graph;
+  const rt::KindId kind = graph.register_kind("gemm");
+  rt::Runtime runtime(graph, 3);
+  graph.submit(kind, [&] {
+    parallel_gemm(Trans::No, Trans::Yes, m, n, k, 1.0, a.data(), m, b.data(), n, 0.0, c2.data(),
+                  m);
+  }, {});
+  runtime.wait_all();
   EXPECT_LT(max_diff(c1, c2), 1e-12);
 }
 

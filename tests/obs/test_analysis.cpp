@@ -12,6 +12,8 @@
 #include "obs/analysis.hpp"
 #include "obs/perfetto.hpp"
 #include "obs/trace_io.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/scheduler.hpp"
 #include "runtime/simulator.hpp"
 #include "runtime/trace.hpp"
 
@@ -207,6 +209,9 @@ TEST_F(SolveTraceTest, PerfettoRoundTripPreservesSchedulerMetadata) {
     EXPECT_EQ(a.steal_attempts, b.steal_attempts) << "worker " << w;
     EXPECT_EQ(a.failed_steals, b.failed_steals) << "worker " << w;
     EXPECT_EQ(a.placed, b.placed) << "worker " << w;
+    EXPECT_EQ(a.steals_same_l3, b.steals_same_l3) << "worker " << w;
+    EXPECT_EQ(a.steals_same_socket, b.steals_same_socket) << "worker " << w;
+    EXPECT_EQ(a.steals_cross_socket, b.steals_cross_socket) << "worker " << w;
   }
   EXPECT_EQ(loaded.steal_samples.size(), stats_.trace.steal_samples.size());
 
@@ -221,6 +226,45 @@ TEST_F(SolveTraceTest, PerfettoRoundTripPreservesSchedulerMetadata) {
   // The taskflow driver annotates joins/levels, so priorities are not all
   // trivially zero and the check above is not vacuous.
   EXPECT_TRUE(any_nonzero);
+}
+
+TEST(TraceIo, RoundTripPreservesChildAttribution) {
+  // Child slices from spawn_and_wait carry parent / nested-time fields the
+  // analyses rely on (is_child() filtering, self_duration); both must
+  // survive export + reload so nested traces stay replayable from disk.
+  rt::TaskGraph g;
+  const rt::KindId kind = g.register_kind("UpdateVect");
+  rt::Runtime runtime(g, 2, rt::SchedPolicy::Steal);
+  rt::Handle h;
+  g.submit(kind,
+           [] {
+             rt::spawn_and_wait("panel", 6, [](long c) {
+               volatile double acc = 0.0;
+               for (int i = 0; i < 200; ++i) acc = acc + std::sin(c + i);
+             });
+           },
+           {{&h, rt::Access::InOut}});
+  runtime.wait_all();
+  const rt::Trace t = runtime.trace();
+
+  const std::string json = obs::perfetto_trace_json(t, nullptr);
+  rt::Trace loaded;
+  std::string err;
+  ASSERT_TRUE(obs::load_perfetto_trace(json, loaded, &err)) << err;
+
+  std::unordered_map<std::uint64_t, const rt::TraceEvent*> orig;
+  for (const auto& e : t.events) orig[e.task_id] = &e;
+  int children = 0;
+  for (const auto& e : loaded.events) {
+    ASSERT_TRUE(orig.count(e.task_id));
+    const rt::TraceEvent& o = *orig[e.task_id];
+    EXPECT_EQ(e.parent, o.parent) << "task " << e.task_id;
+    EXPECT_EQ(e.is_child(), o.is_child()) << "task " << e.task_id;
+    // nested_us quantizes to 1 us in the export.
+    EXPECT_NEAR(e.nested, o.nested, 1e-6) << "task " << e.task_id;
+    if (e.is_child()) ++children;
+  }
+  EXPECT_EQ(children, 6);
 }
 
 TEST(TraceIo, RejectsGarbage) {

@@ -413,6 +413,9 @@ int main(int argc, char** argv) {
     precision_bits = report.precision_bits();
     std::printf("==== dnc_trace: %s solve, type %d, n=%ld, prec %s ====\n", a.driver.c_str(),
                 a.type, a.n, report.precision.empty() ? "f64" : report.precision.c_str());
+    if (report.tuned)
+      std::printf("[tuning] applied %s (table %s)\n", report.tune_entry.c_str(),
+                  report.tune_source.c_str());
   }
   std::printf("[build] %s (%s)\n\n", version::kGitCommit, version::kBuildType);
 
@@ -422,15 +425,22 @@ int main(int argc, char** argv) {
                 trace.sched_policy.c_str(), trace.queue_depth_peak);
     if (!trace.sched_counters.empty()) {
       long steals = 0, attempts = 0, failed = 0, local = 0;
+      long same_l3 = 0, same_socket = 0, cross_socket = 0;
       for (const auto& c : trace.sched_counters) {
         steals += c.steals;
         attempts += c.steal_attempts;
         failed += c.failed_steals;
         local += c.local_pops;
+        same_l3 += c.steals_same_l3;
+        same_socket += c.steals_same_socket;
+        cross_socket += c.steals_cross_socket;
       }
       if (attempts > 0 || steals > 0)
         std::printf("steals: %ld ok / %ld attempts / %ld dry scans, local pops: %ld\n",
                     steals, attempts, failed, local);
+      if (same_l3 + same_socket + cross_socket > 0)
+        std::printf("steal locality: %ld same-L3 / %ld same-socket / %ld cross-socket\n",
+                    same_l3, same_socket, cross_socket);
     }
     std::printf("\n");
   }
