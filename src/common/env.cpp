@@ -47,7 +47,9 @@ const Knob* knob_reference() noexcept {
       {"DNC_FLIGHT", "0/1", "anomaly flight recorder: keep ring-buffer traces of anomalous solves"},
       {"DNC_FLIGHT_K", "float", "flight-recorder anomaly threshold (robust z-score multiplier)"},
       {"DNC_FLIGHT_MAX_DUMPS", "int", "cap on flight-recorder dump files per process"},
-      {"DNC_HTTP", "[addr:]port", "serve /healthz /metrics /profile /trace over HTTP"},
+      {"DNC_HISTORY", "path", "append one distilled record per solve to this JSONL archive"},
+      {"DNC_HISTORY_MAX_BYTES", "bytes", "rotate the history archive to <path>.1 at this size (default 16 MiB)"},
+      {"DNC_HTTP", "[addr:]port", "serve /healthz /metrics /profile /trace /history over HTTP"},
       {"DNC_HWC", "off/on/perf/rusage", "per-task hardware-counter sampling backend"},
       {"DNC_METRICS", "0/1", "always-on metrics registry (Prometheus text on /metrics)"},
       {"DNC_METRICS_INTERVAL", "seconds", "metrics sampler period"},

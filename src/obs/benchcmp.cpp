@@ -100,6 +100,10 @@ CompareResult compare_bench_artifacts(const BenchArtifact& base, const BenchArti
     base_matched[it->first] = true;
     CompareRow row;
     row.key = cur.key();
+    row.driver = cur.driver;
+    row.family = cur.family;
+    row.precision = cur.precision.empty() ? "f64" : cur.precision;
+    row.n = cur.n;
     row.base_seconds = value_of(*it->second);
     row.cur_seconds = value_of(cur);
     row.ratio = row.base_seconds > 0.0 ? row.cur_seconds / row.base_seconds : 1.0;
@@ -150,6 +154,20 @@ std::string CompareResult::render(double threshold) const {
   else
     appendf(out, "all within noise\n");
   return out;
+}
+
+std::string bench_metadata(const BenchArtifact& artifact, const std::string& key) {
+  for (const auto& [k, v] : artifact.metadata)
+    if (k == key) return v;
+  return "";
+}
+
+std::string bench_report_filename(const std::string& driver, const std::string& family,
+                                  const std::string& precision, long n) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf, "report_%s_%s_%s_n%ld.json", driver.c_str(),
+                family.c_str(), precision.empty() ? "f64" : precision.c_str(), n);
+  return buf;
 }
 
 }  // namespace dnc::obs

@@ -20,6 +20,7 @@
 #include "common/env.hpp"
 #include "common/version.hpp"
 #include "obs/flight.hpp"
+#include "obs/history.hpp"
 #include "obs/metrics.hpp"
 #include "obs/perfetto.hpp"
 #include "obs/profiler.hpp"
@@ -62,6 +63,9 @@ State& state() {
 
 std::atomic<bool> g_running{false};
 std::atomic<std::uint64_t> g_requests{0};
+// Connections handed off to detached workers (/profile); stop_for_tests
+// drains this before resetting state so no worker outlives the "server".
+std::atomic<int> g_handed_off{0};
 std::atomic<bool> g_trace_armed{false};
 // -1 uninitialised, 0 disabled, 1 DNC_HTTP configured.
 std::atomic<int> g_enabled{-1};
@@ -249,7 +253,9 @@ std::string trace_body(const std::string& query, int& status, const char** ctype
   return out;
 }
 
-void handle_request(int fd, const std::string& path, const std::string& query) {
+/// Handles one parsed request. Returns true when ownership of `fd` was
+/// handed off to a worker thread (the caller must not close it).
+bool handle_request(int fd, const std::string& path, const std::string& query) {
   g_requests.fetch_add(1, std::memory_order_relaxed);
   if (path == "/metrics") {
     respond(fd, 200, "OK", "text/plain; version=0.0.4; charset=utf-8",
@@ -261,6 +267,8 @@ void handle_request(int fd, const std::string& path, const std::string& query) {
     respond(fd, 200, "OK", "application/json", healthz_body());
   } else if (path == "/flight") {
     respond(fd, 200, "OK", "application/x-ndjson", flight::ring_jsonl());
+  } else if (path == "/history") {
+    respond(fd, 200, "OK", "application/x-ndjson", history::ring_jsonl());
   } else if (path == "/trace") {
     int status = 200;
     const char* ctype = "text/plain";
@@ -270,19 +278,29 @@ void handle_request(int fd, const std::string& path, const std::string& query) {
     std::string secs = query_param(query, "seconds");
     std::string hz = query_param(query, "hz");
     double seconds = secs.empty() ? 1.0 : std::atof(secs.c_str());
-    // profile_for clamps; blocking the (serial) server thread for the
-    // window is the point of an on-demand profile.
-    respond(fd, 200, "OK", "text/plain; charset=utf-8",
-            profiler::profile_for(seconds, hz.empty() ? 0 : std::atoi(hz.c_str())));
+    int hz_i = hz.empty() ? 0 : std::atoi(hz.c_str());
+    // The capture blocks for the whole window, so it must not run on the
+    // serial server thread: hand the socket to a detached worker and keep
+    // serving /metrics //healthz scrapes meanwhile. profile_for serialises
+    // concurrent captures internally.
+    g_handed_off.fetch_add(1, std::memory_order_acq_rel);
+    std::thread([fd, seconds, hz_i] {
+      respond(fd, 200, "OK", "text/plain; charset=utf-8",
+              profiler::profile_for(seconds, hz_i));
+      ::close(fd);
+      g_handed_off.fetch_sub(1, std::memory_order_acq_rel);
+    }).detach();
+    return true;
   } else if (path == "/") {
     respond(fd, 200, "OK", "text/plain; charset=utf-8",
             "dnc introspection endpoints:\n"
-            "  /metrics  /varz  /healthz  /flight\n"
+            "  /metrics  /varz  /healthz  /flight  /history\n"
             "  /trace?next=1  (then /trace)\n"
             "  /profile?seconds=N[&hz=H]\n");
   } else {
     respond(fd, 404, "Not Found", "text/plain", "unknown endpoint\n");
   }
+  return false;
 }
 
 void serve_connection(int fd) {
@@ -322,8 +340,7 @@ void serve_connection(int fd) {
     path = target.substr(0, q);
     query = target.substr(q + 1);
   }
-  handle_request(fd, path, query);
-  ::close(fd);
+  if (!handle_request(fd, path, query)) ::close(fd);
 }
 
 void server_loop(int listen_fd, int stop_fd) {
@@ -472,6 +489,11 @@ void stop_for_tests() {
     joiner.swap(s.server);
   }
   joiner.join();
+  // Drain detached /profile workers: they still own their sockets and run
+  // profile_for; a bounded wait (windows are clamped well below this) keeps
+  // the reset from racing a worker's final respond/close.
+  for (int i = 0; i < 600 && g_handed_off.load(std::memory_order_acquire) > 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
   std::lock_guard<std::mutex> lk(s.mu);
   ::close(s.stop_pipe[0]);
   ::close(s.stop_pipe[1]);

@@ -109,6 +109,9 @@ std::string perfetto_trace_json(const rt::Trace& trace, const SolveReport* repor
         // roofline peak correctly (fp32 kernels peak at 2x the fp64 rate).
         if (!have("precision_bits"))
           mc.emplace_back("precision_bits", static_cast<double>(report->precision_bits()));
+        // Problem size, so dnc_diff can align bare trace files by identity.
+        if (!have("n") && report->n > 0)
+          mc.emplace_back("n", static_cast<double>(report->n));
       }
       if (!mc.empty()) {
         meta += ",\"meta_counters\":{";
@@ -134,6 +137,11 @@ std::string perfetto_trace_json(const rt::Trace& trace, const SolveReport* repor
           ms.emplace_back("hostname", report->hostname);
         if (!have("timestamp") && !report->timestamp.empty())
           ms.emplace_back("timestamp", report->timestamp);
+        // Solve identity, so dnc_diff can label and align bare trace files.
+        if (!have("driver") && !report->driver.empty())
+          ms.emplace_back("driver", report->driver);
+        if (!have("git_commit") && !report->git_commit.empty())
+          ms.emplace_back("git_commit", report->git_commit);
       }
       if (!ms.empty()) {
         meta += ",\"meta_strings\":{";

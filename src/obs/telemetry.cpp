@@ -4,6 +4,7 @@
 
 #include "obs/crash.hpp"
 #include "obs/flight.hpp"
+#include "obs/history.hpp"
 #include "obs/httpd.hpp"
 #include "obs/metrics.hpp"
 
@@ -64,7 +65,7 @@ void record_metrics(const SolveReport& rep) {
 
 bool solve_telemetry_wanted() noexcept {
   return metrics::enabled() || flight::enabled() || httpd::enabled() ||
-         crash::enabled();
+         crash::enabled() || history::enabled();
 }
 
 const char* solve_size_class(long n) noexcept {
@@ -77,6 +78,9 @@ const char* solve_size_class(long n) noexcept {
 
 void record_solve_telemetry(const SolveReport& report, const rt::Trace* trace) {
   record_metrics(report);
+  // History: ring always (it feeds /history), archive file when DNC_HISTORY
+  // names one. One compact line per solve either way.
+  history::note(report);
   if (flight::enabled()) {
     std::string dumped = flight::observe(report, trace);
     if (!dumped.empty() && m::enabled())

@@ -85,7 +85,7 @@ TEST(EnvTest, NumberParsesAndFallsBack) {
 TEST(EnvTest, KnobReferenceIsSentinelTerminatedAndComplete) {
   const env::Knob* knobs = env::knob_reference();
   ASSERT_NE(knobs, nullptr);
-  bool saw_tune = false, saw_topo = false, saw_sched = false;
+  bool saw_tune = false, saw_topo = false, saw_sched = false, saw_hist = false;
   int count = 0;
   for (const env::Knob* k = knobs; k->name != nullptr; ++k) {
     ASSERT_LT(++count, 256) << "runaway table: missing sentinel?";
@@ -94,10 +94,12 @@ TEST(EnvTest, KnobReferenceIsSentinelTerminatedAndComplete) {
     if (!std::strcmp(k->name, "DNC_TUNE_TABLE")) saw_tune = true;
     if (!std::strcmp(k->name, "DNC_TOPOLOGY")) saw_topo = true;
     if (!std::strcmp(k->name, "DNC_SCHED")) saw_sched = true;
+    if (!std::strcmp(k->name, "DNC_HISTORY")) saw_hist = true;
   }
   EXPECT_TRUE(saw_tune);
   EXPECT_TRUE(saw_topo);
   EXPECT_TRUE(saw_sched);
+  EXPECT_TRUE(saw_hist);
 }
 
 TEST(TopologySpecTest, ParsesSocketsByL3ByCpus) {

@@ -4,6 +4,8 @@
 // counter tracks, plus a JSON report and text summary.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -129,10 +131,13 @@ class JsonChecker {
 class ExportTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    // Per-test-name paths: ctest runs each case as its own process, in
-    // parallel with its siblings, so shared names would race.
+    // Per-test-name + per-pid paths: ctest runs each case as its own
+    // process, in parallel with its siblings AND with the whole-binary
+    // rerun entries (*_scalar_dispatch, *_metrics_on), so names shared
+    // across processes would race.
     const std::string tag =
-        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+        ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+        ("_" + std::to_string(::getpid()));
     trace_path_ = ::testing::TempDir() + "dnc_" + tag + "_trace.json";
     report_path_ = ::testing::TempDir() + "dnc_" + tag + "_report.json";
     std::remove(trace_path_.c_str());

@@ -3,6 +3,8 @@
 // JSONL dump whose report and trace round-trip through the loaders.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -61,8 +63,11 @@ class FlightTest : public ::testing::Test {
       saved_set_.push_back(v != nullptr);
       ::unsetenv(var);
     }
+    // pid-suffixed: the whole-binary rerun ctest entries run this test
+    // concurrently with the discovered per-test process.
     const std::string tag =
-        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+        ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+        ("_" + std::to_string(::getpid()));
     prefix_ = ::testing::TempDir() + "dnc_flight_" + tag;
     ::setenv("DNC_FLIGHT", prefix_.c_str(), 1);
     fl::reset_for_tests();

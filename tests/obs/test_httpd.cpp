@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <string>
 #include <thread>
@@ -13,6 +14,7 @@
 #include "dc/api.hpp"
 #include "matgen/tridiag.hpp"
 #include "obs/flight.hpp"
+#include "obs/history.hpp"
 #include "obs/httpd.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
@@ -30,7 +32,8 @@ class HttpdTest : public ::testing::Test {
  protected:
   static constexpr const char* kVars[] = {"DNC_HTTP",    "DNC_METRICS",
                                           "DNC_FLIGHT",  "DNC_PROFILE_HZ",
-                                          "DNC_PROFILE", "DNC_CRASH_DUMP"};
+                                          "DNC_PROFILE", "DNC_CRASH_DUMP",
+                                          "DNC_HISTORY"};
   void SetUp() override {
     for (const char* var : kVars) {
       const char* v = std::getenv(var);
@@ -42,6 +45,7 @@ class HttpdTest : public ::testing::Test {
     hd::refresh_from_env();
     obs::profiler::reset_for_tests();
     m::reset_for_tests();
+    obs::history::reset_for_tests();
   }
   void TearDown() override {
     hd::stop_for_tests();
@@ -55,6 +59,7 @@ class HttpdTest : public ::testing::Test {
     hd::refresh_from_env();
     obs::profiler::refresh_from_env();
     m::reset_for_tests();
+    obs::history::reset_for_tests();
   }
 
   std::vector<std::pair<const char*, std::string>> saved_;
@@ -167,10 +172,79 @@ TEST_F(HttpdTest, TraceCaptureHandshake) {
   get_or_die(port, "/trace", 404);  // one-shot: collected, gone
 }
 
+TEST_F(HttpdTest, HistoryEndpointServesRing) {
+  ASSERT_TRUE(hd::start("127.0.0.1", 0));
+  const std::uint16_t port = hd::bound_port();
+
+  // Empty ring -> empty 200 body (scrapers can poll unconditionally).
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(hd::http_get("127.0.0.1", port, "/history", status, body));
+  EXPECT_EQ(status, 200);
+  EXPECT_TRUE(body.empty());
+
+  // A noted solve shows up as one JSONL record, even with no archive file
+  // configured (the ring is always on).
+  obs::SolveReport rep;
+  rep.driver = "taskflow";
+  rep.n = 512;
+  rep.seconds = 0.25;
+  rep.git_commit = "deadbeef";
+  obs::history::note(rep);
+  const std::string jsonl = get_or_die(port, "/history");
+  EXPECT_NE(jsonl.find("\"driver\": \"taskflow\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"n\": 512"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"git_commit\": \"deadbeef\""), std::string::npos);
+}
+
+// Regression test for the serial-server stall: /profile?seconds=N used to
+// occupy the single accept loop for the whole sampling window, so any
+// concurrent scrape hung until the profile finished. The handler now hands
+// the socket to a worker thread; scrapes issued mid-profile must come back
+// promptly.
+TEST_F(HttpdTest, ProfileDoesNotBlockConcurrentScrapes) {
+  ::setenv("DNC_HTTP", "127.0.0.1:0", 1);
+  hd::refresh_from_env();
+  obs::profiler::refresh_from_env();
+  ASSERT_TRUE(hd::ensure_started());
+  const std::uint16_t port = hd::bound_port();
+  ASSERT_GT(port, 0);
+
+  std::string profile_body;
+  std::atomic<int> profile_status{0};
+  std::thread profiled([&] {
+    int status = 0;
+    std::string err;
+    if (hd::http_get("127.0.0.1", port, "/profile?seconds=2&hz=97", status,
+                     profile_body, &err))
+      profile_status.store(status);
+  });
+
+  // Give the profile request time to reach the handler and start sampling.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  get_or_die(port, "/healthz");
+  get_or_die(port, "/metrics");
+  get_or_die(port, "/varz");
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  // Three scrapes while the 2 s profile window is still open: with the
+  // hand-off in place they are near-instant; without it they'd wait ~2 s.
+  EXPECT_LT(elapsed, 1.5) << "scrapes blocked behind /profile";
+
+  profiled.join();
+  EXPECT_EQ(profile_status.load(), 200);
+  EXPECT_NE(profile_body.find("# dnc profile"), std::string::npos);
+}
+
 // Acceptance: /profile?seconds=N during a multi-threaded solve returns at
 // least one folded stack attributed to a scheduler worker. DNC_HTTP (not
 // DNC_PROFILE_HZ) gates worker registration here, proving the on-demand
-// path works without continuous profiling.
+// path works without continuous profiling. The matrix is generated up
+// front and the scrape waits for the first solve to finish, so on a
+// loaded machine the profile window is guaranteed to overlap running
+// workers instead of racing matrix generation (~0.5 s on one core).
 TEST_F(HttpdTest, ProfileEndpointAttributesSchedulerWorkers) {
   ::setenv("DNC_HTTP", "127.0.0.1:0", 1);
   hd::refresh_from_env();
@@ -179,17 +253,20 @@ TEST_F(HttpdTest, ProfileEndpointAttributesSchedulerWorkers) {
   const std::uint16_t port = hd::bound_port();
   ASSERT_GT(port, 0);
 
+  matgen::Tridiag t = matgen::table3_matrix(4, 768);
   std::atomic<bool> stop{false};
+  std::atomic<long> solves{0};
   std::thread solver([&] {
-    matgen::Tridiag t = matgen::table3_matrix(4, 768);
     dc::Options opt;
     opt.threads = 4;
     while (!stop.load()) {
       std::vector<double> d = t.d, e = t.e;
       Matrix v;
       dc::stedc_taskflow(t.n(), d.data(), e.data(), v, opt, nullptr);
+      solves.fetch_add(1);
     }
   });
+  while (solves.load() == 0) std::this_thread::sleep_for(std::chrono::milliseconds(10));
   const std::string folded = get_or_die(port, "/profile?seconds=1&hz=397");
   stop.store(true);
   solver.join();

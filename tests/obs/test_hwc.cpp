@@ -82,7 +82,22 @@ TEST_F(HwcTest, RusageSamplerIsActiveAndMonotonic) {
 }
 
 TEST_F(HwcTest, SolveCarriesDeltasAndReportAggregatesMatch) {
+  // Some slice must carry a non-zero delta. The rusage slots are coarse
+  // (clock-tick CPU time, faults only on cold pages), so a small warm
+  // solve can legally read all-zero; escalate n until the counters move
+  // rather than flake on granularity.
+  const auto grand_total = [](const rt::Trace& t) {
+    std::uint64_t g = 0;
+    for (const auto& e : t.events)
+      for (int s = 0; s < rt::kHwcSlots; ++s) g += e.hwc[s];
+    return g;
+  };
   dc::SolveStats st = run_solve();
+  std::uint64_t grand = grand_total(st.trace);
+  for (index_t n = 600; grand == 0 && n <= 2400; n *= 2) {
+    st = run_solve(n);
+    grand = grand_total(st.trace);
+  }
   const rt::Trace& tr = st.trace;
 
   // Backend is recorded on the trace (rusage forced here; a process that
@@ -91,11 +106,6 @@ TEST_F(HwcTest, SolveCarriesDeltasAndReportAggregatesMatch) {
   EXPECT_NE(obs::parse_hwc_backend(tr.hwc_backend), obs::HwcBackend::kOff);
   ASSERT_EQ(tr.hwc_slot_names.size(), static_cast<std::size_t>(rt::kHwcSlots));
 
-  // Some slice must carry a non-zero delta (a 300x300 solve touches far
-  // more than one page / retires far more than zero instructions).
-  std::uint64_t grand = 0;
-  for (const auto& e : tr.events)
-    for (int s = 0; s < rt::kHwcSlots; ++s) grand += e.hwc[s];
   EXPECT_GT(grand, 0u);
 
   // Report aggregates are exactly the per-kind sums over the slices.

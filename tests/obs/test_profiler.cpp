@@ -4,11 +4,14 @@
 // the DNC_CRASH_DUMP last-gasp handler (death test).
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -97,31 +100,35 @@ TEST_F(ProfilerTest, InternIsStable) {
   EXPECT_NE(prof::intern("LAED4"), a);
 }
 
-// Sample counts track CPU time x HZ. A registered spin thread burns CPU at
-// a known rate (1 CPU-second per wall-second), making the expected count
-// deterministic in a way a solve -- whose workers idle at merge barriers --
-// is not. Wide bounds absorb kernel-tick quantisation of CPU-time timers.
+// Sample counts track CPU time x HZ. A registered spin thread burns CPU
+// and reports its own CLOCK_THREAD_CPUTIME_ID consumption, so the bounds
+// hold even when the test box is oversubscribed and the thread gets far
+// less than a full core (judging against wall time flakes under parallel
+// ctest on small machines). Wide bounds absorb kernel-tick quantisation
+// of CPU-time timers.
 TEST_F(ProfilerTest, SampleCountTracksCpuTimeTimesHz) {
   want_registration();
   std::atomic<bool> stop{false};
+  std::atomic<double> cpu_seconds{0.0};
   std::thread busy([&] {
     prof::ThreadRegistration reg("pool", 1);
     volatile double x = 1.0;
     while (!stop.load(std::memory_order_relaxed)) x = x * 1.0000001 + 1e-9;
+    timespec ts{};
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    cpu_seconds.store(ts.tv_sec + ts.tv_nsec * 1e-9);
   });
   while (prof::registered_threads() == 0) std::this_thread::yield();
   const int hz = 97;
   ASSERT_TRUE(prof::start(hz));
-  const auto t0 = std::chrono::steady_clock::now();
   std::this_thread::sleep_for(std::chrono::milliseconds(600));
-  const double wall =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   prof::stop();
   stop.store(true);
   busy.join();
+  const double cpu = cpu_seconds.load();
   const prof::Totals totals = prof::totals();
-  EXPECT_GE(totals.samples, static_cast<std::uint64_t>(hz * wall * 0.25)) << wall;
-  EXPECT_LE(totals.samples, static_cast<std::uint64_t>(hz * wall * 4 + 16)) << wall;
+  EXPECT_GE(totals.samples, static_cast<std::uint64_t>(hz * cpu * 0.25)) << cpu;
+  EXPECT_LE(totals.samples, static_cast<std::uint64_t>(hz * cpu * 4 + 16)) << cpu;
   EXPECT_EQ(totals.dropped, 0u);
 }
 
@@ -218,7 +225,15 @@ using ProfilerDeathTest = ProfilerTest;
 
 TEST_F(ProfilerDeathTest, LastGaspDumpSurvivesAbort) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
-  const std::string path = ::testing::TempDir() + "dnc_crash_test.txt";
+  // pid-unique so concurrent whole-binary ctest entries don't race on the
+  // dump file -- but pinned through an env var, because the threadsafe
+  // death test re-executes this body in a child whose own getpid() would
+  // name a different file than the one checked here.
+  const char* preset = std::getenv("DNC_CRASH_TEST_PATH");
+  const std::string path = preset ? std::string(preset)
+                                  : ::testing::TempDir() + "dnc_crash_test_" +
+                                        std::to_string(::getpid()) + ".txt";
+  ::setenv("DNC_CRASH_TEST_PATH", path.c_str(), 1);
   std::remove(path.c_str());
   std::remove((path + ".jsonl").c_str());
   ::setenv("DNC_CRASH_DUMP", path.c_str(), 1);
@@ -238,6 +253,7 @@ TEST_F(ProfilerDeathTest, LastGaspDumpSurvivesAbort) {
   std::remove(path.c_str());
   std::remove((path + ".jsonl").c_str());
   ::unsetenv("DNC_CRASH_DUMP");
+  ::unsetenv("DNC_CRASH_TEST_PATH");
   crash::refresh_from_env();
 }
 

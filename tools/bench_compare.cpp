@@ -6,6 +6,12 @@
 // entries by (driver, family, n) and classifies each ratio against the
 // noise threshold. Exit codes: 0 = no regression, 1 = regression found,
 // 2 = usage or unreadable artifact. ctest's tier-2 gate and CI call this.
+//
+// Regression attribution: when a regressed row's per-entry SolveReports
+// exist on both sides (a DNC_BENCH_REPORTS run side-writes them and stamps
+// "reports_dir" into the artifact metadata; --reports overrides the
+// directories), the row gets a one-paragraph obs::diff_solves attribution
+// naming the component that ate the time.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -13,16 +19,64 @@
 
 #include "common/version.hpp"
 #include "obs/benchcmp.hpp"
+#include "obs/diff.hpp"
 
 namespace {
 
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <baseline.json> <current.json> [--threshold T] [--stat median|min] "
-               "[--min-time S] [--quiet] [--version]\n"
+               "[--min-time S] [--reports BASE_DIR CUR_DIR] [--quiet] [--version]\n"
                "  T is a fraction: 0.10 flags entries slower than 1.10x baseline (default)\n"
-               "  S in seconds: entries faster than S on both sides never gate (default 0)\n",
+               "  S in seconds: entries faster than S on both sides never gate (default 0)\n"
+               "  --reports: per-entry SolveReport dirs for regression attribution\n"
+               "  (defaults to each artifact's metadata reports_dir, resolved relative\n"
+               "   to the artifact file)\n",
                argv0);
+}
+
+/// The artifact's reports_dir metadata, resolved relative to the artifact's
+/// own directory when not absolute ("" when the run wrote no reports).
+std::string reports_dir_of(const std::string& artifact_path,
+                           const dnc::obs::BenchArtifact& artifact) {
+  std::string dir = dnc::obs::bench_metadata(artifact, "reports_dir");
+  if (dir.empty() || dir[0] == '/') return dir;
+  const std::string::size_type slash = artifact_path.rfind('/');
+  return slash == std::string::npos ? dir : artifact_path.substr(0, slash + 1) + dir;
+}
+
+/// Prints a one-paragraph diff_solves attribution for each regressed row
+/// whose per-entry reports load on both sides (capped, worst-first).
+void attribute_regressions(const dnc::obs::CompareResult& res,
+                           const std::string& base_dir, const std::string& cur_dir) {
+  constexpr int kMaxAttributions = 10;
+  int shown = 0, missing = 0;
+  for (const dnc::obs::CompareRow& row : res.rows) {
+    if (row.verdict != dnc::obs::Verdict::kRegression) continue;
+    if (shown >= kMaxAttributions) {
+      std::printf("(more regressions; attribution capped at %d)\n", kMaxAttributions);
+      break;
+    }
+    const std::string fname =
+        dnc::obs::bench_report_filename(row.driver, row.family, row.precision, row.n);
+    dnc::obs::SolveReport base_rep, cur_rep;
+    if (!dnc::obs::load_solve_report_file(base_dir + "/" + fname, base_rep) ||
+        !dnc::obs::load_solve_report_file(cur_dir + "/" + fname, cur_rep)) {
+      ++missing;
+      continue;
+    }
+    dnc::obs::DiffSide a, b;
+    a.report = &base_rep;
+    a.label = "baseline";
+    b.report = &cur_rep;
+    b.label = "current";
+    const dnc::obs::SolveDiff diff = dnc::obs::diff_solves(a, b);
+    std::printf("attribution %s: %s\n", row.key.c_str(), diff.one_paragraph().c_str());
+    ++shown;
+  }
+  if (missing > 0)
+    std::printf("(%d regressed entr%s had no per-entry report on one side)\n", missing,
+                missing == 1 ? "y" : "ies");
 }
 
 }  // namespace
@@ -33,6 +87,7 @@ int main(int argc, char** argv) {
   double min_time = 0.0;
   dnc::obs::BenchStat stat = dnc::obs::BenchStat::kMedian;
   bool quiet = false;
+  std::string reports_base, reports_cur;
 
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -60,6 +115,10 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "invalid min-time '%s'\n", argv[i]);
         return 2;
       }
+    } else if (flag == "--reports") {
+      if (i + 2 >= argc) { usage(argv[0]); return 2; }
+      reports_base = argv[++i];
+      reports_cur = argv[++i];
     } else if (flag == "--quiet") {
       quiet = true;
     } else if (flag == "--version") {
@@ -98,5 +157,14 @@ int main(int argc, char** argv) {
   const dnc::obs::CompareResult res =
       dnc::obs::compare_bench_artifacts(base, cur, threshold, stat, min_time);
   if (!quiet) std::fputs(res.render(threshold).c_str(), stdout);
-  return res.gate_passed() ? 0 : 1;
+  if (!res.gate_passed()) {
+    // Attribution inputs: explicit --reports wins, else whatever directories
+    // the two runs stamped into their artifacts.
+    if (reports_base.empty()) reports_base = reports_dir_of(base_path, base);
+    if (reports_cur.empty()) reports_cur = reports_dir_of(cur_path, cur);
+    if (!reports_base.empty() && !reports_cur.empty())
+      attribute_regressions(res, reports_base, reports_cur);
+    return 1;
+  }
+  return 0;
 }

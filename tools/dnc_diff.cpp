@@ -1,0 +1,208 @@
+// dnc_diff: why is run B slower than run A?
+//
+//   dnc_diff a.json b.json            diff two solve artifacts (each a
+//                                     Perfetto trace or a SolveReport JSON;
+//                                     the file shape is auto-detected, and a
+//                                     trace side picks up the sibling
+//                                     report automatically with --reports)
+//   dnc_diff --history h.jsonl --key n=1000,family=deflate20
+//                                     trend view of one archive cell:
+//                                     chronological series + latest record
+//                                     per commit
+//
+// Options:
+//   --reports             also load "<file w/o .json>.report.json" /
+//                         DNC_REPORT-style sibling artifacts next to each
+//                         trace, merging report identity into the diff
+//   --json <path|->       additionally write the dnc-diff-v1 JSON
+//   --noise <rel>         relative noise floor (default 0.02)
+//   --version             print version and exit
+//
+// Exit codes: 0 = diff/trend rendered, 2 = usage or unreadable input.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/version.hpp"
+#include "obs/diff.hpp"
+#include "obs/history.hpp"
+#include "obs/trace_io.hpp"
+#include "runtime/trace.hpp"
+
+namespace {
+
+using namespace dnc;
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <a.json> <b.json> [--reports] [--json PATH|-] [--noise REL]\n"
+               "       %s --history <archive.jsonl> --key k1=v1,k2=v2\n"
+               "       %s --version\n"
+               "  a/b: Perfetto trace or SolveReport JSON (auto-detected)\n"
+               "  key fields: driver, family, precision, commit, n, workers\n",
+               argv0, argv0, argv0);
+}
+
+/// One loaded side: whichever of trace/report the file (plus an optional
+/// sibling report) yielded.
+struct LoadedSide {
+  rt::Trace trace;
+  obs::SolveReport report;
+  bool has_trace = false;
+  bool has_report = false;
+};
+
+/// "foo.json" -> "foo.report.json"; extensionless paths get ".report.json".
+std::string sibling_report_path(const std::string& path) {
+  const std::string::size_type dot = path.rfind('.');
+  const std::string::size_type slash = path.rfind('/');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash))
+    return path + ".report.json";
+  return path.substr(0, dot) + ".report" + path.substr(dot);
+}
+
+bool load_side(const std::string& path, bool want_sibling, LoadedSide& out) {
+  json::Value v;
+  std::string err;
+  if (!json::parse_file(path, v, &err)) {
+    std::fprintf(stderr, "dnc_diff: %s: %s\n", path.c_str(), err.c_str());
+    return false;
+  }
+  // Shape detection: a Perfetto export is an object with "traceEvents" (or a
+  // bare event array); a SolveReport is an object with "driver"+"counters".
+  const bool looks_trace = v.is_array() || (v.is_object() && v.find("traceEvents"));
+  if (looks_trace) {
+    if (!obs::load_perfetto_trace_file(path, out.trace, &err)) {
+      std::fprintf(stderr, "dnc_diff: %s: %s\n", path.c_str(), err.c_str());
+      return false;
+    }
+    out.has_trace = true;
+    if (want_sibling) {
+      const std::string sib = sibling_report_path(path);
+      if (obs::load_solve_report_file(sib, out.report))
+        out.has_report = true;
+      else
+        std::fprintf(stderr, "dnc_diff: note: no sibling report at %s\n", sib.c_str());
+    }
+    return true;
+  }
+  if (!obs::parse_solve_report_value(v, out.report, &err)) {
+    std::fprintf(stderr, "dnc_diff: %s: neither a trace nor a SolveReport (%s)\n",
+                 path.c_str(), err.c_str());
+    return false;
+  }
+  out.has_report = true;
+  return true;
+}
+
+int run_history(const std::string& archive, const std::string& keyspec) {
+  obs::history::Key key;
+  std::string err;
+  if (!obs::history::parse_key(keyspec, key, &err)) {
+    std::fprintf(stderr, "dnc_diff: --key: %s\n", err.c_str());
+    return 2;
+  }
+  std::vector<obs::history::Record> records;
+  long skipped = 0;
+  if (!obs::history::load_file(archive, records, &err, &skipped)) {
+    std::fprintf(stderr, "dnc_diff: %s\n", err.c_str());
+    return 2;
+  }
+  if (skipped > 0)
+    std::fprintf(stderr, "dnc_diff: note: skipped %ld unparseable line(s)\n", skipped);
+  const std::vector<obs::history::Record> ser = obs::history::series(records, key);
+  std::fputs(obs::history::render_series(ser, keyspec.empty() ? "(all)" : keyspec).c_str(),
+             stdout);
+  const std::vector<obs::history::Record> per_commit =
+      obs::history::latest_per_commit(records, key);
+  if (per_commit.size() > 1 && per_commit.size() < ser.size()) {
+    std::fputs("\n", stdout);
+    std::fputs(obs::history::render_series(per_commit, "latest per commit").c_str(),
+               stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path_a, path_b, json_out, history_path, keyspec;
+  bool want_reports = false;
+  obs::DiffOptions opt;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--version") {
+      std::printf("dnc_diff %s (%s)\n", version::kGitCommit, version::kBuildType);
+      return 0;
+    } else if (flag == "--reports") {
+      want_reports = true;
+    } else if (flag == "--json") {
+      if (++i >= argc) { usage(argv[0]); return 2; }
+      json_out = argv[i];
+    } else if (flag == "--noise") {
+      if (++i >= argc) { usage(argv[0]); return 2; }
+      opt.noise_rel = std::atof(argv[i]);
+    } else if (flag == "--history") {
+      if (++i >= argc) { usage(argv[0]); return 2; }
+      history_path = argv[i];
+    } else if (flag == "--key") {
+      if (++i >= argc) { usage(argv[0]); return 2; }
+      keyspec = argv[i];
+    } else if (flag == "--help" || flag == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!flag.empty() && flag[0] == '-') {
+      std::fprintf(stderr, "dnc_diff: unknown flag %s\n", flag.c_str());
+      usage(argv[0]);
+      return 2;
+    } else if (path_a.empty()) {
+      path_a = flag;
+    } else if (path_b.empty()) {
+      path_b = flag;
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  if (!history_path.empty()) return run_history(history_path, keyspec);
+  if (path_a.empty() || path_b.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  LoadedSide a, b;
+  if (!load_side(path_a, want_reports, a) || !load_side(path_b, want_reports, b))
+    return 2;
+  obs::DiffSide sa, sb;
+  sa.label = path_a;
+  sb.label = path_b;
+  if (a.has_trace) sa.trace = &a.trace;
+  if (a.has_report) sa.report = &a.report;
+  if (b.has_trace) sb.trace = &b.trace;
+  if (b.has_report) sb.report = &b.report;
+
+  const obs::SolveDiff diff = obs::diff_solves(sa, sb, opt);
+  std::fputs(diff.render().c_str(), stdout);
+
+  if (!json_out.empty()) {
+    const std::string json = diff.to_json();
+    if (json_out == "-") {
+      std::fputs(json.c_str(), stdout);
+    } else {
+      std::FILE* f = std::fopen(json_out.c_str(), "wb");
+      if (!f) {
+        std::fprintf(stderr, "dnc_diff: cannot write %s\n", json_out.c_str());
+        return 2;
+      }
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::fprintf(stderr, "dnc_diff: wrote %s\n", json_out.c_str());
+    }
+  }
+  return 0;
+}

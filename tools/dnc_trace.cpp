@@ -28,6 +28,7 @@
 #include "matgen/tridiag.hpp"
 #include "mrrr/mrrr.hpp"
 #include "obs/analysis.hpp"
+#include "obs/history.hpp"
 #include "obs/hwc.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace_io.hpp"
@@ -189,6 +190,8 @@ dc::Options solve_options(const Args& a) {
 bool run_solver(const Args& a, rt::Trace& trace, std::vector<rt::SimulationResult>& simulated,
                 obs::SolveReport* report = nullptr) {
   matgen::Tridiag t = matgen::table3_matrix(a.type, a.n);
+  // History records key on the matrix family; only this harness knows it.
+  obs::history::set_family_hint(std::to_string(a.type).c_str());
   Matrix v;
   const dc::Options opt = solve_options(a);
   if (a.driver == "mrrr") {
